@@ -1,0 +1,340 @@
+(* Benchmark & reproduction harness.
+
+     dune exec bench/main.exe              (default sizes, ~2 min)
+     dune exec bench/main.exe -- --quick   (CI-sized)
+     dune exec bench/main.exe -- --full    (high-precision Fig. 7)
+     dune exec bench/main.exe -- --no-perf (skip Bechamel timings)
+
+   One section per experiment of EXPERIMENTS.md (the paper's Fig. 7 and
+   the numeric results of Sections III-E/IV-B, plus the three
+   ablations), followed by Bechamel micro-benchmarks of the
+   computational kernels. *)
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let full = Array.exists (( = ) "--full") Sys.argv
+let no_perf = Array.exists (( = ) "--no-perf") Sys.argv
+
+let paper_f0 = Ptrng_osc.Pair.paper_f0
+let paper_phase = Ptrng_osc.Pair.paper_relative
+
+let log2_periods = if quick then 18 else if full then 22 else 20
+
+let banner title =
+  let line = String.make 78 '=' in
+  Printf.printf "\n%s\n== %s\n%s\n%!" line title line
+
+(* ------------------------------------------------------------------ *)
+(* FIG7 + RN + THERMAL: the central experiment                        *)
+(* ------------------------------------------------------------------ *)
+
+let section_fig7 () =
+  banner
+    (Printf.sprintf "FIG7 — f0^2 sigma_N^2 vs N (2^%d simulated periods)" log2_periods);
+  let rng = Ptrng_prng.Rng.create ~seed:2014L () in
+  let analysis =
+    Ptrng_model.Multilevel.characterize ~n_periods:(1 lsl log2_periods) ~rng
+      (Ptrng_osc.Pair.paper_pair ())
+  in
+  let counter_at n =
+    Array.fold_left
+      (fun acc (p : Ptrng_measure.Variance_curve.point) ->
+        if p.n = n then Some p.scaled else acc)
+      None analysis.counter_curve
+  in
+  Printf.printf "%8s  %13s  %13s  %13s  %7s\n" "N" "ideal" "counter" "paper-fit" "ratio";
+  Array.iter
+    (fun (p : Ptrng_measure.Variance_curve.point) ->
+      let fn = float_of_int p.n in
+      (* The fit the paper reports: 5.36e-6 N (1 + N/5354). *)
+      let paper_fit = 5.36e-6 *. fn *. (1.0 +. (fn /. 5354.0)) in
+      let counter =
+        match counter_at p.n with
+        | Some v -> Printf.sprintf "%13.4e" v
+        | None -> "            -"
+      in
+      Printf.printf "%8d  %13.4e  %s  %13.4e  %7.3f\n" p.n p.scaled counter paper_fit
+        (p.scaled /. paper_fit))
+    analysis.ideal_curve;
+  let slope, se = analysis.growth_exponent in
+  Printf.printf "growth exponent %.3f +- %.3f (independence = 1, flicker = 2)\n" slope se;
+  analysis
+
+let section_extraction (analysis : Ptrng_model.Multilevel.analysis) =
+  banner "RN & THERMAL — Sections III-E and IV-B";
+  let e = analysis.extract in
+  let fit = analysis.fit in
+  Printf.printf "%-36s %14s %14s\n" "quantity" "measured" "paper";
+  Printf.printf "%-36s %14.4e %14.4e\n" "fit a (f0^2 sigma^2_Nth / N)" fit.a 5.36e-6;
+  Printf.printf "%-36s %14.2f %14.2f\n" "b_th" e.phase.Ptrng_noise.Psd_model.b_th 276.04;
+  Printf.printf "%-36s %14.4e %14.4e\n" "b_fl" e.phase.Ptrng_noise.Psd_model.b_fl
+    paper_phase.Ptrng_noise.Psd_model.b_fl;
+  Printf.printf "%-36s %14.3f %14.3f\n" "thermal sigma [ps]" (e.sigma_thermal *. 1e12)
+    15.89;
+  Printf.printf "%-36s %14.3f %14.3f\n" "sigma/T0 [permil]" (e.sigma_relative *. 1e3) 1.6;
+  Printf.printf "%-36s %14.0f %14.0f\n" "k (r_N = k/(k+N))" e.k_ratio 5354.0;
+  Printf.printf "%-36s %14d %14d\n" "N at r_N > 95%"
+    (Ptrng_measure.Thermal_extract.independence_threshold e ~confidence:0.95)
+    281;
+  match analysis.counter_fit with
+  | None ->
+    Printf.printf
+      "(counter-only extraction: too few saturated points at this trace length;\n\
+      \ run with --full)\n"
+  | Some cf ->
+    let phase = Ptrng_measure.Fit.phase_of cf in
+    let bth_se, bfl_se = Ptrng_measure.Fit.phase_se_of cf in
+    Printf.printf
+      "counter-only extraction (saturated region, floor-aware fit):\n\
+      \  b_fl = %.3e +- %.1e (flicker recoverable by real hardware)\n\
+      \  b_th = %.0f +- %.0f (unresolved below the quantization floor:\n\
+      \  see ONLINE for the averaging budget)\n"
+      phase.Ptrng_noise.Psd_model.b_fl bfl_se phase.Ptrng_noise.Psd_model.b_th bth_se
+
+let section_model () =
+  banner "MODEL — eq. 11 closed form vs numeric eq. 9 integral";
+  Printf.printf "%8s  %13s  %13s  %9s\n" "N" "closed" "numeric" "rel.err";
+  List.iter
+    (fun n ->
+      let c = Ptrng_model.Spectral.sigma2_n paper_phase ~f0:paper_f0 ~n in
+      let v = Ptrng_model.Spectral.sigma2_n_numeric paper_phase ~f0:paper_f0 ~n in
+      Printf.printf "%8d  %13.6e  %13.6e  %9.2e\n" n c v (Float.abs ((v -. c) /. c)))
+    [ 1; 10; 281; 5354; 100000 ]
+
+let section_entropy () =
+  banner "ENTROPY — Ablation A: overestimation by the independence assumption";
+  let extract = Ptrng_measure.Thermal_extract.of_phase ~f0:paper_f0 paper_phase in
+  let ns = [| 100; 281; 5354; 100000 |] in
+  List.iter
+    (fun k ->
+      let rows =
+        Ptrng_model.Compare.overestimation_table ~extract ~sampling_periods:k ~ns
+      in
+      Printf.printf "K = %d periods/sample:\n" k;
+      Array.iter
+        (fun (r : Ptrng_model.Compare.row) ->
+          Printf.printf
+            "  N=%6d  sigma_naive=%7.2f ps  H_naive=%8.5f  H_true=%8.5f  (+%.5f)\n"
+            r.n (r.sigma_naive *. 1e12) r.entropy_naive r.entropy_true r.overestimate)
+        rows)
+    [ 300; 1000 ]
+
+let section_scaling () =
+  banner "SCALING — Ablation B: independence threshold across CMOS nodes";
+  Printf.printf "%-16s %9s %12s %12s %8s\n" "node" "f0[MHz]" "b_th" "b_fl" "N(95%)";
+  List.iter
+    (fun node ->
+      let ring = Ptrng_device.Technology.ring node in
+      let p = ring.Ptrng_device.Technology.phase in
+      Printf.printf "%-16s %9.1f %12.4e %12.4e %8d\n" node.Ptrng_device.Technology.name
+        (ring.Ptrng_device.Technology.f0 /. 1e6)
+        p.Ptrng_noise.Psd_model.b_th p.Ptrng_noise.Psd_model.b_fl
+        (Ptrng_device.Technology.independence_threshold_n p
+           ~f0:ring.Ptrng_device.Technology.f0 ~confidence:0.95))
+    Ptrng_device.Technology.presets
+
+let section_online () =
+  banner "ONLINE — Ablation C: embedded thermal-noise test";
+  let ns = [| 4096; 16384; 65536; 262144 |] in
+  List.iter
+    (fun precision ->
+      let w =
+        Ptrng_measure.Online_test.windows_for_precision ~phase:paper_phase ~floor:0.33
+          ~ns ~f0:paper_f0 ~rel_precision:precision
+      in
+      let cycles = Array.fold_left (fun acc n -> acc + (n * w)) 0 ns in
+      Printf.printf "precision %3.0f%%: %7d windows/point = %6.2f s at 103 MHz\n"
+        (precision *. 100.0) w
+        (float_of_int cycles /. paper_f0))
+    [ 0.5; 0.25; 0.1 ];
+  let strong =
+    Ptrng_osc.Pair.of_relative ~f0:paper_f0
+      ~relative:
+        { paper_phase with Ptrng_noise.Psd_model.b_th = paper_phase.b_th *. 100.0 }
+      ()
+  in
+  let reference = paper_phase.Ptrng_noise.Psd_model.b_th *. 100.0 in
+  let cfg =
+    { Ptrng_measure.Online_test.ns = [| 512; 2048; 8192; 32768 |];
+      windows = (if quick then 32 else 64);
+      min_fraction = 0.4 }
+  in
+  let evaluate label seed pair =
+    let n = Ptrng_measure.Online_test.required_cycles cfg + 8192 in
+    let p1, p2 = Ptrng_osc.Pair.simulate (Ptrng_prng.Rng.create ~seed ()) pair ~n in
+    let edges1 = Ptrng_osc.Oscillator.edges_of_periods p1 in
+    let edges2 = Ptrng_osc.Oscillator.edges_of_periods p2 in
+    let v =
+      Ptrng_measure.Online_test.run cfg ~f0:paper_f0 ~reference_b_th:reference ~edges1
+        ~edges2
+    in
+    Printf.printf "%-34s b_th=%9.0f  %s\n" label v.b_th_est
+      (if v.pass then "PASS" else "ALARM")
+  in
+  evaluate "100x-thermal, healthy" 100L strong;
+  evaluate "100x-thermal, 95% injection lock" 101L
+    (Ptrng_trng.Attack.frequency_injection ~lock_strength:0.95 strong);
+  evaluate "100x-thermal, x0.05 quench" 102L
+    (Ptrng_trng.Attack.thermal_quench ~factor:0.05 strong)
+
+let section_allan () =
+  banner "ALLAN — time-domain view: Allan deviation of the relative frequency";
+  (* The paper's N-domain crossover k = 5354 periods is, in the Allan
+     domain, a crossover time tau_c = k / f0 ~ 52 us where the white-FM
+     slope -1/2 meets the flicker floor 2 ln2 h-1. *)
+  let model = Ptrng_noise.Psd_model.frac_freq_of_phase ~f0:paper_f0 paper_phase in
+  let tau_c =
+    Ptrng_stats.Allan.crossover_tau ~h0:model.Ptrng_noise.Psd_model.h0
+      ~hm1:model.Ptrng_noise.Psd_model.hm1
+  in
+  Printf.printf "predicted crossover tau_c = %.1f us (= k/f0 = 5354 periods)\n\n"
+    (tau_c *. 1e6);
+  let pair = Ptrng_osc.Pair.paper_pair () in
+  let n = 1 lsl (if quick then 18 else 20) in
+  let p1, p2 = Ptrng_osc.Pair.simulate (Ptrng_prng.Rng.create ~seed:55L ()) pair ~n in
+  let t0 = 1.0 /. paper_f0 in
+  (* Relative fractional frequency per period. *)
+  let y = Array.init n (fun k -> (p1.(k) -. p2.(k)) /. t0) in
+  let y = Ptrng_signal.Filter.remove_mean y in
+  Printf.printf "%10s  %13s  %13s  %13s\n" "tau [us]" "adev meas" "adev model" "ratio";
+  Array.iter
+    (fun (pt : Ptrng_stats.Allan.point) ->
+      let model_avar =
+        Ptrng_stats.Allan.avar_white_fm ~h0:model.Ptrng_noise.Psd_model.h0 ~tau:pt.tau
+        +. Ptrng_stats.Allan.avar_flicker_fm ~hm1:model.Ptrng_noise.Psd_model.hm1
+      in
+      Printf.printf "%10.2f  %13.4e  %13.4e  %13.3f\n" (pt.tau *. 1e6)
+        (sqrt pt.avar) (sqrt model_avar)
+        (sqrt (pt.avar /. model_avar)))
+    (Ptrng_stats.Allan.sweep ~tau0:t0
+       ~ms:[| 16; 64; 256; 1024; 4096; 16384; 65536 |]
+       y)
+
+let section_restart () =
+  banner "RESTART — Ablation D: oscillator restarts restore Bienayme linearity";
+  let cfg =
+    Ptrng_osc.Oscillator.config ~f0:paper_f0 ~phase:paper_phase ()
+  in
+  let restarts = if quick then 800 else 2000 in
+  let n = 4096 in
+  let runs =
+    Ptrng_osc.Restart.ensemble (Ptrng_prng.Rng.create ~seed:77L ()) cfg ~restarts ~n
+  in
+  let sigma_th2 = paper_phase.Ptrng_noise.Psd_model.b_th /. (paper_f0 ** 3.0) in
+  Printf.printf "%8s  %13s  %13s  %13s\n" "N" "restart var" "thermal N*s2"
+    "free-running";
+  let curve = Ptrng_osc.Restart.variance_curve runs ~ns:[| 16; 64; 256; 1024; 4096 |] in
+  Array.iter
+    (fun (n, v) ->
+      Printf.printf "%8d  %13.4e  %13.4e  %13.4e\n" n v
+        (float_of_int n *. sigma_th2)
+        (Ptrng_model.Spectral.sigma2_n paper_phase ~f0:paper_f0 ~n /. 2.0))
+    curve;
+  Printf.printf "restart growth exponent: %.3f (1 = independence restored)\n"
+    (Ptrng_osc.Restart.growth_exponent curve)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel kernel benchmarks                                          *)
+(* ------------------------------------------------------------------ *)
+
+let kernel_tests () =
+  let open Bechamel in
+  let rng = Ptrng_prng.Rng.create ~seed:1L () in
+  let g = Ptrng_prng.Gaussian.create rng in
+  let fft_n = 1 lsl 14 in
+  let fft_re = Array.init fft_n (fun _ -> Ptrng_prng.Gaussian.draw g) in
+  let white = Array.init (1 lsl 16) (fun _ -> Ptrng_prng.Gaussian.draw g) in
+  let jitter = Array.map (fun v -> v *. 1e-12) white in
+  let periods = Array.map (fun v -> 9.7e-9 +. (v *. 1e-12)) white in
+  let edges1 = Ptrng_osc.Oscillator.edges_of_periods periods in
+  let edges2 = Ptrng_osc.Oscillator.edges_of_periods periods in
+  let block =
+    let r = Ptrng_prng.Rng.create ~seed:5L () in
+    Array.init 20000 (fun _ -> Ptrng_prng.Rng.bool r)
+  in
+  let curve_points =
+    let ns = Ptrng_measure.Variance_curve.log2_grid ~n_min:4 ~n_max:8192 in
+    Ptrng_measure.Variance_curve.of_jitter ~f0:paper_f0 ~ns jitter
+  in
+  [
+    Test.make ~name:"gaussian ziggurat draw"
+      (Staged.stage (fun () -> ignore (Ptrng_prng.Gaussian.draw g)));
+    Test.make ~name:"fft 16k (fwd+inv)"
+      (Staged.stage (fun () ->
+           let re = Array.copy fft_re and im = Array.make fft_n 0.0 in
+           Ptrng_signal.Fft.forward_pow2 ~re ~im;
+           Ptrng_signal.Fft.inverse_pow2 ~re ~im));
+    Test.make ~name:"flicker synth 64k"
+      (Staged.stage (fun () ->
+           let model = { Ptrng_noise.Psd_model.h0 = 0.0; hm1 = 1e-6; hm2 = 0.0 } in
+           ignore
+             (Ptrng_noise.Spectral_synth.generate_frac_freq rng ~model ~fs:1.0 (1 lsl 16))));
+    Test.make ~name:"oscillator periods 64k"
+      (Staged.stage (fun () ->
+           let cfg =
+             Ptrng_osc.Oscillator.config ~f0:paper_f0
+               ~phase:{ Ptrng_noise.Psd_model.b_th = 138.0; b_fl = 9.6e5 } ()
+           in
+           ignore (Ptrng_osc.Oscillator.periods rng cfg ~n:(1 lsl 16))));
+    Test.make ~name:"allan overlapping m=64 on 64k"
+      (Staged.stage (fun () ->
+           ignore (Ptrng_stats.Allan.avar_overlapping ~tau0:9.7e-9 ~m:64 white)));
+    Test.make ~name:"s_N realizations N=256 on 64k"
+      (Staged.stage (fun () ->
+           ignore (Ptrng_measure.S_process.realizations ~n:256 jitter)));
+    Test.make ~name:"counter q_counts N=64 on 64k"
+      (Staged.stage (fun () ->
+           ignore (Ptrng_measure.Counter.q_counts ~edges1 ~edges2 ~n:64)));
+    Test.make ~name:"variance-curve fit"
+      (Staged.stage (fun () -> ignore (Ptrng_measure.Fit.fit ~f0:paper_f0 curve_points)));
+    Test.make ~name:"entropy avg (one evaluation)"
+      (Staged.stage (fun () -> ignore (Ptrng_model.Entropy.avg_entropy ~phase_std:1.0)));
+    Test.make ~name:"AIS31 T1-T4 on one block"
+      (Staged.stage (fun () ->
+           ignore (Ptrng_ais31.Procedure_a.t1_monobit block);
+           ignore (Ptrng_ais31.Procedure_a.t2_poker block);
+           ignore (Ptrng_ais31.Procedure_a.t3_runs block);
+           ignore (Ptrng_ais31.Procedure_a.t4_long_run block)));
+  ]
+
+let section_perf () =
+  banner "PERF — Bechamel kernel timings";
+  let open Bechamel in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if quick then 0.25 else 0.5))
+      ~kde:(Some 1000) ()
+  in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"kernels" (kernel_tests ()))
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Printf.printf "%-44s %16s\n" "kernel" "time per run";
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) ->
+        let txt =
+          if est > 1e6 then Printf.sprintf "%10.3f ms" (est /. 1e6)
+          else if est > 1e3 then Printf.sprintf "%10.3f us" (est /. 1e3)
+          else Printf.sprintf "%10.1f ns" est
+        in
+        Printf.printf "%-44s %16s\n" name txt
+      | _ -> Printf.printf "%-44s %16s\n" name "n/a")
+    rows
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  let analysis = section_fig7 () in
+  section_extraction analysis;
+  section_model ();
+  section_entropy ();
+  section_scaling ();
+  section_online ();
+  section_restart ();
+  section_allan ();
+  if not no_perf then section_perf ();
+  Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

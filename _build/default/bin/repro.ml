@@ -1,0 +1,485 @@
+(* Command-line reproduction driver for Haddad et al., DATE 2014:
+   "On the assumption of mutual independence of jitter realizations in
+   P-TRNG stochastic models".  One sub-command per experiment; see
+   EXPERIMENTS.md for the mapping to the paper's figures. *)
+
+let paper_f0 = Ptrng_osc.Pair.paper_f0
+let paper_phase = Ptrng_osc.Pair.paper_relative
+
+let make_rng seed = Ptrng_prng.Rng.create ~seed:(Int64.of_int seed) ()
+
+let line = String.make 78 '-'
+
+let print_header title =
+  Printf.printf "%s\n%s\n%s\n" line title line
+
+(* ---------------------------------------------------------------- *)
+(* fig7                                                             *)
+(* ---------------------------------------------------------------- *)
+
+let write_fig7_csv path (analysis : Ptrng_model.Multilevel.analysis) =
+  let oc = open_out path in
+  Printf.fprintf oc "n,ideal_scaled,counter_scaled,model_scaled\n";
+  let counter_at n =
+    Array.fold_left
+      (fun acc (p : Ptrng_measure.Variance_curve.point) ->
+        if p.n = n then Some p.scaled else acc)
+      None analysis.counter_curve
+  in
+  Array.iter
+    (fun (p : Ptrng_measure.Variance_curve.point) ->
+      let model = Ptrng_model.Spectral.scaled paper_phase ~f0:paper_f0 ~n:p.n in
+      let counter =
+        match counter_at p.n with Some v -> Printf.sprintf "%.8e" v | None -> ""
+      in
+      Printf.fprintf oc "%d,%.8e,%s,%.8e\n" p.n p.scaled counter model)
+    analysis.ideal_curve;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
+let run_fig7 seed log2_periods csv =
+  let rng = make_rng seed in
+  let n_periods = 1 lsl log2_periods in
+  print_header
+    (Printf.sprintf
+       "Fig. 7 — f0^2 sigma_N^2 vs N  (simulated trace: 2^%d periods, seed %d)"
+       log2_periods seed);
+  let analysis =
+    Ptrng_model.Multilevel.characterize ~n_periods ~rng (Ptrng_osc.Pair.paper_pair ())
+  in
+  Printf.printf "%8s  %14s  %14s  %14s  %8s\n" "N" "ideal" "counter" "paper model"
+    "neff";
+  let counter_at n =
+    Array.fold_left
+      (fun acc (p : Ptrng_measure.Variance_curve.point) ->
+        if p.n = n then Some p.scaled else acc)
+      None analysis.counter_curve
+  in
+  Array.iter
+    (fun (p : Ptrng_measure.Variance_curve.point) ->
+      let model = Ptrng_model.Spectral.scaled paper_phase ~f0:paper_f0 ~n:p.n in
+      let counter =
+        match counter_at p.n with Some v -> Printf.sprintf "%14.6e" v | None -> "             -"
+      in
+      Printf.printf "%8d  %14.6e  %s  %14.6e  %8d\n" p.n p.scaled counter model p.neff)
+    analysis.ideal_curve;
+  let fit = analysis.fit in
+  Printf.printf "\nfit:  f0^2 sigma_N^2 = a N + b N^2\n";
+  Printf.printf "  a = %.4e +- %.1e   (paper: 5.36e-6)\n" fit.a fit.a_se;
+  Printf.printf "  b = %.4e +- %.1e   (paper: 5.36e-6/5354 = 1.001e-9)\n" fit.b fit.b_se;
+  let slope, se = analysis.growth_exponent in
+  Printf.printf "  log-log growth exponent: %.3f +- %.3f (1 = independent, 2 = flicker)\n"
+    slope se;
+  let e = analysis.extract in
+  Printf.printf "\nextraction:\n";
+  Printf.printf "  b_th  = %10.2f      (paper: 276.04)\n" e.phase.Ptrng_noise.Psd_model.b_th;
+  Printf.printf "  b_fl  = %10.4e  (paper: %.4e)\n" e.phase.Ptrng_noise.Psd_model.b_fl
+    paper_phase.Ptrng_noise.Psd_model.b_fl;
+  Printf.printf "  sigma = %10.3f ps   (paper: 15.89 ps)\n" (e.sigma_thermal *. 1e12);
+  Printf.printf "  sigma/T0 = %7.3f permil (paper: 1.6 permil)\n"
+    (e.sigma_relative *. 1e3);
+  Printf.printf "  k     = %10.0f      (paper: 5354, r_N = k/(k+N))\n" e.k_ratio;
+  Printf.printf "  N(r_N > 95%%) = %d      (paper: 281)\n"
+    (Ptrng_measure.Thermal_extract.independence_threshold e ~confidence:0.95);
+  (match csv with None -> () | Some path -> write_fig7_csv path analysis);
+  0
+
+(* ---------------------------------------------------------------- *)
+(* extract                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let run_extract seed log2_periods =
+  let rng = make_rng seed in
+  let analysis =
+    Ptrng_model.Multilevel.characterize ~n_periods:(1 lsl log2_periods) ~rng
+      (Ptrng_osc.Pair.paper_pair ())
+  in
+  let e = analysis.extract in
+  print_header "Sections III-E & IV-B — thermal-noise extraction";
+  Printf.printf "%-34s %14s %14s\n" "quantity" "measured" "paper";
+  Printf.printf "%-34s %14.2f %14.2f\n" "b_th [Hz]" e.phase.Ptrng_noise.Psd_model.b_th 276.04;
+  Printf.printf "%-34s %14.4e %14.4e\n" "b_fl" e.phase.Ptrng_noise.Psd_model.b_fl
+    paper_phase.Ptrng_noise.Psd_model.b_fl;
+  Printf.printf "%-34s %14.3f %14.3f\n" "thermal period jitter sigma [ps]"
+    (e.sigma_thermal *. 1e12) 15.89;
+  Printf.printf "%-34s %14.3f %14.3f\n" "sigma / T0 [permil]" (e.sigma_relative *. 1e3) 1.6;
+  Printf.printf "%-34s %14.0f %14.0f\n" "k (r_N = k/(k+N))" e.k_ratio 5354.0;
+  Printf.printf "%-34s %14d %14d\n" "N threshold at r_N > 95%"
+    (Ptrng_measure.Thermal_extract.independence_threshold e ~confidence:0.95)
+    281;
+  Printf.printf "\nr_N table (measured k):\n";
+  List.iter
+    (fun n ->
+      Printf.printf "  r_%-6d = %.4f\n" n (Ptrng_measure.Thermal_extract.r_n e n))
+    [ 10; 100; 281; 1000; 5354; 50000 ];
+  0
+
+(* ---------------------------------------------------------------- *)
+(* entropy                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let run_entropy sampling_periods =
+  print_header
+    (Printf.sprintf
+       "Ablation A — entropy overestimation by the independence assumption (K = %d)"
+       sampling_periods);
+  let extract = Ptrng_measure.Thermal_extract.of_phase ~f0:paper_f0 paper_phase in
+  let ns = [| 10; 50; 100; 281; 1000; 5354; 20000; 100000 |] in
+  let rows = Ptrng_model.Compare.overestimation_table ~extract ~sampling_periods ~ns in
+  Printf.printf "%8s  %16s  %14s  %14s  %14s\n" "N" "sigma_naive [ps]" "H_naive"
+    "H_true" "overestimate";
+  Array.iter
+    (fun (r : Ptrng_model.Compare.row) ->
+      Printf.printf "%8d  %16.3f  %14.6f  %14.6f  %14.6f\n" r.n
+        (r.sigma_naive *. 1e12) r.entropy_naive r.entropy_true r.overestimate)
+    rows;
+  Printf.printf
+    "\nsigma_naive = sqrt(sigma_N^2 / 2N): what a model assuming independent\n\
+     jitter infers from a measurement over N periods.  H is Shannon entropy\n\
+     per raw bit for a sampling interval of K oscillator periods.\n";
+  0
+
+(* ---------------------------------------------------------------- *)
+(* scaling                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let run_scaling () =
+  print_header
+    "Ablation B — technology scaling of the independence threshold (Sec. V)";
+  Printf.printf "%-16s %10s %12s %12s %12s %10s\n" "node" "f0 [MHz]" "b_th" "b_fl"
+    "corner [Hz]" "N(95%)";
+  List.iter
+    (fun node ->
+      let ring = Ptrng_device.Technology.ring node in
+      let phase = ring.Ptrng_device.Technology.phase in
+      let threshold =
+        Ptrng_device.Technology.independence_threshold_n phase
+          ~f0:ring.Ptrng_device.Technology.f0 ~confidence:0.95
+      in
+      Printf.printf "%-16s %10.1f %12.4e %12.4e %12.4e %10d\n"
+        node.Ptrng_device.Technology.name
+        (ring.Ptrng_device.Technology.f0 /. 1e6)
+        phase.Ptrng_noise.Psd_model.b_th phase.Ptrng_noise.Psd_model.b_fl
+        (Ptrng_noise.Psd_model.corner_frequency phase)
+        threshold)
+    Ptrng_device.Technology.presets;
+  Printf.printf
+    "\nShrinking L raises the flicker coefficient as 1/L^2 (paper Sec. V):\n\
+     the accumulation length below which jitter realizations may be treated\n\
+     as independent collapses with every node.\n";
+  0
+
+(* ---------------------------------------------------------------- *)
+(* online                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let run_online seed attack strength =
+  print_header "Ablation C — embedded thermal-noise test (paper conclusion)";
+  let pair = Ptrng_osc.Pair.paper_pair () in
+  let attacked =
+    match attack with
+    | "none" -> pair
+    | "quench" -> Ptrng_trng.Attack.thermal_quench ~factor:(1.0 -. strength) pair
+    | "inject" -> Ptrng_trng.Attack.frequency_injection ~lock_strength:strength pair
+    | other -> failwith (Printf.sprintf "unknown attack %S" other)
+  in
+  let cfg =
+    { Ptrng_measure.Online_test.ns = [| 4096; 16384; 65536; 262144 |];
+      windows = 96; min_fraction = 0.4 }
+  in
+  let cycles = Ptrng_measure.Online_test.required_cycles cfg in
+  Printf.printf "attack = %s (strength %.2f); simulating %d oscillator cycles...\n%!"
+    attack strength cycles;
+  let n = cycles + 8192 in
+  let p1, p2 = Ptrng_osc.Pair.simulate (make_rng seed) attacked ~n in
+  let edges1 = Ptrng_osc.Oscillator.edges_of_periods p1 in
+  let edges2 = Ptrng_osc.Oscillator.edges_of_periods p2 in
+  let v =
+    Ptrng_measure.Online_test.run cfg ~f0:paper_f0 ~reference_b_th:276.04 ~edges1
+      ~edges2
+  in
+  Printf.printf "estimated b_th      : %10.2f   (reference 276.04)\n" v.b_th_est;
+  Printf.printf "estimated sigma     : %10.3f ps (reference 15.89)\n"
+    (v.sigma_est *. 1e12);
+  Printf.printf "quantization floor  : %10.3f counts^2\n" v.floor_est;
+  Printf.printf "total var at max N  : %10.3f counts^2 (naive health metric)\n"
+    v.total_var_max_n;
+  Printf.printf "verdict             : %s\n" (if v.pass then "PASS" else "ALARM");
+  0
+
+(* ---------------------------------------------------------------- *)
+(* trng                                                             *)
+(* ---------------------------------------------------------------- *)
+
+let run_trng seed bits divisor xor_factor ais31 nist sp90b =
+  print_header "eRO-TRNG bit generation (paper Fig. 4)";
+  let cfg =
+    Ptrng_trng.Ero_trng.config ~divisor ~xor_factor (Ptrng_osc.Pair.paper_pair ())
+  in
+  Printf.printf "divisor %d, xor factor %d, target %d raw bits; simulating...\n%!"
+    divisor xor_factor bits;
+  let stream = Ptrng_trng.Ero_trng.generate (make_rng seed) cfg ~bits in
+  Printf.printf "produced %d bits  bias = %+.4f  serial correlation = %+.4f\n"
+    (Ptrng_trng.Bitstream.length stream)
+    (Ptrng_trng.Bitstream.bias stream)
+    (Ptrng_trng.Bitstream.serial_correlation stream);
+  if ais31 then begin
+    if Ptrng_trng.Bitstream.length stream >= Ptrng_ais31.Procedure_a.block_bits then begin
+      Printf.printf "\nAIS31 procedure A:\n";
+      let summary = Ptrng_ais31.Procedure_a.run stream in
+      Format.printf "%a@." Ptrng_ais31.Report.pp summary
+    end
+    else
+      Printf.printf "\n(not enough bits for AIS31 procedure A: need %d)\n"
+        Ptrng_ais31.Procedure_a.block_bits;
+    if Ptrng_trng.Bitstream.length stream >= 2000 then begin
+      Printf.printf "\nAIS31 procedure B (subset for available bits):\n";
+      let summary = Ptrng_ais31.Procedure_b.run stream in
+      Format.printf "%a@." Ptrng_ais31.Report.pp summary
+    end
+  end;
+  if nist then begin
+    Printf.printf "\nNIST SP 800-22 battery:\n";
+    let results = Ptrng_nist22.Sp80022.run_all (Ptrng_trng.Bitstream.to_bools stream) in
+    Format.printf "%a@." Ptrng_nist22.Sp80022.pp_results results
+  end;
+  if sp90b then begin
+    Printf.printf "\nSP 800-90B min-entropy estimators:\n";
+    let estimates, aggregate =
+      Ptrng_sp90b.Estimators.run_all (Ptrng_trng.Bitstream.to_bools stream)
+    in
+    List.iter
+      (fun (e : Ptrng_sp90b.Estimators.estimate) ->
+        Printf.printf "  %-20s p_max %.4f  min-entropy %.4f\n" e.name e.p_max
+          e.min_entropy)
+      estimates;
+    Printf.printf "  aggregate min-entropy: %.4f bit/bit\n" aggregate
+  end;
+  0
+
+(* ---------------------------------------------------------------- *)
+(* assess                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let run_assess seed bits divisor =
+  print_header "Full TRNG assessment (AIS31 + SP 800-22 + SP 800-90B + health)";
+  let cfg = Ptrng_trng.Ero_trng.config ~divisor (Ptrng_osc.Pair.paper_pair ()) in
+  Printf.printf "simulating %d bits at divisor %d...\n%!" bits divisor;
+  let stream = Ptrng_trng.Ero_trng.generate (make_rng seed) cfg ~bits in
+  let t = Ptrng_report.Assessment.evaluate stream in
+  Format.printf "%a@." Ptrng_report.Assessment.pp t;
+  match t.verdict with `Fail -> 1 | `Pass | `Caution -> 0
+
+(* ---------------------------------------------------------------- *)
+(* allan                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let run_allan seed log2_periods =
+  print_header "Allan deviation of the relative frequency (time-domain view)";
+  let model = Ptrng_noise.Psd_model.frac_freq_of_phase ~f0:paper_f0 paper_phase in
+  Printf.printf "white FM level h0   = %.4e, flicker level h-1 = %.4e\n"
+    model.Ptrng_noise.Psd_model.h0 model.Ptrng_noise.Psd_model.hm1;
+  Printf.printf "predicted crossover = %.1f us (k/f0 = 5354 periods)\n\n"
+    (Ptrng_stats.Allan.crossover_tau ~h0:model.Ptrng_noise.Psd_model.h0
+       ~hm1:model.Ptrng_noise.Psd_model.hm1
+    *. 1e6);
+  let n = 1 lsl log2_periods in
+  let pair = Ptrng_osc.Pair.paper_pair () in
+  let p1, p2 = Ptrng_osc.Pair.simulate (make_rng seed) pair ~n in
+  let t0 = 1.0 /. paper_f0 in
+  let y =
+    Ptrng_signal.Filter.remove_mean
+      (Array.init n (fun k -> (p1.(k) -. p2.(k)) /. t0))
+  in
+  Printf.printf "%10s  %12s  %26s  %12s\n" "tau [us]" "adev" "68% CI" "model adev";
+  Array.iter
+    (fun (pt : Ptrng_stats.Allan.point) ->
+      let lo, hi = Ptrng_stats.Allan.confidence_interval pt in
+      let model_avar =
+        Ptrng_stats.Allan.avar_white_fm ~h0:model.Ptrng_noise.Psd_model.h0 ~tau:pt.tau
+        +. Ptrng_stats.Allan.avar_flicker_fm ~hm1:model.Ptrng_noise.Psd_model.hm1
+      in
+      Printf.printf "%10.2f  %12.4e  [%11.4e,%11.4e]  %12.4e\n" (pt.tau *. 1e6)
+        (sqrt pt.avar) (sqrt lo) (sqrt hi) (sqrt model_avar))
+    (Ptrng_stats.Allan.sweep ~tau0:t0 ~ms:(Ptrng_stats.Allan.octave_ms ~n) y);
+  0
+
+(* ---------------------------------------------------------------- *)
+(* design                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let run_design target =
+  print_header
+    (Printf.sprintf "Sampler design for %.3f bit/bit (thermal-only crediting)" target);
+  let extract = Ptrng_measure.Thermal_extract.of_phase ~f0:paper_f0 paper_phase in
+  let k = Ptrng_model.Design.required_divisor ~target ~extract () in
+  Printf.printf "thermal sigma          : %.2f ps (%.2f permil of T0)\n"
+    (extract.sigma_thermal *. 1e12)
+    (extract.sigma_relative *. 1e3);
+  Printf.printf "required divisor K     : %d periods/sample\n" k;
+  Printf.printf "delivered entropy      : %.5f bit/bit\n"
+    (Ptrng_model.Design.entropy_at ~extract ~divisor:k);
+  Printf.printf "raw throughput         : %.1f kbit/s at %.0f MHz\n"
+    (Ptrng_model.Design.throughput ~extract ~divisor:k /. 1e3)
+    (paper_f0 /. 1e6);
+  Printf.printf "\nWhat the independence assumption would have done:\n";
+  List.iter
+    (fun measured_at ->
+      let naive =
+        Ptrng_model.Design.naive_divisor ~target ~extract ~measured_at ()
+      in
+      Printf.printf
+        "  jitter measured over N=%6d -> K = %6d, true entropy %.4f bit/bit\n"
+        measured_at naive
+        (Ptrng_model.Design.entropy_at ~extract ~divisor:naive))
+    [ 1000; 10000; 100000 ];
+  0
+
+(* ---------------------------------------------------------------- *)
+(* selftest                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let run_selftest () =
+  print_header "Model self-check — eq. 11 closed form vs numeric eq. 9 integral";
+  Printf.printf "%8s  %14s  %14s  %10s\n" "N" "closed" "numeric" "rel.err";
+  let worst = ref 0.0 in
+  List.iter
+    (fun n ->
+      let closed = Ptrng_model.Spectral.sigma2_n paper_phase ~f0:paper_f0 ~n in
+      let numeric = Ptrng_model.Spectral.sigma2_n_numeric paper_phase ~f0:paper_f0 ~n in
+      let err = Float.abs ((numeric -. closed) /. closed) in
+      if err > !worst then worst := err;
+      Printf.printf "%8d  %14.6e  %14.6e  %10.2e\n" n closed numeric err)
+    [ 1; 3; 10; 31; 100; 281; 1000; 5354; 31623; 100000 ];
+  Printf.printf "\nworst relative error: %.2e -> %s\n" !worst
+    (if !worst < 1e-3 then "OK" else "FAIL");
+  if !worst < 1e-3 then 0 else 1
+
+(* ---------------------------------------------------------------- *)
+(* cmdliner wiring                                                  *)
+(* ---------------------------------------------------------------- *)
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 2014 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let log2_periods_arg =
+  Arg.(
+    value
+    & opt int 20
+    & info [ "log2-periods" ] ~docv:"P"
+        ~doc:"Simulate 2^$(docv) oscillator periods (default 20; 22 for a slow, \
+              high-precision run).")
+
+let fig7_cmd =
+  let doc = "Reproduce Fig. 7: the sigma_N^2 variance curve, fit and extraction." in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the curve as CSV to $(docv).")
+  in
+  Cmd.v (Cmd.info "fig7" ~doc) Term.(const run_fig7 $ seed_arg $ log2_periods_arg $ csv_arg)
+
+let extract_cmd =
+  let doc = "Reproduce Sections III-E/IV-B: thermal jitter, r_N and the threshold." in
+  Cmd.v (Cmd.info "extract" ~doc) Term.(const run_extract $ seed_arg $ log2_periods_arg)
+
+let entropy_cmd =
+  let doc = "Entropy overestimation of the independence-assuming model." in
+  let k_arg =
+    Arg.(
+      value & opt int 300
+      & info [ "sampling-periods" ] ~docv:"K"
+          ~doc:"Oscillator periods accumulated between samples.")
+  in
+  Cmd.v (Cmd.info "entropy" ~doc) Term.(const run_entropy $ k_arg)
+
+let scaling_cmd =
+  let doc = "Technology-node scaling of the independence threshold." in
+  Cmd.v (Cmd.info "scaling" ~doc) Term.(const (fun () -> run_scaling ()) $ const ())
+
+let online_cmd =
+  let doc = "Embedded thermal-noise health test under attack." in
+  let attack_arg =
+    Arg.(
+      value & opt string "quench"
+      & info [ "attack" ] ~docv:"KIND" ~doc:"none, quench or inject.")
+  in
+  let strength_arg =
+    Arg.(
+      value & opt float 0.95
+      & info [ "strength" ] ~docv:"S" ~doc:"Attack strength in [0,1).")
+  in
+  Cmd.v (Cmd.info "online" ~doc)
+    Term.(const run_online $ seed_arg $ attack_arg $ strength_arg)
+
+let trng_cmd =
+  let doc = "Generate bits with the simulated eRO-TRNG and test them." in
+  let bits_arg =
+    Arg.(value & opt int 20000 & info [ "bits" ] ~docv:"N" ~doc:"Raw bits to produce.")
+  in
+  let divisor_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "divisor" ] ~docv:"K" ~doc:"Osc2 cycles between samples.")
+  in
+  let xor_arg =
+    Arg.(value & opt int 1 & info [ "xor" ] ~docv:"K" ~doc:"Parity-filter factor.")
+  in
+  let ais31_arg =
+    Arg.(value & flag & info [ "ais31" ] ~doc:"Run the AIS31 procedures on the output.")
+  in
+  let nist_arg =
+    Arg.(value & flag & info [ "nist" ] ~doc:"Run the SP 800-22 battery on the output.")
+  in
+  let sp90b_arg =
+    Arg.(
+      value & flag
+      & info [ "sp90b" ] ~doc:"Run the SP 800-90B min-entropy estimators on the output.")
+  in
+  Cmd.v (Cmd.info "trng" ~doc)
+    Term.(
+      const run_trng $ seed_arg $ bits_arg $ divisor_arg $ xor_arg $ ais31_arg $ nist_arg
+      $ sp90b_arg)
+
+let assess_cmd =
+  let doc = "Generate bits with the simulated eRO-TRNG and run every battery." in
+  let bits_arg =
+    Arg.(value & opt int 30000 & info [ "bits" ] ~docv:"N" ~doc:"Bits to assess.")
+  in
+  let divisor_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "divisor" ] ~docv:"K" ~doc:"Osc2 cycles between samples.")
+  in
+  Cmd.v (Cmd.info "assess" ~doc) Term.(const run_assess $ seed_arg $ bits_arg $ divisor_arg)
+
+let allan_cmd =
+  let doc = "Allan deviation of the simulated relative frequency, with the crossover." in
+  Cmd.v (Cmd.info "allan" ~doc) Term.(const run_allan $ seed_arg $ log2_periods_arg)
+
+let design_cmd =
+  let doc = "Size the sampler divisor for a target entropy per bit." in
+  let target_arg =
+    Arg.(
+      value & opt float 0.997
+      & info [ "target" ] ~docv:"H" ~doc:"Entropy target in (0,1), default AIS31 PTG.2.")
+  in
+  Cmd.v (Cmd.info "design" ~doc) Term.(const run_design $ target_arg)
+
+let selftest_cmd =
+  let doc = "Check eq. 11 against numeric integration of eq. 9." in
+  Cmd.v (Cmd.info "selftest" ~doc) Term.(const (fun () -> run_selftest ()) $ const ())
+
+let main_cmd =
+  let doc =
+    "Reproduction of 'On the assumption of mutual independence of jitter \
+     realizations in P-TRNG stochastic models' (DATE 2014)."
+  in
+  Cmd.group (Cmd.info "repro" ~version:"1.0.0" ~doc)
+    [ fig7_cmd; extract_cmd; entropy_cmd; scaling_cmd; online_cmd; trng_cmd; assess_cmd;
+      allan_cmd; design_cmd; selftest_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/aging_detection.ml: Printf Ptrng_measure Ptrng_model Ptrng_noise Ptrng_osc Ptrng_prng

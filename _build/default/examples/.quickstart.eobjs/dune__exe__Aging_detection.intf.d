@@ -1,0 +1,1 @@
+examples/aging_detection.mli:

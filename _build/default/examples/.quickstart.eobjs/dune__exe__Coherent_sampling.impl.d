@@ -1,0 +1,1 @@
+examples/coherent_sampling.ml: Int64 List Printf Ptrng_measure Ptrng_osc Ptrng_prng Ptrng_trng

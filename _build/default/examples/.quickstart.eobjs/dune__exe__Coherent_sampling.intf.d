@@ -1,0 +1,1 @@
+examples/coherent_sampling.mli:

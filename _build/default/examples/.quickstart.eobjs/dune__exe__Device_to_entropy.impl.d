@@ -1,0 +1,1 @@
+examples/device_to_entropy.ml: Float Printf Ptrng_device Ptrng_measure Ptrng_model Ptrng_noise Ptrng_osc Ptrng_prng

@@ -1,0 +1,1 @@
+examples/entropy_overestimation.ml: Array List Printf Ptrng_measure Ptrng_model Ptrng_osc

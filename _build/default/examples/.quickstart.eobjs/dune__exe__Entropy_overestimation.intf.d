@@ -1,0 +1,1 @@
+examples/entropy_overestimation.mli:

@@ -1,0 +1,1 @@
+examples/online_test_demo.ml: Array List Printf Ptrng_measure Ptrng_noise Ptrng_osc Ptrng_prng Ptrng_trng

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Ptrng_ais31 Ptrng_measure Ptrng_model Ptrng_osc Ptrng_prng Ptrng_trng

@@ -1,0 +1,1 @@
+examples/randomness_evaluation.ml: List Printf Ptrng_ais31 Ptrng_nist22 Ptrng_noise Ptrng_osc Ptrng_prng Ptrng_sp90b Ptrng_trng String

@@ -1,0 +1,1 @@
+examples/technology_scaling.ml: List Printf Ptrng_device Ptrng_noise

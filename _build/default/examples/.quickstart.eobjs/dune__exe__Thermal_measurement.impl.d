@@ -1,0 +1,1 @@
+examples/thermal_measurement.ml: Array Printf Ptrng_measure Ptrng_model Ptrng_noise Ptrng_osc Ptrng_prng

@@ -1,0 +1,55 @@
+(* Beyond the paper's model: what if the oscillator also *ages*?
+
+     dune exec examples/aging_detection.exe
+
+   Random-walk FM (supply/temperature drift, device aging) adds a
+   third, cubic regime to the variance curve:
+
+     f0^2 sigma_N^2 = a N  +  b N^2  +  d N^3
+                      thermal  flicker   random walk
+
+   The same measurement that separates thermal from flicker separates
+   aging too — fit the cubic term and recover h_{-2}.  An aging term
+   mistaken for flicker corrupts both coefficients, so checking d
+   before trusting a two-term fit is cheap insurance. *)
+
+let f0 = Ptrng_osc.Pair.paper_f0
+let paper = Ptrng_osc.Pair.paper_relative
+
+let measure ~rw_hm2 ~seed =
+  (* Single oscillator carrying the full relative coefficients plus the
+     planted aging level. *)
+  let cfg = Ptrng_osc.Oscillator.config ~rw_hm2 ~f0 ~phase:paper () in
+  let p = Ptrng_osc.Oscillator.periods (Ptrng_prng.Rng.create ~seed ()) cfg ~n:(1 lsl 20) in
+  let j = Ptrng_osc.Oscillator.jitter_of_periods ~f0 p in
+  let ns = Ptrng_measure.Variance_curve.log2_grid ~n_min:4 ~n_max:32768 in
+  Ptrng_measure.Variance_curve.of_jitter ~f0 ~ns j
+
+let () =
+  let planted = 5e-7 in
+  Printf.printf "planted aging level h-2 = %.2e\n\n" planted;
+  let curve = measure ~rw_hm2:planted ~seed:31L in
+
+  (* Two-term (paper) fit vs three-term fit on the same data. *)
+  let two = Ptrng_measure.Fit.fit ~f0 curve in
+  let three = Ptrng_measure.Fit.fit ~with_cubic:true ~f0 curve in
+  let p2 = Ptrng_measure.Fit.phase_of two in
+  let p3 = Ptrng_measure.Fit.phase_of three in
+  Printf.printf "%-26s %14s %14s %14s\n" "fit" "b_th" "b_fl" "h-2";
+  Printf.printf "%-26s %14.1f %14.3e %14s\n" "paper model (aN + bN^2)"
+    p2.Ptrng_noise.Psd_model.b_th p2.Ptrng_noise.Psd_model.b_fl "-";
+  Printf.printf "%-26s %14.1f %14.3e %14.3e\n" "with cubic term"
+    p3.Ptrng_noise.Psd_model.b_th p3.Ptrng_noise.Psd_model.b_fl
+    (Ptrng_measure.Fit.rw_hm2_of three);
+  Printf.printf "%-26s %14.1f %14.3e %14.2e\n" "ground truth" 276.0
+    paper.Ptrng_noise.Psd_model.b_fl planted;
+
+  let slope, se =
+    Ptrng_model.Bienayme.growth_exponent curve
+  in
+  Printf.printf
+    "\ngrowth exponent %.2f +- %.2f (thermal 1, flicker 2, aging 3):\n\
+     the two-term fit blames the cubic excess on flicker, inflating b_fl\n\
+     by %.1fx; the cubic fit recovers all three noise processes.\n"
+    slope se
+    (p2.Ptrng_noise.Psd_model.b_fl /. paper.Ptrng_noise.Psd_model.b_fl)

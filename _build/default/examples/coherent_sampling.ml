@@ -1,0 +1,44 @@
+(* Coherent sampling (the paper's ref. [5] family) on free-running
+   rings: how the rational-ratio sweep turns jitter into bits, and how
+   the sweep resolution kd trades throughput against robustness.
+
+     dune exec examples/coherent_sampling.exe
+
+   The quality knob is the ratio of accumulated jitter to the sweep
+   step T1/kd.  Too few critical samples per pattern and the output is
+   nearly deterministic; enough of them and every pattern parity is a
+   fresh coin flip. *)
+
+let f0 = Ptrng_osc.Pair.paper_f0
+
+let () =
+  let extract =
+    Ptrng_measure.Thermal_extract.of_phase ~f0 Ptrng_osc.Pair.paper_relative
+  in
+  Printf.printf "thermal sigma = %.2f ps; sweep ratios km/kd with km = kd + 1\n\n"
+    (extract.sigma_thermal *. 1e12);
+  Printf.printf "%6s %18s %10s %12s %14s\n" "kd" "critical fraction" "bias"
+    "serial corr" "bits/s";
+  List.iter
+    (fun kd ->
+      let cfg = Ptrng_trng.Coherent.config ~f0 ~km:(kd + 1) ~kd () in
+      let frac =
+        Ptrng_trng.Coherent.critical_fraction cfg
+          ~sigma_period:extract.sigma_thermal
+      in
+      let bits =
+        Ptrng_trng.Coherent.generate
+          (Ptrng_prng.Rng.create ~seed:(Int64.of_int (100 + kd)) ())
+          cfg ~bits:3000
+      in
+      Printf.printf "%6d %18.4f %+10.4f %+12.4f %14.0f\n" kd frac
+        (Ptrng_trng.Bitstream.bias bits)
+        (Ptrng_trng.Bitstream.serial_correlation bits)
+        (f0 /. float_of_int kd))
+    [ 16; 64; 156; 512 ];
+  Printf.printf
+    "\nSmall kd: few critical samples per pattern -> biased, correlated output.\n\
+     Large kd: jitter spans many sweep steps -> clean bits at lower rate.\n\
+     The sigma feeding this trade-off must be the thermal one: crediting\n\
+     total (flicker-inflated) jitter overstates the critical fraction just\n\
+     as it overstates entropy for the eRO-TRNG.\n"

@@ -1,0 +1,64 @@
+(* The full multilevel chain of paper Fig. 3, end to end, starting from
+   transistor parameters rather than measured coefficients:
+
+     MOSFET noise PSDs -> inverter -> ISF -> (b_th, b_fl) prediction
+       -> event-level simulation of the predicted oscillator pair
+       -> Fig. 6/7 measurement pipeline -> extracted (b_th, b_fl)
+       -> entropy and design numbers.
+
+     dune exec examples/device_to_entropy.exe
+
+   The point is the closed loop: the device-level prediction feeds the
+   simulator, and the measurement procedure recovers the prediction.  On
+   real silicon the loop closes the other way (fit first, then
+   calibrate the device model); Technology.fit_to_measurement does that
+   step for the Cyclone III point. *)
+
+let () =
+  (* 1. Device level: the calibrated FPGA node. *)
+  let node = Ptrng_device.Technology.find "cyclone3-fpga" in
+  let ring = Ptrng_device.Technology.ring node in
+  let f0 = ring.Ptrng_device.Technology.f0 in
+  let predicted = ring.Ptrng_device.Technology.phase in
+  Printf.printf "device prediction: f0 = %.1f MHz, b_th = %.1f, b_fl = %.3e\n"
+    (f0 /. 1e6) predicted.Ptrng_noise.Psd_model.b_th
+    predicted.Ptrng_noise.Psd_model.b_fl;
+
+  (* 2. Build the oscillator pair carrying that prediction (per ring:
+     the relative process doubles the coefficients). *)
+  let relative =
+    {
+      Ptrng_noise.Psd_model.b_th = 2.0 *. predicted.Ptrng_noise.Psd_model.b_th;
+      b_fl = 2.0 *. predicted.Ptrng_noise.Psd_model.b_fl;
+    }
+  in
+  let pair = Ptrng_osc.Pair.of_relative ~f0 ~relative () in
+
+  (* 3. Simulate and run the paper's measurement pipeline. *)
+  Printf.printf "simulating 2^20 periods and measuring...\n%!";
+  let analysis =
+    Ptrng_model.Multilevel.characterize ~n_periods:(1 lsl 20)
+      ~rng:(Ptrng_prng.Rng.create ~seed:99L ())
+      pair
+  in
+  let e = analysis.extract in
+  Printf.printf "measured:          b_th = %.1f, b_fl = %.3e\n"
+    e.phase.Ptrng_noise.Psd_model.b_th e.phase.Ptrng_noise.Psd_model.b_fl;
+  Printf.printf "prediction recovered within %.1f%% (thermal), %.1f%% (flicker)\n"
+    (100.0
+    *. Float.abs
+         ((e.phase.Ptrng_noise.Psd_model.b_th /. relative.Ptrng_noise.Psd_model.b_th)
+         -. 1.0))
+    (100.0
+    *. Float.abs
+         ((e.phase.Ptrng_noise.Psd_model.b_fl /. relative.Ptrng_noise.Psd_model.b_fl)
+         -. 1.0));
+
+  (* 4. Entropy and design consequences. *)
+  Printf.printf "\nthermal sigma     : %.2f ps (%.2f permil)\n"
+    (e.sigma_thermal *. 1e12) (e.sigma_relative *. 1e3);
+  Printf.printf "independence N    : %d (95%% thermal fraction)\n"
+    (Ptrng_measure.Thermal_extract.independence_threshold e ~confidence:0.95);
+  let k = Ptrng_model.Design.required_divisor ~extract:e () in
+  Printf.printf "divisor for 0.997 : %d periods/sample (%.1f kbit/s)\n" k
+    (Ptrng_model.Design.throughput ~extract:e ~divisor:k /. 1e3)

@@ -1,0 +1,78 @@
+(* The embedded thermal-noise test from the paper's conclusion, facing
+   the attack it was designed to catch.
+
+     dune exec examples/online_test_demo.exe
+
+   Two parts:
+
+   1. Feasibility at the paper's operating point.  The counter only
+      resolves the thermal term above its quantization floor, so we
+      compute (analytically) how many windows the two-coefficient fit
+      needs for a usable estimate — the honest cost of the paper's
+      "fast and precise" proposal.
+
+   2. A live demonstration on a generator with 100x the paper's thermal
+      noise (where the averaging budget fits in a simulation), showing
+      the test pass on a healthy device and alarm under both a
+      frequency-injection lock and a stealthy thermal-only quench. *)
+
+let f0 = Ptrng_osc.Pair.paper_f0
+let paper = Ptrng_osc.Pair.paper_relative
+
+let () =
+  Printf.printf "Part 1 — averaging budget at the paper's jitter level\n";
+  Printf.printf "%12s %16s %18s\n" "precision" "windows/point" "silicon time [s]";
+  let ns = [| 4096; 16384; 65536; 262144 |] in
+  List.iter
+    (fun precision ->
+      let w =
+        Ptrng_measure.Online_test.windows_for_precision ~phase:paper ~floor:0.33 ~ns
+          ~f0 ~rel_precision:precision
+      in
+      let cycles = Array.fold_left (fun acc n -> acc + (n * w)) 0 ns in
+      Printf.printf "%11.0f%% %16d %18.2f\n" (precision *. 100.0) w
+        (float_of_int cycles /. f0))
+    [ 0.5; 0.25; 0.1 ];
+  Printf.printf
+    "-> cheap in gates, expensive in averaging time: a 25%%-accurate thermal\n\
+    \   estimate needs seconds of counting at 103 MHz.  (Quantization floor\n\
+    \   0.33 counts^2, grid up to N = 262144.)\n\n";
+
+  Printf.printf "Part 2 — live demo on a 100x-thermal generator\n";
+  let strong =
+    Ptrng_osc.Pair.of_relative ~f0
+      ~relative:{ paper with Ptrng_noise.Psd_model.b_th = paper.b_th *. 100.0 }
+      ()
+  in
+  let reference = paper.Ptrng_noise.Psd_model.b_th *. 100.0 in
+  let cfg =
+    { Ptrng_measure.Online_test.ns = [| 512; 2048; 8192; 32768 |];
+      windows = 64;
+      min_fraction = 0.4 }
+  in
+  let evaluate ~label ~seed pair =
+    let n = Ptrng_measure.Online_test.required_cycles cfg + 8192 in
+    let p1, p2 = Ptrng_osc.Pair.simulate (Ptrng_prng.Rng.create ~seed ()) pair ~n in
+    let edges1 = Ptrng_osc.Oscillator.edges_of_periods p1 in
+    let edges2 = Ptrng_osc.Oscillator.edges_of_periods p2 in
+    let v =
+      Ptrng_measure.Online_test.run cfg ~f0 ~reference_b_th:reference ~edges1 ~edges2
+    in
+    Printf.printf "%-34s b_th %10.0f | total@maxN %8.2f | %s\n" label v.b_th_est
+      v.total_var_max_n
+      (if v.pass then "PASS" else "*** ALARM ***");
+    v
+  in
+  let v_clean = evaluate ~label:"healthy generator" ~seed:100L strong in
+  let injected = Ptrng_trng.Attack.frequency_injection ~lock_strength:0.95 strong in
+  let v_inj = evaluate ~label:"injection attack (95% lock)" ~seed:101L injected in
+  let quenched = Ptrng_trng.Attack.thermal_quench ~factor:0.05 strong in
+  let v_q = evaluate ~label:"stealth thermal quench (x0.05)" ~seed:102L quenched in
+  Printf.printf
+    "\nBoth attacks trip the thermal-coefficient alarm (clean %.0f -> lock %.0f,\n\
+     quench %.0f against a %.0f threshold).  At the paper's real jitter level\n\
+     flicker dominates every total-jitter metric, so only this statistic is\n\
+     tied to the entropy actually delivered — at the averaging cost Part 1\n\
+     quantifies.\n"
+    v_clean.b_th_est v_inj.b_th_est v_q.b_th_est
+    (cfg.min_fraction *. reference)

@@ -1,0 +1,78 @@
+(* Three evaluation standards, one generator, two operating points.
+
+     dune exec examples/randomness_evaluation.exe
+
+   The same simulated eRO-TRNG is evaluated at a sound accumulation
+   length and at one that is too short (so the flicker-correlated phase
+   barely refreshes between samples) by:
+
+   - AIS31 procedure A  (pass/fail bounds, the paper's context),
+   - NIST SP 800-22     (p-values),
+   - SP 800-90B style   (min-entropy estimators).
+
+   The point: the dependence the paper analyses at the jitter level is
+   exactly what the Markov/t-tuple estimators and the serial/ApEn tests
+   surface at the bit level. *)
+
+let evaluate ~label ~divisor ~seed =
+  Printf.printf "\n===== %s (divisor = %d) =====\n%!" label divisor;
+  (* 100x-thermal generator so the simulation stays light; the relative
+     strength of thermal vs flicker per *sample* is set by divisor. *)
+  let paper = Ptrng_osc.Pair.paper_relative in
+  let pair =
+    Ptrng_osc.Pair.of_relative ~f0:Ptrng_osc.Pair.paper_f0
+      ~relative:{ paper with Ptrng_noise.Psd_model.b_th = paper.b_th *. 100.0 }
+      ()
+  in
+  let cfg = Ptrng_trng.Ero_trng.config ~divisor pair in
+  let stream =
+    Ptrng_trng.Ero_trng.generate
+      (Ptrng_prng.Rng.create ~seed ())
+      cfg ~bits:Ptrng_ais31.Procedure_a.block_bits
+  in
+  let bits = Ptrng_trng.Bitstream.to_bools stream in
+
+  Printf.printf "bias %+.4f, lag-1 correlation %+.4f\n"
+    (Ptrng_trng.Bitstream.bias stream)
+    (Ptrng_trng.Bitstream.serial_correlation stream);
+
+  let ais = Ptrng_ais31.Procedure_a.run_block bits in
+  let ais_summary = Ptrng_ais31.Report.summarize ais in
+  Printf.printf "AIS31 procedure A : %d/%d tests pass -> %s\n"
+    ais_summary.Ptrng_ais31.Report.passed
+    (ais_summary.Ptrng_ais31.Report.passed + ais_summary.Ptrng_ais31.Report.failed)
+    (if ais_summary.Ptrng_ais31.Report.verdict then "PASS" else "FAIL");
+
+  let nist = Ptrng_nist22.Sp80022.run_all bits in
+  let nist_failed =
+    List.filter (fun r -> not r.Ptrng_nist22.Sp80022.pass) nist
+  in
+  Printf.printf "SP 800-22         : %d/%d tests pass%s\n"
+    (List.length nist - List.length nist_failed)
+    (List.length nist)
+    (match nist_failed with
+    | [] -> ""
+    | fs ->
+      "  (failing: "
+      ^ String.concat ", " (List.map (fun r -> r.Ptrng_nist22.Sp80022.name) fs)
+      ^ ")");
+
+  let estimates, aggregate = Ptrng_sp90b.Estimators.run_all bits in
+  Printf.printf "SP 800-90B        : ";
+  List.iter
+    (fun (e : Ptrng_sp90b.Estimators.estimate) ->
+      Printf.printf "%s %.3f  " e.name e.min_entropy)
+    estimates;
+  Printf.printf "\n                    aggregate min-entropy %.3f bit/bit\n" aggregate
+
+let () =
+  evaluate ~label:"sound accumulation" ~divisor:600 ~seed:11L;
+  evaluate ~label:"too-short accumulation" ~divisor:40 ~seed:12L;
+  Printf.printf
+    "\nAt divisor 40 the sampled phase diffuses too little between samples:\n\
+     the bits inherit the oscillator's correlated phase — MCV still sees a\n\
+     balanced stream while Markov, serial and ApEn expose the dependence,\n\
+     mirroring the paper's jitter-level analysis at the bit level.\n\
+     Note the instrument ordering even at divisor 600: AIS31's fixed bounds\n\
+     tolerate the residual +0.04 lag-1 correlation, the p-value tests flag\n\
+     it, and the 90B aggregate quantifies what it costs in min-entropy.\n"

@@ -1,0 +1,50 @@
+(* The paper's measurement pipeline end to end (Figs. 6 and 7):
+
+     dune exec examples/thermal_measurement.exe
+
+   1. simulate the two-ring differential circuit at event level;
+   2. estimate the accumulated-jitter variance curve sigma_N^2;
+   3. fit f0^2 sigma_N^2 = a N + b N^2;
+   4. extract the thermal jitter sigma = sqrt(b_th / f0^3) and the
+      independence threshold — and compare with the planted truth. *)
+
+let () =
+  let f0 = Ptrng_osc.Pair.paper_f0 in
+  let truth = Ptrng_osc.Pair.paper_relative in
+  let rng = Ptrng_prng.Rng.create ~seed:7L () in
+  let pair = Ptrng_osc.Pair.paper_pair () in
+
+  Printf.printf "simulating 2^20 periods of both rings...\n%!";
+  let analysis = Ptrng_model.Multilevel.characterize ~n_periods:(1 lsl 20) ~rng pair in
+
+  Printf.printf "\n%8s  %14s  %14s  %9s\n" "N" "measured" "model" "ratio";
+  Array.iter
+    (fun (p : Ptrng_measure.Variance_curve.point) ->
+      let model = Ptrng_model.Spectral.scaled truth ~f0 ~n:p.n in
+      Printf.printf "%8d  %14.6e  %14.6e  %9.3f\n" p.n p.scaled model (p.scaled /. model))
+    analysis.ideal_curve;
+
+  let e = analysis.extract in
+  let se_th, se_fl = Ptrng_measure.Fit.phase_se_of analysis.fit in
+  Printf.printf "\nextracted b_th  : %8.2f +- %.2f   (planted %.2f)\n"
+    e.phase.Ptrng_noise.Psd_model.b_th se_th truth.Ptrng_noise.Psd_model.b_th;
+  Printf.printf "extracted b_fl  : %8.3e +- %.1e (planted %.3e)\n"
+    e.phase.Ptrng_noise.Psd_model.b_fl se_fl truth.Ptrng_noise.Psd_model.b_fl;
+  Printf.printf "thermal sigma   : %8.3f ps            (planted 15.89 ps)\n"
+    (e.sigma_thermal *. 1e12);
+  Printf.printf "independence N  : %8d               (paper 281)\n"
+    (Ptrng_measure.Thermal_extract.independence_threshold e ~confidence:0.95);
+
+  (* The Bienaymé check that carries the paper's whole argument: the
+     variance of a sum of independent variables is the sum of the
+     variances — if that fails, the realizations are dependent. *)
+  let ratios = Ptrng_model.Bienayme.departure_ratio analysis.ideal_curve in
+  Printf.printf "\nBienaymé departure sigma_N^2 / (2 N sigma^2):\n";
+  Array.iter
+    (fun (n, r) -> if n >= 64 then Printf.printf "  N=%6d: %6.2f\n" n r)
+    ratios;
+  let slope, se = analysis.growth_exponent in
+  Printf.printf
+    "\nlog-log growth exponent: %.3f +- %.3f — pure independence predicts 1;\n\
+     the flicker-driven drift toward 2 is the paper's dependence signature.\n"
+    slope se

@@ -1,0 +1,1 @@
+lib/ais31/procedure_a.ml: Array Float Hashtbl Int64 List Printf Ptrng_trng Report

@@ -1,0 +1,1 @@
+lib/ais31/procedure_a.mli: Ptrng_trng Report

@@ -1,0 +1,1 @@
+lib/ais31/procedure_b.ml: Array Float Printf Ptrng_stats Ptrng_trng Report

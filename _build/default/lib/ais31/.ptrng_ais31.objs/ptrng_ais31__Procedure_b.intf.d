@@ -1,0 +1,1 @@
+lib/ais31/procedure_b.mli: Ptrng_trng Report

@@ -1,0 +1,1 @@
+lib/ais31/report.mli: Format

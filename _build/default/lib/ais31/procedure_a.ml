@@ -1,0 +1,153 @@
+let block_bits = 20000
+
+let t0_words = 1 lsl 16
+let t0_word_bits = 48
+
+let t0_disjointness stream =
+  let need = t0_words * t0_word_bits in
+  if Ptrng_trng.Bitstream.length stream < need then
+    invalid_arg "Procedure_a.t0_disjointness: need 48*2^16 bits";
+  let seen = Hashtbl.create t0_words in
+  let duplicates = ref 0 in
+  for w = 0 to t0_words - 1 do
+    let word = ref 0L in
+    for b = 0 to t0_word_bits - 1 do
+      word := Int64.shift_left !word 1;
+      if Ptrng_trng.Bitstream.get stream ((w * t0_word_bits) + b) then
+        word := Int64.logor !word 1L
+    done;
+    if Hashtbl.mem seen !word then incr duplicates
+    else Hashtbl.add seen !word ()
+  done;
+  Report.make ~name:"T0 disjointness" ~statistic:(float_of_int !duplicates)
+    ~pass:(!duplicates = 0)
+    ~detail:(Printf.sprintf "%d duplicate 48-bit words among 2^16" !duplicates)
+
+let check_block name block =
+  if Array.length block <> block_bits then
+    invalid_arg (Printf.sprintf "Procedure_a.%s: block must be %d bits" name block_bits)
+
+let t1_monobit block =
+  check_block "t1_monobit" block;
+  let ones = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 block in
+  Report.make ~name:"T1 monobit" ~statistic:(float_of_int ones)
+    ~pass:(ones > 9654 && ones < 10346)
+    ~detail:"bound (9654, 10346)"
+
+let t2_poker block =
+  check_block "t2_poker" block;
+  let counts = Array.make 16 0 in
+  for i = 0 to (block_bits / 4) - 1 do
+    let v = ref 0 in
+    for j = 0 to 3 do
+      v := (!v lsl 1) lor (if block.((i * 4) + j) then 1 else 0)
+    done;
+    counts.(!v) <- counts.(!v) + 1
+  done;
+  let sum_sq = Array.fold_left (fun acc c -> acc +. (float_of_int c ** 2.0)) 0.0 counts in
+  let x = (16.0 /. 5000.0 *. sum_sq) -. 5000.0 in
+  Report.make ~name:"T2 poker" ~statistic:x
+    ~pass:(x > 1.03 && x < 57.4)
+    ~detail:"bound (1.03, 57.4)"
+
+let run_lengths block =
+  (* Returns (lengths of 0-runs, lengths of 1-runs) bucketed 1..6+. *)
+  let zero = Array.make 6 0 and one = Array.make 6 0 in
+  let n = Array.length block in
+  let i = ref 0 in
+  while !i < n do
+    let v = block.(!i) in
+    let j = ref !i in
+    while !j < n && block.(!j) = v do
+      incr j
+    done;
+    let len = min 6 (!j - !i) in
+    let bucket = if v then one else zero in
+    bucket.(len - 1) <- bucket.(len - 1) + 1;
+    i := !j
+  done;
+  (zero, one)
+
+let t3_bounds = [| (2267, 2733); (1079, 1421); (502, 748); (223, 402); (90, 223); (90, 223) |]
+
+let t3_runs block =
+  check_block "t3_runs" block;
+  let zero, one = run_lengths block in
+  let violations = ref 0 in
+  let check counts =
+    Array.iteri
+      (fun k c ->
+        let lo, hi = t3_bounds.(k) in
+        if c < lo || c > hi then incr violations)
+      counts
+  in
+  check zero;
+  check one;
+  Report.make ~name:"T3 runs" ~statistic:(float_of_int !violations)
+    ~pass:(!violations = 0)
+    ~detail:"all 12 run-length classes within FIPS bounds"
+
+let t4_long_run block =
+  check_block "t4_long_run" block;
+  let longest = ref 0 in
+  let current = ref 0 in
+  let prev = ref None in
+  Array.iter
+    (fun b ->
+      (match !prev with
+      | Some p when p = b -> incr current
+      | _ -> current := 1);
+      prev := Some b;
+      if !current > !longest then longest := !current)
+    block;
+  Report.make ~name:"T4 long run" ~statistic:(float_of_int !longest)
+    ~pass:(!longest < 34)
+    ~detail:"no run of length >= 34"
+
+let t5_autocorrelation block =
+  check_block "t5_autocorrelation" block;
+  let half = 10000 in
+  (* Select tau on the first half: maximise |Z_tau - 2500| over
+     tau = 1..5000, computed on bits 0..9999. *)
+  let z_tau offset tau =
+    let acc = ref 0 in
+    for j = 0 to 4999 do
+      if block.(offset + j) <> block.(offset + j + tau) then incr acc
+    done;
+    !acc
+  in
+  let best_tau = ref 1 and best_dep = ref (-1.0) in
+  for tau = 1 to 5000 do
+    let dep = Float.abs (float_of_int (z_tau 0 tau) -. 2500.0) in
+    if dep > !best_dep then begin
+      best_dep := dep;
+      best_tau := tau
+    end
+  done;
+  let z = z_tau half !best_tau in
+  Report.make ~name:"T5 autocorrelation"
+    ~statistic:(float_of_int z)
+    ~pass:(z > 2326 && z < 2674)
+    ~detail:(Printf.sprintf "tau = %d, bound (2326, 2674)" !best_tau)
+
+let run_block block =
+  check_block "run_block" block;
+  [ t1_monobit block; t2_poker block; t3_runs block; t4_long_run block;
+    t5_autocorrelation block ]
+
+let run ?blocks stream =
+  let available = Ptrng_trng.Bitstream.length stream / block_bits in
+  if available = 0 then invalid_arg "Procedure_a.run: stream shorter than one block";
+  let blocks = match blocks with Some b -> min b available | None -> min available 257 in
+  let results = ref [] in
+  if Ptrng_trng.Bitstream.length stream >= t0_words * t0_word_bits then
+    results := [ t0_disjointness stream ];
+  for b = 0 to blocks - 1 do
+    let block =
+      Array.init block_bits (fun i ->
+          Ptrng_trng.Bitstream.get stream ((b * block_bits) + i))
+    in
+    let tag r = { r with Report.name = Printf.sprintf "%s (block %d)" r.Report.name b } in
+    results := !results @ List.map tag (run_block block)
+  done;
+  Report.summarize !results

@@ -1,0 +1,115 @@
+let words_of_bits ~k bits =
+  let n = Array.length bits / k in
+  Array.init n (fun i ->
+      let w = ref 0 in
+      for j = 0 to k - 1 do
+        w := (!w lsl 1) lor (if bits.((i * k) + j) then 1 else 0)
+      done;
+      !w)
+
+let t6_uniform ~k ~a bits =
+  if k < 1 || k > 16 then invalid_arg "Procedure_b.t6_uniform: k outside [1,16]";
+  if a <= 0.0 then invalid_arg "Procedure_b.t6_uniform: a <= 0";
+  let words = words_of_bits ~k bits in
+  let n = Array.length words in
+  let cells = 1 lsl k in
+  if n < 1000 * cells then invalid_arg "Procedure_b.t6_uniform: not enough words";
+  let counts = Array.make cells 0 in
+  Array.iter (fun w -> counts.(w) <- counts.(w) + 1) words;
+  let target = 1.0 /. float_of_int cells in
+  let worst = ref 0.0 in
+  Array.iter
+    (fun c ->
+      let dep = Float.abs ((float_of_int c /. float_of_int n) -. target) in
+      if dep > !worst then worst := dep)
+    counts;
+  Report.make
+    ~name:(Printf.sprintf "T6 uniformity (k=%d)" k)
+    ~statistic:!worst ~pass:(!worst <= a)
+    ~detail:(Printf.sprintf "max departure vs bound %.4f" a)
+
+let t7_homogeneity ~k bits =
+  if k < 1 || k > 16 then invalid_arg "Procedure_b.t7_homogeneity: k outside [1,16]";
+  let words = words_of_bits ~k bits in
+  let n = Array.length words in
+  let cells = 1 lsl k in
+  if n < 2000 * cells then invalid_arg "Procedure_b.t7_homogeneity: not enough words";
+  let half = n / 2 in
+  let c1 = Array.make cells 0 and c2 = Array.make cells 0 in
+  for i = 0 to half - 1 do
+    c1.(words.(i)) <- c1.(words.(i)) + 1
+  done;
+  for i = half to (2 * half) - 1 do
+    c2.(words.(i)) <- c2.(words.(i)) + 1
+  done;
+  (* Chi-squared homogeneity between the two halves. *)
+  let stat = ref 0.0 in
+  for w = 0 to cells - 1 do
+    let a = float_of_int c1.(w) and b = float_of_int c2.(w) in
+    let tot = a +. b in
+    if tot > 0.0 then begin
+      let expected = tot /. 2.0 in
+      stat := !stat +. (((a -. expected) ** 2.0) /. expected)
+        +. (((b -. expected) ** 2.0) /. expected)
+    end
+  done;
+  let df = float_of_int (cells - 1) in
+  let p = Ptrng_stats.Special.chi2_sf ~df !stat in
+  Report.make
+    ~name:(Printf.sprintf "T7 homogeneity (k=%d)" k)
+    ~statistic:!stat ~pass:(p > 0.0001)
+    ~detail:(Printf.sprintf "chi2 df=%g p=%.5f" df p)
+
+(* Harmonic-number weights of Coron's estimator, memoised up to the
+   largest distance seen. *)
+let harmonic_cache = ref [| 0.0 |]
+
+let coron_g i =
+  if i < 1 then invalid_arg "Procedure_b.coron_g: i < 1";
+  let cache = !harmonic_cache in
+  if i <= Array.length cache then cache.(i - 1) /. log 2.0
+  else begin
+    let old_len = Array.length cache in
+    let grown = Array.make i 0.0 in
+    Array.blit cache 0 grown 0 old_len;
+    for j = old_len to i - 1 do
+      (* grown.(j) = H_j = sum_{m=1}^{j} 1/m; g(i) uses H_{i-1}. *)
+      grown.(j) <- grown.(j - 1) +. (1.0 /. float_of_int j)
+    done;
+    harmonic_cache := grown;
+    grown.(i - 1) /. log 2.0
+  end
+
+let required_bits_t8 ~q ~k = 8 * (q + k)
+
+let t8_entropy ?(q = 2560) ?(k = 256000) bits =
+  if q < 256 || k < 1000 then invalid_arg "Procedure_b.t8_entropy: q or k too small";
+  if Array.length bits < required_bits_t8 ~q ~k then
+    invalid_arg "Procedure_b.t8_entropy: not enough bits";
+  let blocks = words_of_bits ~k:8 bits in
+  let last_seen = Array.make 256 (-1) in
+  for i = 0 to q - 1 do
+    last_seen.(blocks.(i)) <- i
+  done;
+  let acc = ref 0.0 in
+  for i = q to q + k - 1 do
+    let b = blocks.(i) in
+    let dist = if last_seen.(b) < 0 then i + 1 else i - last_seen.(b) in
+    acc := !acc +. coron_g dist;
+    last_seen.(b) <- i
+  done;
+  let fc = !acc /. float_of_int k in
+  Report.make ~name:"T8 Coron entropy" ~statistic:fc ~pass:(fc > 7.976)
+    ~detail:"entropy per 8-bit block, bound > 7.976"
+
+let run stream =
+  let bits = Ptrng_trng.Bitstream.to_bools stream in
+  let n = Array.length bits in
+  if n < 2000 then invalid_arg "Procedure_b.run: stream too short";
+  let results = ref [] in
+  let add r = results := !results @ [ r ] in
+  add (t6_uniform ~k:1 ~a:0.025 bits);
+  if n >= 2 * 4000 then add (t6_uniform ~k:2 ~a:0.02 bits);
+  if n >= 4 * 32000 then add (t7_homogeneity ~k:4 bits);
+  if n >= required_bits_t8 ~q:2560 ~k:256000 then add (t8_entropy bits);
+  Report.summarize ~allowed_failures:0 !results

@@ -1,0 +1,34 @@
+(** AIS31 procedure B: distribution and entropy tests on the raw
+    binary sequence (T6–T8).
+
+    T8 is Coron's entropy estimator — the test the paper's conclusion
+    wants to complement with the faster embedded thermal-noise test. *)
+
+val t6_uniform : k:int -> a:float -> bool array -> Report.test_result
+(** Uniform distribution of [k]-bit words: every word's empirical
+    frequency must stay within [a] of [2^-k].  The statistic is the
+    largest departure. @raise Invalid_argument if [k] is outside
+    [1, 16] or fewer than [1000 * 2^k] words are available. *)
+
+val t7_homogeneity : k:int -> bool array -> Report.test_result
+(** Comparative multinomial test: chi-squared homogeneity of [k]-bit
+    word counts between the two halves of the sequence; pass at the
+    0.0001 significance level. *)
+
+val t8_entropy : ?q:int -> ?k:int -> bool array -> Report.test_result
+(** Coron's entropy test on 8-bit blocks with [q] initialisation blocks
+    (default 2560) and [k] evaluation blocks (default 256000): the
+    statistic estimates the entropy per 8-bit block and must exceed
+    7.976 (i.e. 0.997 bit of entropy per bit).
+    @raise Invalid_argument without [8 (q + k)] bits. *)
+
+val coron_g : int -> float
+(** The weight g(i) = (1/ln 2) * sum_{j=1}^{i-1} 1/j used by T8
+    (g(1) = 0); exposed for testing. *)
+
+val required_bits_t8 : q:int -> k:int -> int
+
+val run : Ptrng_trng.Bitstream.t -> Report.summary
+(** T6 (k = 1 and 2), T7 (k = 4) and T8 with default parameters on the
+    stream prefix; tests without enough data are skipped.
+    @raise Invalid_argument if even T6 (k=1) lacks data. *)

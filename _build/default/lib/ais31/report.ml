@@ -1,0 +1,35 @@
+type test_result = {
+  name : string;
+  statistic : float;
+  pass : bool;
+  detail : string;
+}
+
+type summary = {
+  results : test_result list;
+  passed : int;
+  failed : int;
+  verdict : bool;
+}
+
+let make ~name ~statistic ~pass ~detail = { name; statistic; pass; detail }
+
+let summarize ?(allowed_failures = 1) results =
+  let failed = List.length (List.filter (fun r -> not r.pass) results) in
+  {
+    results;
+    passed = List.length results - failed;
+    failed;
+    verdict = failed <= allowed_failures;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-28s %12.4f  %-4s  %s@,"
+        r.name r.statistic (if r.pass then "ok" else "FAIL") r.detail)
+    s.results;
+  Format.fprintf ppf "passed %d / %d -> %s@]"
+    s.passed (s.passed + s.failed)
+    (if s.verdict then "PASS" else "FAIL")

@@ -1,0 +1,25 @@
+(** Shared result types for the AIS31 test procedures. *)
+
+type test_result = {
+  name : string;       (** e.g. "T1 monobit (block 3)". *)
+  statistic : float;   (** The test's decision statistic. *)
+  pass : bool;
+  detail : string;     (** Human-readable bounds / context. *)
+}
+
+type summary = {
+  results : test_result list;
+  passed : int;
+  failed : int;
+  verdict : bool;  (** Overall pass after the standard's retry rule. *)
+}
+
+val make : name:string -> statistic:float -> pass:bool -> detail:string -> test_result
+
+val summarize : ?allowed_failures:int -> test_result list -> summary
+(** AIS31 allows a single failed test to be repeated once; we model
+    this as tolerating [allowed_failures] (default 1) failures out of
+    the whole batch. *)
+
+val pp : Format.formatter -> summary -> unit
+(** Table-style rendering of a summary. *)

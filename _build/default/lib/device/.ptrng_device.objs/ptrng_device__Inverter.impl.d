@@ -1,0 +1,1 @@
+lib/device/inverter.ml: Mosfet

@@ -1,0 +1,1 @@
+lib/device/inverter.mli: Mosfet

@@ -1,0 +1,1 @@
+lib/device/isf.ml: Array Float

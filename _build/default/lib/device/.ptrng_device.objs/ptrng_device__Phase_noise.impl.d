@@ -1,0 +1,1 @@
+lib/device/phase_noise.ml: Float Inverter Isf Ptrng_noise

@@ -1,0 +1,1 @@
+lib/device/phase_noise.mli: Inverter Isf Ptrng_noise

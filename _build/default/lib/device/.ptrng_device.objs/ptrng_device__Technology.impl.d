@@ -1,0 +1,1 @@
+lib/device/technology.ml: Float Inverter Isf List Mosfet Phase_noise Ptrng_noise

@@ -1,0 +1,1 @@
+lib/device/technology.mli: Inverter Ptrng_noise

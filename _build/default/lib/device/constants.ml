@@ -1,0 +1,3 @@
+let boltzmann = 1.380649e-23
+let electron_charge = 1.602176634e-19
+let room_temperature = 300.0

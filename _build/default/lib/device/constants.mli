@@ -1,0 +1,10 @@
+(** Physical constants (SI units). *)
+
+val boltzmann : float
+(** k, J/K. *)
+
+val electron_charge : float
+(** q, C. *)
+
+val room_temperature : float
+(** 300 K, the default operating point. *)

@@ -1,0 +1,25 @@
+type t = {
+  nmos : Mosfet.t;
+  pmos : Mosfet.t;
+  cl : float;
+  vdd : float;
+  routing_delay : float;
+}
+
+let create ~nmos ~pmos ~cl ~vdd ?(routing_delay = 0.0) () =
+  if cl <= 0.0 then invalid_arg "Inverter.create: cl <= 0";
+  if vdd <= 0.0 then invalid_arg "Inverter.create: vdd <= 0";
+  if routing_delay < 0.0 then invalid_arg "Inverter.create: negative routing_delay";
+  { nmos; pmos; cl; vdd; routing_delay }
+
+let qmax t = t.cl *. t.vdd
+
+let stage_delay t =
+  let mean_id = (t.nmos.Mosfet.i_d +. t.pmos.Mosfet.i_d) /. 2.0 in
+  (t.cl *. t.vdd /. (2.0 *. mean_id)) +. t.routing_delay
+
+let thermal_current_psd t =
+  (Mosfet.thermal_psd t.nmos +. Mosfet.thermal_psd t.pmos) /. 2.0
+
+let flicker_current_coefficient t =
+  (Mosfet.flicker_coefficient t.nmos +. Mosfet.flicker_coefficient t.pmos) /. 2.0

@@ -1,0 +1,33 @@
+(** A CMOS inverter stage: the delay element of the ring oscillators
+    the paper studies. *)
+
+type t = {
+  nmos : Mosfet.t;
+  pmos : Mosfet.t;
+  cl : float;             (** Load capacitance, F. *)
+  vdd : float;            (** Supply voltage, V. *)
+  routing_delay : float;  (** Extra interconnect delay per stage, s
+                              (large in FPGA fabric, small in ASIC). *)
+}
+
+val create :
+  nmos:Mosfet.t -> pmos:Mosfet.t -> cl:float -> vdd:float ->
+  ?routing_delay:float -> unit -> t
+(** @raise Invalid_argument on non-positive [cl] or [vdd], or negative
+    [routing_delay]. *)
+
+val qmax : t -> float
+(** Maximum charge swing [cl * vdd] — the normalisation of the ISF
+    noise-to-phase conversion. *)
+
+val stage_delay : t -> float
+(** Propagation delay: [cl * vdd / (2 i_d)] (average of both edges,
+    using the mean drive current) plus [routing_delay]. *)
+
+val thermal_current_psd : t -> float
+(** Aggregate white drain-noise density of the stage, A^2/Hz.  The two
+    devices conduct on alternate edges, so on average one device's
+    noise is active: we use the mean of the two. *)
+
+val flicker_current_coefficient : t -> float
+(** Aggregate 1/f coefficient K_fl (mean of the two devices), A^2. *)

@@ -1,0 +1,25 @@
+let of_ring ~isf ~qmax ~stages ~thermal_current_psd ~flicker_current_coeff
+    ?(excess = 1.0) () =
+  if qmax <= 0.0 then invalid_arg "Phase_noise.of_ring: qmax <= 0";
+  if stages <= 0 then invalid_arg "Phase_noise.of_ring: stages <= 0";
+  if excess <= 0.0 then invalid_arg "Phase_noise.of_ring: excess <= 0";
+  let denom = 4.0 *. Float.pi *. Float.pi *. qmax *. qmax in
+  let grms = Isf.gamma_rms isf in
+  let gdc = Isf.gamma_dc isf in
+  let n = float_of_int stages in
+  {
+    Ptrng_noise.Psd_model.b_th =
+      excess *. n *. grms *. grms *. thermal_current_psd /. denom;
+    b_fl = excess *. n *. gdc *. gdc *. flicker_current_coeff /. denom;
+  }
+
+let of_inverter_ring ~isf ~inverter ~stages ?excess () =
+  of_ring ~isf ~qmax:(Inverter.qmax inverter) ~stages
+    ~thermal_current_psd:(Inverter.thermal_current_psd inverter)
+    ~flicker_current_coeff:(Inverter.flicker_current_coefficient inverter)
+    ?excess ()
+
+let ring_frequency ~stages ~stage_delay =
+  if stages <= 0 then invalid_arg "Phase_noise.ring_frequency: stages <= 0";
+  if stage_delay <= 0.0 then invalid_arg "Phase_noise.ring_frequency: stage_delay <= 0";
+  1.0 /. (2.0 *. float_of_int stages *. stage_delay)

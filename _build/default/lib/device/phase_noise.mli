@@ -1,0 +1,41 @@
+(** Hajimiri conversion: drain-current noise -> phase-noise
+    coefficients (b_th, b_fl).
+
+    For charge injected through an ISF Gamma into a node of maximum
+    charge swing qmax, the excess phase is
+    [phi(t) = (1/qmax) int Gamma(w0 tau) i(tau) dtau].  Averaging the
+    periodic modulation:
+
+    - white current noise of (two-sided) density S_i drives phi as an
+      integrated white process of density [Gamma_rms^2 S_i / qmax^2],
+      so [S_phi(f) = Gamma_rms^2 S_i / (4 pi^2 qmax^2 f^2)]
+      giving [b_th = Gamma_rms^2 S_i / (4 pi^2 qmax^2)];
+    - 1/f current noise [K_fl / f] is up-converted only by the DC
+      Fourier term Gamma_dc, giving
+      [b_fl = Gamma_dc^2 K_fl / (4 pi^2 qmax^2)].
+
+    Contributions of the [stages] identical stages add (independent
+    noise sources).  [excess] is a dimensionless fabric factor covering
+    everything the clean-CMOS model omits (FPGA routing buffers, supply
+    and substrate noise); it multiplies both coefficients and is fitted
+    per technology in {!Technology}. *)
+
+val of_ring :
+  isf:Isf.t ->
+  qmax:float ->
+  stages:int ->
+  thermal_current_psd:float ->
+  flicker_current_coeff:float ->
+  ?excess:float ->
+  unit ->
+  Ptrng_noise.Psd_model.phase
+(** @raise Invalid_argument on non-positive [qmax], [stages] or
+    [excess]. *)
+
+val of_inverter_ring :
+  isf:Isf.t -> inverter:Inverter.t -> stages:int -> ?excess:float -> unit ->
+  Ptrng_noise.Psd_model.phase
+(** Convenience wrapper reading the stage noise from an {!Inverter}. *)
+
+val ring_frequency : stages:int -> stage_delay:float -> float
+(** Oscillation frequency of a ring: [1 / (2 stages stage_delay)]. *)

@@ -1,0 +1,70 @@
+(** Technology-node presets and scaling (the paper's Section V
+    discussion: flicker noise grows as 1/L^2, so shrinking nodes make
+    jitter realizations dependent at ever smaller accumulation
+    lengths).
+
+    Absolute noise prediction from first principles is only
+    order-of-magnitude reliable, so each node carries a dimensionless
+    [excess] fabric factor; {!fit_to_measurement} adjusts [excess] and
+    the flicker constant so a node reproduces a measured
+    (b_th, b_fl) pair — mirroring how the paper itself extracts the
+    coefficients from a fit rather than predicting them ab initio. *)
+
+type node = {
+  name : string;
+  l : float;              (** Channel length, m. *)
+  w : float;              (** Channel width, m. *)
+  vdd : float;            (** Supply, V. *)
+  cl : float;             (** Stage load, F. *)
+  i_d : float;            (** Drive current, A. *)
+  gm : float;             (** Transconductance, A/V. *)
+  alpha : float;          (** Flicker crystallography constant. *)
+  routing_delay : float;  (** Per-stage interconnect delay, s. *)
+  excess : float;         (** Fabric noise multiplier. *)
+}
+
+val presets : node list
+(** ASIC nodes 350 nm down to 28 nm plus ["cyclone3-fpga"], a 65 nm
+    FPGA-fabric preset calibrated against the paper's measurement. *)
+
+val find : string -> node
+(** Look up a preset by name. @raise Not_found if unknown. *)
+
+val inverter : ?temp:float -> node -> Inverter.t
+(** Build the stage inverter of a node (identical N/P devices — the
+    rise/fall mismatch is carried by the ISF asymmetry instead).
+    Default temperature 300 K. *)
+
+type ring = {
+  f0 : float;                           (** Ring frequency, Hz. *)
+  phase : Ptrng_noise.Psd_model.phase;  (** Phase-noise coefficients. *)
+  stages : int;
+}
+
+val ring : ?stages:int -> ?asymmetry:float -> ?temp:float -> node -> ring
+(** Full prediction for a ring oscillator on this node: frequency from
+    the delay model, (b_th, b_fl) from the Hajimiri conversion.
+    Defaults: 7 stages, ISF asymmetry 0.2, 300 K.
+
+    Temperature note: in the paper's noise formulas both the thermal
+    PSD [(8/3) k T gm] and the flicker PSD [alpha k T I_D^2/(W L^2 f)]
+    scale linearly with T, so heating changes the jitter magnitude
+    (sigma_th grows as sqrt T) but leaves the flicker/thermal ratio —
+    and with it r_N and the independence threshold — unchanged.  The
+    test-suite pins this invariance down. *)
+
+val fit_to_measurement :
+  ?stages:int ->
+  ?asymmetry:float ->
+  target:Ptrng_noise.Psd_model.phase ->
+  node ->
+  node
+(** Return a copy of the node whose [excess] and [alpha] are adjusted
+    so {!ring} reproduces [target] exactly: [excess] matches the
+    thermal coefficient and [alpha] the flicker/thermal ratio. *)
+
+val independence_threshold_n :
+  Ptrng_noise.Psd_model.phase -> f0:float -> confidence:float -> int
+(** Largest N for which the thermal fraction
+    [r_N = sigma_Nth^2 / sigma_N^2 = 1 / (1 + N (4 ln2 b_fl)/(b_th f0))]
+    stays above [confidence] (paper Section III-E: 281 for 95%). *)

@@ -1,0 +1,1 @@
+lib/measure/counter.ml: Array

@@ -1,0 +1,1 @@
+lib/measure/fit.ml: Array Float List Ptrng_noise Ptrng_stats Variance_curve

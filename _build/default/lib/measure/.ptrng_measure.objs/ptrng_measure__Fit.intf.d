@@ -1,0 +1,1 @@
+lib/measure/fit.mli: Ptrng_noise Variance_curve

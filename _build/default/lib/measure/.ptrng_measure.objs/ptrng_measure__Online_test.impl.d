@@ -1,0 +1,1 @@
+lib/measure/online_test.ml: Array Fit Float Ptrng_noise Ptrng_stats Variance_curve

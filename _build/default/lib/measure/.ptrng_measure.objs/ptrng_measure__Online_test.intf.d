@@ -1,0 +1,1 @@
+lib/measure/online_test.mli: Ptrng_noise

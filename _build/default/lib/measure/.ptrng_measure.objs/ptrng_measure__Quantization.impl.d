@@ -1,0 +1,1 @@
+lib/measure/quantization.ml: Float Ptrng_noise

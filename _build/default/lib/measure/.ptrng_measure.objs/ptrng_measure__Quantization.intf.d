@@ -1,0 +1,1 @@
+lib/measure/quantization.mli: Ptrng_noise

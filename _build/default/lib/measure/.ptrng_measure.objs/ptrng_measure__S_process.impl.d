@@ -1,0 +1,1 @@
+lib/measure/s_process.ml: Array

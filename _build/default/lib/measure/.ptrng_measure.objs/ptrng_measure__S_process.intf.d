@@ -1,0 +1,1 @@
+lib/measure/s_process.mli:

@@ -1,0 +1,1 @@
+lib/measure/thermal_extract.ml: Fit Float Ptrng_noise

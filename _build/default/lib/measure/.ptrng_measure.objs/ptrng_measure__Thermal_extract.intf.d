@@ -1,0 +1,1 @@
+lib/measure/thermal_extract.mli: Fit Ptrng_noise

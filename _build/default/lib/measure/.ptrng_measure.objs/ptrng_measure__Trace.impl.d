@@ -1,0 +1,1 @@
+lib/measure/trace.ml: Array Fun List Printf String Variance_curve

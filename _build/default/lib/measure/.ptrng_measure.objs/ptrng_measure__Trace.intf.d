@@ -1,0 +1,1 @@
+lib/measure/trace.mli: Variance_curve

@@ -1,0 +1,1 @@
+lib/measure/variance_curve.ml: Array Counter Float List Ptrng_stats S_process

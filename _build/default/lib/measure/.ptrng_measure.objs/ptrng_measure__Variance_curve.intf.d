@@ -1,0 +1,1 @@
+lib/measure/variance_curve.mli:

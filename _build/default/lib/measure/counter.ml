@@ -1,0 +1,38 @@
+let q_counts ~edges1 ~edges2 ~n =
+  if n <= 0 then invalid_arg "Counter.q_counts: n <= 0";
+  let m1 = Array.length edges1 in
+  if m1 < 2 then invalid_arg "Counter.q_counts: osc1 stream too short";
+  let cycles2 = Array.length edges2 - 1 in
+  (* Keep only windows fully covered by Osc1's edge stream — a
+     truncated final window would register a deficit of counts. *)
+  let t_limit = edges1.(m1 - 1) in
+  let windows = ref (cycles2 / n) in
+  while !windows > 0 && edges2.(!windows * n) > t_limit do
+    decr windows
+  done;
+  let windows = !windows in
+  if windows < 2 then invalid_arg "Counter.q_counts: fewer than 2n covered Osc2 cycles";
+  let counts = Array.make windows 0 in
+  let p = ref 0 in
+  for w = 0 to windows - 1 do
+    let t_start = edges2.(w * n) and t_stop = edges2.((w + 1) * n) in
+    while !p < m1 && edges1.(!p) < t_start do
+      incr p
+    done;
+    let q = ref 0 in
+    while !p < m1 && edges1.(!p) < t_stop do
+      incr q;
+      incr p
+    done;
+    counts.(w) <- !q
+  done;
+  counts
+
+let s_of_counts ~f0 counts =
+  if f0 <= 0.0 then invalid_arg "Counter.s_of_counts: f0 <= 0";
+  let w = Array.length counts in
+  if w < 2 then invalid_arg "Counter.s_of_counts: need >= 2 windows";
+  Array.init (w - 1) (fun i -> float_of_int (counts.(i + 1) - counts.(i)) /. f0)
+
+let s_realizations ~edges1 ~edges2 ~f0 ~n =
+  s_of_counts ~f0 (q_counts ~edges1 ~edges2 ~n)

@@ -1,0 +1,22 @@
+(** Simulation of the paper's differential measurement circuit (Fig. 6).
+
+    Two free-running rings; a counter records Q_i^N, the number of Osc1
+    rising edges seen during the i-th window of N Osc2 cycles, and the
+    statistic is recovered as [s_N(t_i) = (Q_{i+1} - Q_i) / f0]
+    (paper eq. 12).  Unlike the ideal estimator in {!S_process}, counts
+    are integers: the +-1 quantization adds a variance floor that is
+    visible at small N and is reported honestly (see DESIGN.md). *)
+
+val q_counts : edges1:float array -> edges2:float array -> n:int -> int array
+(** [q_counts ~edges1 ~edges2 ~n] counts Osc1 edges within consecutive
+    non-overlapping windows of [n] Osc2 cycles (half-open time
+    intervals).  @raise Invalid_argument if [n <= 0] or [edges2] spans
+    fewer than [2 n] cycles. *)
+
+val s_of_counts : f0:float -> int array -> float array
+(** Adjacent-window differences scaled to seconds (eq. 12); length is
+    one less than the count array. *)
+
+val s_realizations :
+  edges1:float array -> edges2:float array -> f0:float -> n:int -> float array
+(** [q_counts] composed with {!s_of_counts}. *)

@@ -1,0 +1,69 @@
+type t = {
+  a : float;
+  b : float;
+  c : float;
+  d : float;
+  a_se : float;
+  b_se : float;
+  c_se : float;
+  d_se : float;
+  chi2 : float;
+  dof : int;
+  f0 : float;
+}
+
+let fit ?(with_floor = false) ?(with_cubic = false) ~f0 points =
+  if f0 <= 0.0 then invalid_arg "Fit.fit: f0 <= 0";
+  let usable = Array.to_list points in
+  let p = 2 + (if with_floor then 1 else 0) + (if with_cubic then 1 else 0) in
+  let m = List.length usable in
+  if m < p + 1 then invalid_arg "Fit.fit: not enough curve points";
+  let cubic_col = 2 and floor_col = if with_cubic then 3 else 2 in
+  let design = Ptrng_stats.Matrix.create ~rows:m ~cols:p in
+  let y = Array.make m 0.0 in
+  let sigma = Array.make m 1.0 in
+  let all_finite = ref true in
+  List.iteri
+    (fun i (pt : Variance_curve.point) ->
+      let n = float_of_int pt.n in
+      Ptrng_stats.Matrix.set design i 0 n;
+      Ptrng_stats.Matrix.set design i 1 (n *. n);
+      if with_cubic then Ptrng_stats.Matrix.set design i cubic_col (n *. n *. n);
+      if with_floor then Ptrng_stats.Matrix.set design i floor_col 1.0;
+      y.(i) <- pt.scaled;
+      let se = pt.stderr *. f0 *. f0 in
+      if Float.is_finite se && se > 0.0 then sigma.(i) <- se else all_finite := false)
+    usable;
+  let reg =
+    if !all_finite then Ptrng_stats.Regression.general ~design ~y ~sigma ()
+    else Ptrng_stats.Regression.general ~design ~y ()
+  in
+  let se k = Ptrng_stats.Regression.coeff_se reg k in
+  {
+    a = reg.coeffs.(0);
+    b = reg.coeffs.(1);
+    c = (if with_floor then reg.coeffs.(floor_col) else 0.0);
+    d = (if with_cubic then reg.coeffs.(cubic_col) else 0.0);
+    a_se = se 0;
+    b_se = se 1;
+    c_se = (if with_floor then se floor_col else Float.nan);
+    d_se = (if with_cubic then se cubic_col else Float.nan);
+    chi2 = reg.chi2;
+    dof = reg.dof;
+    f0;
+  }
+
+let phase_of t =
+  {
+    Ptrng_noise.Psd_model.b_th = t.a *. t.f0 /. 2.0;
+    b_fl = t.b *. t.f0 *. t.f0 /. (8.0 *. log 2.0);
+  }
+
+let phase_se_of t =
+  (t.a_se *. t.f0 /. 2.0, t.b_se *. t.f0 *. t.f0 /. (8.0 *. log 2.0))
+
+let predict t n =
+  let fn = float_of_int n in
+  (t.a *. fn) +. (t.b *. fn *. fn) +. (t.d *. fn *. fn *. fn) +. t.c
+
+let rw_hm2_of t = 3.0 *. t.d *. t.f0 /. (4.0 *. Float.pi *. Float.pi)

@@ -1,0 +1,46 @@
+(** Weighted fit of the variance curve
+    [f0^2 sigma_N^2 = a N + b N^2 (+ c)] (paper Section IV-A).
+
+    The linear term is the thermal (independent-jitter) contribution,
+    the quadratic term the flicker contribution, and the optional
+    constant absorbs the counter quantization floor; coefficients map
+    back to the paper's phase-noise parameters by
+    [b_th = a f0 / 2] and [b_fl = b f0^2 / (8 ln 2)]. *)
+
+type t = {
+  a : float;       (** Linear coefficient (counts^2 per period). *)
+  b : float;       (** Quadratic coefficient. *)
+  c : float;       (** Constant floor (0 when not fitted). *)
+  d : float;       (** Cubic (random-walk FM) coefficient (0 when not fitted). *)
+  a_se : float;
+  b_se : float;
+  c_se : float;    (** nan when the floor is not fitted. *)
+  d_se : float;    (** nan when the cubic term is not fitted. *)
+  chi2 : float;
+  dof : int;
+  f0 : float;
+}
+
+val fit :
+  ?with_floor:bool -> ?with_cubic:bool -> f0:float ->
+  Variance_curve.point array -> t
+(** Weighted least squares over the curve points (weights from each
+    point's standard error when finite).  [with_floor] (default false)
+    adds the constant term — recommended for counter-based curves;
+    [with_cubic] adds an N^3 term for oscillators with random-walk FM
+    (aging) on top of the paper's model.
+    @raise Invalid_argument with fewer than points than parameters + 1. *)
+
+val phase_of : t -> Ptrng_noise.Psd_model.phase
+(** Recover (b_th, b_fl) from the fitted coefficients. *)
+
+val phase_se_of : t -> float * float
+(** Standard errors of (b_th, b_fl) propagated from the fit. *)
+
+val predict : t -> int -> float
+(** Fitted [f0^2 sigma_N^2] at accumulation length N. *)
+
+val rw_hm2_of : t -> float
+(** Recover the random-walk FM level from a cubic fit:
+    [h_{-2} = 3 d f0 / (4 pi^2)] (from
+    [f0^2 sigma_N^2 = (4 pi^2/3) h_{-2} N^3 / f0]). *)

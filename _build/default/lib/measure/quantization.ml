@@ -1,0 +1,23 @@
+let saturated_floor = 0.5
+
+let sigma2_n phase ~f0 ~n =
+  let open Ptrng_noise.Psd_model in
+  let fn = float_of_int n in
+  (2.0 *. phase.b_th *. fn /. (f0 ** 3.0))
+  +. (8.0 *. log 2.0 *. phase.b_fl *. fn *. fn /. (f0 ** 4.0))
+
+let drift_per_window ~phase ~f0 ~detuning ~n =
+  if n <= 0 then invalid_arg "Quantization.drift_per_window: n <= 0";
+  let deterministic = float_of_int n *. Float.abs detuning in
+  (* Random boundary motion: std of the window-to-window phase change in
+     counts is sqrt(f0^2 sigma_N^2); its mean absolute value carries the
+     half-normal factor sqrt(2/pi). *)
+  let random2 = 2.0 /. Float.pi *. f0 *. f0 *. sigma2_n phase ~f0 ~n in
+  sqrt ((deterministic *. deterministic) +. random2)
+
+let floor_variance ~phase ~f0 ~detuning ~n =
+  let d = drift_per_window ~phase ~f0 ~detuning ~n in
+  Float.min (2.0 *. d) saturated_floor
+
+let quantization_dominated ~phase ~f0 ~detuning ~n =
+  floor_variance ~phase ~f0 ~detuning ~n > f0 *. f0 *. sigma2_n phase ~f0 ~n

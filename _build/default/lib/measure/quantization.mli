@@ -1,0 +1,42 @@
+(** Model of the counter quantization floor.
+
+    Q counts are integers, so each s_N realization from the Fig. 6
+    circuit carries an error built from the fractional phases at three
+    consecutive window boundaries, [-e_{i+2} + 2 e_{i+1} - e_i].  How
+    much variance that adds depends on how far the fractional phase
+    moves per window:
+
+    - moves >> 1 count: the fractions decorrelate; with iid uniform
+      fractions the second difference has variance 6/12 = 1/2 — the
+      saturated floor;
+    - moves d << 1 count (slow drift): the fraction is a slow sawtooth;
+      its second difference vanishes except at the ~d-per-window wrap
+      events, each contributing O(1) at two adjacent realizations, so
+      the variance is ~ 2 d.
+
+    The crossover is modelled as [min (2 d_eff, 1/2)] where d_eff
+    combines the deterministic drift (N * detuning counts) and the
+    random boundary-to-boundary jitter motion (E|N(0, s)| with s the
+    per-window drift std in counts).  Semi-empirical — validated within
+    ~40 % against the event-level simulator in the test-suite — it is
+    good enough for its two jobs: sizing the [c] term of a counter-data
+    fit, and predicting below which N counter measurements are
+    quantization-dominated. *)
+
+val saturated_floor : float
+(** 1/2 count^2 — the iid-uniform-fraction limit. *)
+
+val drift_per_window :
+  phase:Ptrng_noise.Psd_model.phase -> f0:float -> detuning:float -> n:int -> float
+(** Expected fractional-phase movement per window, in counts:
+    [sqrt ((N d)^2 + (2/pi) f0^2 sigma_N^2)]. *)
+
+val floor_variance :
+  phase:Ptrng_noise.Psd_model.phase -> f0:float -> detuning:float -> n:int -> float
+(** Predicted quantization contribution to [f0^2 Var(s_N)], counts^2. *)
+
+val quantization_dominated :
+  phase:Ptrng_noise.Psd_model.phase -> f0:float -> detuning:float -> n:int -> bool
+(** True when the predicted floor exceeds the true signal
+    [f0^2 sigma_N^2] — counter data at this N measures mostly the
+    quantizer. *)

@@ -1,0 +1,22 @@
+let cumulative j =
+  let n = Array.length j in
+  let c = Array.make (n + 1) 0.0 in
+  for k = 0 to n - 1 do
+    c.(k + 1) <- c.(k) +. j.(k)
+  done;
+  c
+
+let realizations ?(stride = 1) ~n j =
+  if n <= 0 then invalid_arg "S_process.realizations: n <= 0";
+  if stride <= 0 then invalid_arg "S_process.realizations: stride <= 0";
+  let len = Array.length j in
+  if len < 2 * n then invalid_arg "S_process.realizations: series shorter than 2n";
+  let c = cumulative j in
+  let count = ((len - (2 * n)) / stride) + 1 in
+  Array.init count (fun k ->
+      let i = k * stride in
+      c.(i + (2 * n)) -. (2.0 *. c.(i + n)) +. c.(i))
+
+let relative_jitter ~periods1 ~periods2 =
+  let n = min (Array.length periods1) (Array.length periods2) in
+  Array.init n (fun k -> periods1.(k) -. periods2.(k))

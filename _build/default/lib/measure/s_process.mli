@@ -1,0 +1,24 @@
+(** The paper's accumulated-jitter difference statistic (eq. 4):
+
+    [s_N(t_i) = sum_{j=N}^{2N-1} J(t_{i+j}) - sum_{j=0}^{N-1} J(t_{i+j})]
+
+    i.e. the duration difference between two adjacent accumulations of
+    N periods — an Allan-style two-sample difference whose variance
+    stays finite under flicker noise.  Computed as a second difference
+    of the cumulative jitter, [C(i+2N) - 2 C(i+N) + C(i)]. *)
+
+val cumulative : float array -> float array
+(** [cumulative j] is C with [C.(0) = 0] and [C.(k+1) = C.(k) + j.(k)]. *)
+
+val realizations : ?stride:int -> n:int -> float array -> float array
+(** [realizations ~n j] returns the s_N realizations available in the
+    jitter series [j], starting points spaced by [stride] (default 1 =
+    fully overlapping; [stride = 2n] gives disjoint realizations).
+    @raise Invalid_argument if [n <= 0], [stride <= 0], or the series
+    is shorter than [2n]. *)
+
+val relative_jitter : periods1:float array -> periods2:float array -> float array
+(** Per-index difference of two period series — the relative jitter
+    process of an oscillator pair (constant frequency offset between
+    the rings contributes only a constant, which the second difference
+    in {!realizations} cancels). *)

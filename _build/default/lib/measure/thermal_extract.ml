@@ -1,0 +1,32 @@
+type t = {
+  phase : Ptrng_noise.Psd_model.phase;
+  f0 : float;
+  sigma_thermal : float;
+  sigma_relative : float;
+  k_ratio : float;
+}
+
+let of_phase ~f0 phase =
+  let open Ptrng_noise.Psd_model in
+  if f0 <= 0.0 then invalid_arg "Thermal_extract.of_phase: f0 <= 0";
+  if phase.b_th <= 0.0 then invalid_arg "Thermal_extract.of_phase: b_th <= 0";
+  let sigma_thermal = sqrt (phase.b_th /. (f0 ** 3.0)) in
+  let k_ratio =
+    if phase.b_fl <= 0.0 then Float.infinity
+    else phase.b_th *. f0 /. (4.0 *. log 2.0 *. phase.b_fl)
+  in
+  { phase; f0; sigma_thermal; sigma_relative = sigma_thermal *. f0; k_ratio }
+
+let of_fit fit = of_phase ~f0:fit.Fit.f0 (Fit.phase_of fit)
+
+let r_n t n =
+  if n < 0 then invalid_arg "Thermal_extract.r_n: negative N";
+  if Float.is_finite t.k_ratio then t.k_ratio /. (t.k_ratio +. float_of_int n)
+  else 1.0
+
+let independence_threshold t ~confidence =
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Thermal_extract.independence_threshold: confidence outside (0,1)";
+  if Float.is_finite t.k_ratio then
+    int_of_float (Float.floor (t.k_ratio *. ((1.0 /. confidence) -. 1.0)))
+  else max_int

@@ -1,0 +1,29 @@
+(** The paper's headline application (Section IV): extracting the
+    thermal-noise contribution to the period jitter from the fitted
+    variance curve, plus the independence diagnostics of Section III-E. *)
+
+type t = {
+  phase : Ptrng_noise.Psd_model.phase;  (** Extracted (b_th, b_fl). *)
+  f0 : float;
+  sigma_thermal : float;   (** Thermal period jitter sqrt(b_th/f0^3), s
+                               — the paper's 15.89 ps. *)
+  sigma_relative : float;  (** sigma_thermal * f0 — the paper's 1.6 permil. *)
+  k_ratio : float;         (** b_th f0 / (4 ln2 b_fl) — the paper's 5354:
+                               r_N = k / (k + N). *)
+}
+
+val of_fit : Fit.t -> t
+(** @raise Invalid_argument if the fitted thermal coefficient is not
+    positive. *)
+
+val of_phase : f0:float -> Ptrng_noise.Psd_model.phase -> t
+(** Same summary computed from known model coefficients (ground truth
+    in simulations). *)
+
+val r_n : t -> int -> float
+(** Thermal fraction of sigma_N^2 at accumulation length N. *)
+
+val independence_threshold : t -> confidence:float -> int
+(** Largest N with [r_n >= confidence] — below it, 2N consecutive
+    jitter realizations are "almost mutually independent" in the
+    paper's sense (281 at 95% for the paper's numbers). *)

@@ -1,0 +1,73 @@
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+
+let fold_lines path f init =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec loop acc =
+        match input_line ic with
+        | line -> loop (f acc line)
+        | exception End_of_file -> acc
+      in
+      loop init)
+
+let malformed path line = failwith (Printf.sprintf "Trace: malformed line in %s: %S" path line)
+
+let save_series ~path ?(unit_label = "value") series =
+  with_out path (fun oc ->
+      Printf.fprintf oc "index,%s\n" unit_label;
+      Array.iteri (fun i v -> Printf.fprintf oc "%d,%.17g\n" i v) series)
+
+let load_series ~path =
+  let values =
+    fold_lines path
+      (fun acc line ->
+        if String.length line = 0 then acc
+        else
+          match String.split_on_char ',' line with
+          | [ _; v ] -> (
+            match float_of_string_opt v with
+            | Some f -> f :: acc
+            | None ->
+              (* Tolerate exactly one header line. *)
+              if acc = [] && not (String.contains v '.') then acc
+              else malformed path line)
+          | _ -> malformed path line)
+      []
+  in
+  Array.of_list (List.rev values)
+
+let save_curve ~path points =
+  with_out path (fun oc ->
+      Printf.fprintf oc "n,sigma2,scaled,neff,stderr\n";
+      Array.iter
+        (fun (p : Variance_curve.point) ->
+          Printf.fprintf oc "%d,%.17g,%.17g,%d,%.17g\n" p.n p.sigma2 p.scaled p.neff
+            p.stderr)
+        points)
+
+let load_curve ~path =
+  let points =
+    fold_lines path
+      (fun acc line ->
+        if String.length line = 0 || String.length line >= 1 && line.[0] = 'n' then acc
+        else
+          match String.split_on_char ',' line with
+          | [ n; sigma2; scaled; neff; stderr ] -> (
+            match
+              ( int_of_string_opt n,
+                float_of_string_opt sigma2,
+                float_of_string_opt scaled,
+                int_of_string_opt neff,
+                float_of_string_opt stderr )
+            with
+            | Some n, Some sigma2, Some scaled, Some neff, Some stderr ->
+              { Variance_curve.n; sigma2; scaled; neff; stderr } :: acc
+            | _ -> malformed path line)
+          | _ -> malformed path line)
+      []
+  in
+  Array.of_list (List.rev points)

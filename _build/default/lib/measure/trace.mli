@@ -1,0 +1,20 @@
+(** Persistence for measurement data (CSV, self-describing headers).
+
+    Lets a long simulation (or, one day, a real capture) be analysed
+    offline and keeps the benchmark outputs plottable with standard
+    tools. *)
+
+val save_series : path:string -> ?unit_label:string -> float array -> unit
+(** Write a one-column series with an [index,value] header.
+    @raise Sys_error on I/O failure. *)
+
+val load_series : path:string -> float array
+(** Read a file written by {!save_series}.
+    @raise Failure on malformed content. *)
+
+val save_curve : path:string -> Variance_curve.point array -> unit
+(** Write a sigma_N^2 curve with all point fields. *)
+
+val load_curve : path:string -> Variance_curve.point array
+(** Read a file written by {!save_curve}.
+    @raise Failure on malformed content. *)

@@ -1,0 +1,72 @@
+type point = {
+  n : int;
+  sigma2 : float;
+  scaled : float;
+  neff : int;
+  stderr : float;
+}
+
+let log2_grid ~n_min ~n_max =
+  if n_min <= 0 || n_min > n_max then invalid_arg "Variance_curve.log2_grid: bad range";
+  let rec collect acc n = if n > n_max then List.rev acc else collect (n :: acc) (n * 2) in
+  Array.of_list (collect [] n_min)
+
+let log_grid ~n_min ~n_max ~per_decade =
+  if n_min <= 0 || n_min > n_max then invalid_arg "Variance_curve.log_grid: bad range";
+  if per_decade <= 0 then invalid_arg "Variance_curve.log_grid: per_decade <= 0";
+  let lo = log10 (float_of_int n_min) and hi = log10 (float_of_int n_max) in
+  let steps = int_of_float (Float.ceil ((hi -. lo) *. float_of_int per_decade)) in
+  let values = ref [] in
+  for i = 0 to steps do
+    let v = 10.0 ** (lo +. (float_of_int i *. (hi -. lo) /. float_of_int (max 1 steps))) in
+    let n = max n_min (min n_max (int_of_float (Float.round v))) in
+    match !values with
+    | prev :: _ when prev = n -> ()
+    | _ -> values := n :: !values
+  done;
+  Array.of_list (List.rev !values)
+
+let point_of_samples ~f0 ~n ~neff s =
+  let sigma2 = Ptrng_stats.Descriptive.variance s in
+  let stderr =
+    if neff >= 2 then
+      Ptrng_stats.Descriptive.standard_error_of_variance ~n:neff ~variance:sigma2
+    else Float.nan
+  in
+  { n; sigma2; scaled = sigma2 *. f0 *. f0; neff; stderr }
+
+let of_jitter ?(overlapping = true) ~f0 ~ns jitter =
+  if f0 <= 0.0 then invalid_arg "Variance_curve.of_jitter: f0 <= 0";
+  let len = Array.length jitter in
+  let points = ref [] in
+  Array.iter
+    (fun n ->
+      if n > 0 && len >= 2 * n then begin
+        let stride = if overlapping then 1 else 2 * n in
+        let s = S_process.realizations ~stride ~n jitter in
+        let count = Array.length s in
+        if count >= 2 then begin
+          let neff = if overlapping then max 2 (count / (2 * n)) else count in
+          points := point_of_samples ~f0 ~n ~neff s :: !points
+        end
+      end)
+    ns;
+  Array.of_list (List.rev !points)
+
+let of_counters ~edges1 ~edges2 ~f0 ~ns =
+  if f0 <= 0.0 then invalid_arg "Variance_curve.of_counters: f0 <= 0";
+  let cycles2 = Array.length edges2 - 1 in
+  let points = ref [] in
+  Array.iter
+    (fun n ->
+      if n > 0 && cycles2 / n >= 3 then begin
+        let s = Counter.s_realizations ~edges1 ~edges2 ~f0 ~n in
+        if Array.length s >= 2 then begin
+          (* Counter windows are disjoint, but adjacent differences share
+             a window: halve the count for the error estimate. *)
+          let neff = max 2 (Array.length s / 2) in
+          points := point_of_samples ~f0 ~n ~neff s :: !points
+        end
+      end)
+    ns;
+  Array.of_list (List.rev !points)

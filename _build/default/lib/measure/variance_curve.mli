@@ -1,0 +1,37 @@
+(** Estimation of the accumulated-jitter variance curve
+    [sigma_N^2 = Var(s_N)] over a grid of accumulation lengths N — the
+    data behind the paper's Fig. 7. *)
+
+type point = {
+  n : int;           (** Accumulation length N. *)
+  sigma2 : float;    (** Estimated Var(s_N), s^2. *)
+  scaled : float;    (** The paper's plotted quantity f0^2 sigma_N^2. *)
+  neff : int;        (** Independent-equivalent sample count
+                         (realizations / 2N for overlapping data). *)
+  stderr : float;    (** Standard error of [sigma2] from [neff]. *)
+}
+
+val log2_grid : n_min:int -> n_max:int -> int array
+(** Octave-spaced N values [n_min, 2 n_min, ... <= n_max].
+    @raise Invalid_argument unless [0 < n_min <= n_max]. *)
+
+val log_grid : n_min:int -> n_max:int -> per_decade:int -> int array
+(** Log-spaced grid with [per_decade] points per decade (deduplicated,
+    increasing). *)
+
+val of_jitter :
+  ?overlapping:bool -> f0:float -> ns:int array -> float array -> point array
+(** Ideal (quantization-free) estimator from a relative-jitter series.
+    Overlapping (default) uses every starting point and divides the
+    sample count by 2N for the error estimate; non-overlapping uses
+    disjoint realizations.  Grid entries with fewer than 2 realizations
+    are skipped. *)
+
+val of_counters :
+  edges1:float array ->
+  edges2:float array ->
+  f0:float ->
+  ns:int array ->
+  point array
+(** Counter-based estimator (paper eq. 12), including real quantization
+    effects. *)

@@ -1,0 +1,1 @@
+lib/model/bienayme.ml: Array Float Ptrng_measure Ptrng_stats

@@ -1,0 +1,1 @@
+lib/model/bienayme.mli: Ptrng_measure

@@ -1,0 +1,1 @@
+lib/model/bit_markov.ml: Array Entropy Float

@@ -1,0 +1,1 @@
+lib/model/bit_markov.mli:

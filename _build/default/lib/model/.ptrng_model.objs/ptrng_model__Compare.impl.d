@@ -1,0 +1,1 @@
+lib/model/compare.ml: Array Entropy Ptrng_measure Spectral

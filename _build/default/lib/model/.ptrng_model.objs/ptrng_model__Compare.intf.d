@@ -1,0 +1,1 @@
+lib/model/compare.mli: Ptrng_measure

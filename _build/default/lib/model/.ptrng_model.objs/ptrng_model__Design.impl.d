@@ -1,0 +1,1 @@
+lib/model/design.ml: Entropy Ptrng_measure Spectral

@@ -1,0 +1,1 @@
+lib/model/design.mli: Ptrng_measure

@@ -1,0 +1,1 @@
+lib/model/entropy.ml: Float Ptrng_stats

@@ -1,0 +1,1 @@
+lib/model/multilevel.ml: Array Bienayme Float List Ptrng_measure Ptrng_osc Spectral

@@ -1,0 +1,1 @@
+lib/model/multilevel.mli: Ptrng_measure Ptrng_noise Ptrng_osc Ptrng_prng

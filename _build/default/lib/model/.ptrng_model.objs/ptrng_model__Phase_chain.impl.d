@@ -1,0 +1,1 @@
+lib/model/phase_chain.ml: Array Entropy Float Ptrng_prng

@@ -1,0 +1,1 @@
+lib/model/phase_chain.mli: Ptrng_prng

@@ -1,0 +1,1 @@
+lib/model/spectral.ml: Float Ptrng_noise

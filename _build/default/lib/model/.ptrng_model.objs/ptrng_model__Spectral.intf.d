@@ -1,0 +1,1 @@
+lib/model/spectral.mli: Ptrng_noise

@@ -1,0 +1,44 @@
+type t = {
+  drift : float;
+  diffusion : float;
+  p_stay : float;
+}
+
+(* p_stay = (1/pi) int_0^pi P(bit = 1 | mu + drift, diffusion) dmu:
+   probability that a sample taken in the high half-period is followed
+   by another high sample.  Midpoint rule; the integrand is smooth
+   except at zero diffusion, where more points cost little. *)
+let compute_p_stay ~drift ~diffusion =
+  let steps = 1024 in
+  let acc = ref 0.0 in
+  for i = 0 to steps - 1 do
+    let mu = Float.pi *. (float_of_int i +. 0.5) /. float_of_int steps in
+    acc :=
+      !acc +. Entropy.bit_probability ~mu:(mu +. drift) ~phase_std:diffusion
+  done;
+  !acc /. float_of_int steps
+
+let create ~drift ~diffusion =
+  if diffusion < 0.0 then invalid_arg "Bit_markov.create: negative diffusion";
+  { drift; diffusion; p_stay = compute_p_stay ~drift ~diffusion }
+
+let of_thermal ~sigma_period ~divisor ~detuning ~f0 =
+  if divisor <= 0 then invalid_arg "Bit_markov.of_thermal: divisor <= 0";
+  let diffusion =
+    Entropy.phase_std_thermal ~sigma_period ~k:divisor ~f0
+  in
+  let drift = 2.0 *. Float.pi *. float_of_int divisor *. detuning in
+  create ~drift ~diffusion
+
+let entropy_rate t = Entropy.shannon t.p_stay
+
+let phase_conditioned_entropy t = Entropy.avg_entropy ~phase_std:t.diffusion
+
+let measured_p_stay bits =
+  let n = Array.length bits in
+  if n < 2 then invalid_arg "Bit_markov.measured_p_stay: need >= 2 bits";
+  let stays = ref 0 in
+  for i = 1 to n - 1 do
+    if bits.(i) = bits.(i - 1) then incr stays
+  done;
+  float_of_int !stays /. float_of_int (n - 1)

@@ -1,0 +1,47 @@
+(** Markov model of the sampled bit process (Baudet et al. [8] style).
+
+    Between two samples of the eRO-TRNG the relative phase advances by
+    a deterministic [drift] (from the frequency mismatch of the rings)
+    plus a Gaussian [diffusion] (accumulated jitter).  With a uniform
+    stationary phase the bits form a symmetric binary Markov chain; its
+    stay probability is
+
+    [p_stay = (1/pi) int_0^pi P(bit = 1 | mu + drift, diffusion) dmu]
+
+    and the entropy *rate* of the chain — the honest entropy per bit,
+    accounting for memory — is the binary entropy of [p_stay].
+
+    This is the model whose input jitter the paper corrects: feed it a
+    diffusion derived from the total measured jitter and it overstates
+    the rate; feed it the thermal-only jitter and it matches the
+    simulated generator (verified in the test-suite). *)
+
+type t = {
+  drift : float;      (** Mean phase advance per sample, rad (mod 2pi). *)
+  diffusion : float;  (** Phase std accumulated per sample, rad. *)
+  p_stay : float;     (** P(b_{i+1} = b_i). *)
+}
+
+val create : drift:float -> diffusion:float -> t
+(** @raise Invalid_argument if [diffusion < 0]. *)
+
+val of_thermal :
+  sigma_period:float -> divisor:int -> detuning:float -> f0:float -> t
+(** Model for an eRO-TRNG sampling every [divisor] periods: thermal
+    diffusion [2 pi f0 sigma sqrt divisor] and drift
+    [2 pi divisor detuning] (the relative-frequency offset). *)
+
+val entropy_rate : t -> float
+(** Entropy rate of the chain, bits per bit: [h2 (p_stay)]. *)
+
+val phase_conditioned_entropy : t -> float
+(** The phase-conditioned entropy H(b_{i+1} | phi_i) for the same
+    diffusion ([Entropy.avg_entropy]) — the conservative bound used
+    when the adversary is granted the full phase.  Since the previous
+    bit is a coarsening of the previous phase,
+    [entropy_rate >= phase_conditioned_entropy] always (data
+    processing); the gap is what bit-only adversaries lose. *)
+
+val measured_p_stay : bool array -> float
+(** Empirical stay frequency of a bit sequence.
+    @raise Invalid_argument on fewer than 2 bits. *)

@@ -1,0 +1,45 @@
+type row = {
+  n : int;
+  sigma_naive : float;
+  entropy_naive : float;
+  entropy_true : float;
+  overestimate : float;
+}
+
+let sigma_naive_of_point (p : Ptrng_measure.Variance_curve.point) =
+  sqrt (p.sigma2 /. (2.0 *. float_of_int p.n))
+
+let row_of ~extract ~sampling_periods ~n ~sigma_naive =
+  let open Ptrng_measure.Thermal_extract in
+  let f0 = extract.f0 in
+  let entropy_of sigma_period =
+    let phase_std =
+      Entropy.phase_std_thermal ~sigma_period ~k:sampling_periods ~f0
+    in
+    Entropy.avg_entropy ~phase_std
+  in
+  let entropy_naive = entropy_of sigma_naive in
+  let entropy_true = entropy_of extract.sigma_thermal in
+  { n; sigma_naive; entropy_naive; entropy_true;
+    overestimate = entropy_naive -. entropy_true }
+
+let overestimation_table ~extract ~sampling_periods ~ns =
+  if sampling_periods <= 0 then
+    invalid_arg "Compare.overestimation_table: sampling_periods <= 0";
+  Array.map
+    (fun n ->
+      let sigma2 =
+        Spectral.sigma2_n extract.Ptrng_measure.Thermal_extract.phase
+          ~f0:extract.Ptrng_measure.Thermal_extract.f0 ~n
+      in
+      let sigma_naive = sqrt (sigma2 /. (2.0 *. float_of_int n)) in
+      row_of ~extract ~sampling_periods ~n ~sigma_naive)
+    ns
+
+let overestimation_table_measured ~extract ~sampling_periods points =
+  if sampling_periods <= 0 then
+    invalid_arg "Compare.overestimation_table_measured: sampling_periods <= 0";
+  Array.map
+    (fun (p : Ptrng_measure.Variance_curve.point) ->
+      row_of ~extract ~sampling_periods ~n:p.n ~sigma_naive:(sigma_naive_of_point p))
+    points

@@ -1,0 +1,41 @@
+(** Head-to-head comparison of the state-of-the-art stochastic model
+    (independent jitter realizations) against the paper's multilevel
+    model — quantifying the entropy overestimation that motivates the
+    paper's security warning (Section V).
+
+    The naive model extracts a per-period jitter
+    [sigma_naive(N) = sqrt (sigma_N^2 / (2 N))] from a variance
+    measurement at accumulation length N, implicitly assuming Bienaymé
+    linearity.  Because flicker noise inflates [sigma_N^2]
+    quadratically, [sigma_naive] grows with N, and the entropy computed
+    from it overshoots the entropy actually delivered by the
+    independent (thermal) noise. *)
+
+type row = {
+  n : int;                (** Accumulation length of the measurement. *)
+  sigma_naive : float;    (** Per-period jitter a naive model infers, s. *)
+  entropy_naive : float;  (** Shannon entropy/bit the naive model claims. *)
+  entropy_true : float;   (** Entropy/bit backed by thermal noise only. *)
+  overestimate : float;   (** [entropy_naive - entropy_true], bits. *)
+}
+
+val sigma_naive_of_point : Ptrng_measure.Variance_curve.point -> float
+(** [sqrt (sigma2 / 2N)] for one measured point. *)
+
+val overestimation_table :
+  extract:Ptrng_measure.Thermal_extract.t ->
+  sampling_periods:int ->
+  ns:int array ->
+  row array
+(** For each measurement length N, the entropy a TRNG sampled every
+    [sampling_periods] oscillator periods would be credited with under
+    each model, using the extracted ground-truth coefficients.
+    @raise Invalid_argument if [sampling_periods <= 0]. *)
+
+val overestimation_table_measured :
+  extract:Ptrng_measure.Thermal_extract.t ->
+  sampling_periods:int ->
+  Ptrng_measure.Variance_curve.point array ->
+  row array
+(** Same table computed from measured curve points instead of the
+    closed form. *)

@@ -1,0 +1,41 @@
+let entropy_of_sigma ~extract ~sigma ~divisor =
+  let open Ptrng_measure.Thermal_extract in
+  let phase_std = Entropy.phase_std_thermal ~sigma_period:sigma ~k:divisor ~f0:extract.f0 in
+  Entropy.avg_entropy ~phase_std
+
+let entropy_at ~extract ~divisor =
+  if divisor <= 0 then invalid_arg "Design.entropy_at: divisor <= 0";
+  entropy_of_sigma ~extract
+    ~sigma:extract.Ptrng_measure.Thermal_extract.sigma_thermal ~divisor
+
+(* Smallest divisor whose entropy meets the target: the entropy is
+   monotone in the divisor, so double then bisect. *)
+let search ~target entropy_of =
+  if target <= 0.0 || target >= 1.0 then invalid_arg "Design: target outside (0,1)";
+  let hi = ref 1 in
+  while entropy_of !hi < target && !hi < 1 lsl 40 do
+    hi := !hi * 2
+  done;
+  let lo = ref (max 1 (!hi / 2)) in
+  if !lo = 1 && entropy_of 1 >= target then 1
+  else begin
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if entropy_of mid >= target then hi := mid else lo := mid
+    done;
+    !hi
+  end
+
+let required_divisor ?(target = 0.997) ~extract () =
+  search ~target (fun divisor -> entropy_at ~extract ~divisor)
+
+let throughput ~extract ~divisor =
+  if divisor <= 0 then invalid_arg "Design.throughput: divisor <= 0";
+  extract.Ptrng_measure.Thermal_extract.f0 /. float_of_int divisor
+
+let naive_divisor ?(target = 0.997) ~extract ~measured_at () =
+  if measured_at <= 0 then invalid_arg "Design.naive_divisor: measured_at <= 0";
+  let open Ptrng_measure.Thermal_extract in
+  let sigma2_n = Spectral.sigma2_n extract.phase ~f0:extract.f0 ~n:measured_at in
+  let sigma_naive = sqrt (sigma2_n /. (2.0 *. float_of_int measured_at)) in
+  search ~target (fun divisor -> entropy_of_sigma ~extract ~sigma:sigma_naive ~divisor)

@@ -1,0 +1,33 @@
+(** Generator design from extracted noise parameters — the engineering
+    payoff of the paper's measurement: once sigma_thermal is known, the
+    accumulation length (sampler divisor) needed for a target entropy
+    per bit follows, *without* crediting the flicker noise.
+
+    AIS31's PTG.2 class asks for > 0.997 bit of Shannon entropy per raw
+    bit; {!required_divisor} answers "how slow must I sample?" and
+    {!throughput} what that costs in bits/s. *)
+
+val entropy_at : extract:Ptrng_measure.Thermal_extract.t -> divisor:int -> float
+(** Shannon entropy per raw bit when sampling every [divisor] periods,
+    crediting thermal noise only. *)
+
+val required_divisor :
+  ?target:float -> extract:Ptrng_measure.Thermal_extract.t -> unit -> int
+(** Smallest divisor reaching [target] entropy per bit (default 0.997,
+    the AIS31 PTG.2 bound).  @raise Invalid_argument if [target] is
+    outside (0, 1). *)
+
+val throughput : extract:Ptrng_measure.Thermal_extract.t -> divisor:int -> float
+(** Raw output bit rate [f0 / divisor], Hz. *)
+
+val naive_divisor :
+  ?target:float ->
+  extract:Ptrng_measure.Thermal_extract.t ->
+  measured_at:int ->
+  unit ->
+  int
+(** The divisor a designer would pick after measuring total jitter over
+    [measured_at] periods and assuming independence — i.e. using
+    [sigma_naive = sqrt (sigma_N^2 / 2N)].  Always <= {!required_divisor};
+    the shortfall factor is the concrete security damage of the paper's
+    Section V. *)

@@ -1,0 +1,84 @@
+let max_fourier_terms = 200
+
+(* Standard normal CDF via erfc's complement (the complementary error
+   function of Ptrng_stats.Special). *)
+let normal_cdf x = Ptrng_stats.Special.normal_cdf x
+
+(* P(mu + s Z mod 2pi in (0, pi)): direct wrapped-Gaussian sum.  Exact
+   for any s but needs ~s/pi wraps; used below the series' comfort
+   zone, including the s = 0 step function the Fourier series cannot
+   represent without Gibbs error. *)
+let probability_wrapped ~mu ~s =
+  let two_pi = 2.0 *. Float.pi in
+  if s = 0.0 then begin
+    let m = mu -. (two_pi *. Float.floor (mu /. two_pi)) in
+    if m < Float.pi then 1.0 else 0.0
+  end
+  else begin
+    let wraps = 2 + int_of_float (Float.ceil (s /. 2.0)) in
+    let acc = ref 0.0 in
+    for j = -wraps to wraps do
+      let base = (two_pi *. float_of_int j) -. mu in
+      acc := !acc +. normal_cdf ((base +. Float.pi) /. s) -. normal_cdf (base /. s)
+    done;
+    !acc
+  end
+
+let bit_probability ~mu ~phase_std =
+  if phase_std < 0.0 then invalid_arg "Entropy.bit_probability: negative phase_std";
+  if phase_std < 3.0 then Float.max 0.0 (Float.min 1.0 (probability_wrapped ~mu ~s:phase_std))
+  else begin
+    (* Large diffusion: the Fourier series converges in a few terms. *)
+    let acc = ref 0.5 in
+    (try
+       let k = ref 1 in
+       while !k <= max_fourier_terms do
+         let fk = float_of_int !k in
+         let damp = exp (-0.5 *. fk *. fk *. phase_std *. phase_std) in
+         if damp < 1e-18 then raise Exit;
+         acc := !acc +. (2.0 /. (Float.pi *. fk) *. damp *. sin (fk *. mu));
+         k := !k + 2
+       done
+     with Exit -> ());
+    Float.max 0.0 (Float.min 1.0 !acc)
+  end
+
+let shannon p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Entropy.shannon: p outside [0,1]";
+  if p = 0.0 || p = 1.0 then 0.0
+  else begin
+    let q = 1.0 -. p in
+    -.((p *. log p) +. (q *. log q)) /. log 2.0
+  end
+
+let avg_entropy ~phase_std =
+  (* Average h(p(mu)) over one period of the drifting mean; p has
+     period 2 pi and the entropy is symmetric, so integrate a half
+     period.  Midpoint rule with enough points for the sharp
+     low-jitter transitions. *)
+  let steps = 2048 in
+  let acc = ref 0.0 in
+  for i = 0 to steps - 1 do
+    let mu = Float.pi *. (float_of_int i +. 0.5) /. float_of_int steps in
+    acc := !acc +. shannon (bit_probability ~mu ~phase_std)
+  done;
+  !acc /. float_of_int steps
+
+let min_entropy ~phase_std =
+  let p_max = bit_probability ~mu:(Float.pi /. 2.0) ~phase_std in
+  let p_max = Float.max p_max (1.0 -. p_max) in
+  -.(log p_max /. log 2.0)
+
+let entropy_lower_bound ~phase_std =
+  if phase_std < 0.0 then invalid_arg "Entropy.entropy_lower_bound: negative phase_std";
+  let defect = 4.0 /. (Float.pi *. Float.pi *. log 2.0) *. exp (-.(phase_std *. phase_std)) in
+  Float.max 0.0 (Float.min 1.0 (1.0 -. defect))
+
+let phase_std_of_accumulated_jitter ~sigma_acc ~f0 =
+  if sigma_acc < 0.0 || f0 <= 0.0 then
+    invalid_arg "Entropy.phase_std_of_accumulated_jitter: bad arguments";
+  2.0 *. Float.pi *. f0 *. sigma_acc
+
+let phase_std_thermal ~sigma_period ~k ~f0 =
+  if k <= 0 then invalid_arg "Entropy.phase_std_thermal: k <= 0";
+  phase_std_of_accumulated_jitter ~sigma_acc:(sigma_period *. sqrt (float_of_int k)) ~f0

@@ -1,0 +1,60 @@
+type analysis = {
+  pair : Ptrng_osc.Pair.t;
+  n_periods : int;
+  ideal_curve : Ptrng_measure.Variance_curve.point array;
+  counter_curve : Ptrng_measure.Variance_curve.point array;
+  fit : Ptrng_measure.Fit.t;
+  counter_fit : Ptrng_measure.Fit.t option;
+  extract : Ptrng_measure.Thermal_extract.t;
+  growth_exponent : float * float;
+}
+
+let nominal_f0 (pair : Ptrng_osc.Pair.t) =
+  (pair.osc1.Ptrng_osc.Oscillator.f0 +. pair.osc2.Ptrng_osc.Oscillator.f0) /. 2.0
+
+let characterize ?(n_periods = 1 lsl 20) ?n_grid ~rng pair =
+  if n_periods < 1024 then invalid_arg "Multilevel.characterize: n_periods < 1024";
+  let f0 = nominal_f0 pair in
+  let ns =
+    match n_grid with
+    | Some g -> g
+    | None -> Ptrng_measure.Variance_curve.log2_grid ~n_min:4 ~n_max:(n_periods / 32)
+  in
+  let p1, p2 = Ptrng_osc.Pair.simulate rng pair ~n:n_periods in
+  let jitter = Ptrng_measure.S_process.relative_jitter ~periods1:p1 ~periods2:p2 in
+  let ideal_curve = Ptrng_measure.Variance_curve.of_jitter ~f0 ~ns jitter in
+  let edges1 = Ptrng_osc.Oscillator.edges_of_periods p1 in
+  let edges2 = Ptrng_osc.Oscillator.edges_of_periods p2 in
+  let counter_curve = Ptrng_measure.Variance_curve.of_counters ~edges1 ~edges2 ~f0 ~ns in
+  let fit = Ptrng_measure.Fit.fit ~f0 ideal_curve in
+  let counter_fit =
+    (* The realistic (integer-counter) extraction: below quantization
+       saturation the error variance grows with N (drift regime) and
+       would masquerade as a huge thermal term, so only the saturated
+       region (drift >= ~1/4 count per window) supports the
+       constant-floor model. *)
+    let detuning =
+      Float.abs
+        (pair.osc1.Ptrng_osc.Oscillator.f0 -. pair.osc2.Ptrng_osc.Oscillator.f0)
+      /. f0
+    in
+    let phase = Ptrng_measure.Fit.phase_of fit in
+    let saturated =
+      Array.of_list
+        (List.filter
+           (fun (p : Ptrng_measure.Variance_curve.point) ->
+             Ptrng_measure.Quantization.drift_per_window ~phase ~f0 ~detuning ~n:p.n
+             >= 0.25)
+           (Array.to_list counter_curve))
+    in
+    if Array.length saturated >= 5 then
+      Some (Ptrng_measure.Fit.fit ~with_floor:true ~f0 saturated)
+    else None
+  in
+  let extract = Ptrng_measure.Thermal_extract.of_fit fit in
+  let growth_exponent = Bienayme.growth_exponent ideal_curve in
+  { pair; n_periods; ideal_curve; counter_curve; fit; counter_fit; extract;
+    growth_exponent }
+
+let predicted_curve phase ~f0 ~ns =
+  Array.map (fun n -> (n, Spectral.scaled phase ~f0 ~n)) ns

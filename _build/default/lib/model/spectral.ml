@@ -1,0 +1,80 @@
+let ln2 = log 2.0
+
+let check ~f0 ~n =
+  if f0 <= 0.0 then invalid_arg "Spectral: f0 <= 0";
+  if n <= 0 then invalid_arg "Spectral: n <= 0"
+
+let sigma2_n_thermal (p : Ptrng_noise.Psd_model.phase) ~f0 ~n =
+  check ~f0 ~n;
+  2.0 *. p.b_th *. float_of_int n /. (f0 ** 3.0)
+
+let sigma2_n_flicker (p : Ptrng_noise.Psd_model.phase) ~f0 ~n =
+  check ~f0 ~n;
+  let fn = float_of_int n in
+  8.0 *. ln2 *. p.b_fl *. fn *. fn /. (f0 ** 4.0)
+
+let sigma2_n p ~f0 ~n = sigma2_n_thermal p ~f0 ~n +. sigma2_n_flicker p ~f0 ~n
+
+(* Simpson integration of f on [a,b] with [panels] panels (even count). *)
+let simpson f a b panels =
+  let panels = if panels land 1 = 1 then panels + 1 else panels in
+  let h = (b -. a) /. float_of_int panels in
+  let acc = ref (f a +. f b) in
+  for i = 1 to panels - 1 do
+    let x = a +. (float_of_int i *. h) in
+    let w = if i land 1 = 1 then 4.0 else 2.0 in
+    acc := !acc +. (w *. f x)
+  done;
+  !acc *. h /. 3.0
+
+(* In the substitution u = f N / f0, eq. 9 needs
+   I2 = int_0^inf sin^4(pi u)/u^2 du  (= pi^2/4   analytically) and
+   I3 = int_0^inf sin^4(pi u)/u^3 du  (= pi^2 ln2 analytically).
+   Both are integrated numerically on [0, u_max] with u_max integer (so
+   the oscillatory tail terms vanish) plus the mean-value tail of
+   sin^4 = 3/8: 3/(8 u_max) for I2, 3/(16 u_max^2) for I3. *)
+let integrals ~rel_tol =
+  let u_max = if rel_tol >= 1e-4 then 100 else 1000 in
+  let panels = u_max * 32 in
+  let s4 u =
+    let s = sin (Float.pi *. u) in
+    s *. s *. s *. s
+  in
+  let f2 u = if u = 0.0 then 0.0 else s4 u /. (u *. u) in
+  let f3 u = if u = 0.0 then 0.0 else s4 u /. (u *. u *. u) in
+  let fu = float_of_int u_max in
+  let i2 = simpson f2 0.0 fu panels +. (3.0 /. (8.0 *. fu)) in
+  let i3 = simpson f3 0.0 fu panels +. (3.0 /. (16.0 *. fu *. fu)) in
+  (i2, i3)
+
+let sigma2_n_numeric ?(rel_tol = 1e-6) (p : Ptrng_noise.Psd_model.phase) ~f0 ~n =
+  check ~f0 ~n;
+  let i2, i3 = integrals ~rel_tol in
+  let fn = float_of_int n in
+  let pref = 8.0 /. (Float.pi *. Float.pi *. f0 *. f0) in
+  pref
+  *. ((p.b_fl *. fn *. fn /. (f0 *. f0) *. i3) +. (p.b_th *. fn /. f0 *. i2))
+
+let sigma2_n_numeric_of_psd ~psd ~f_max ~steps ~f0 ~n =
+  check ~f0 ~n;
+  if f_max <= 0.0 then invalid_arg "Spectral.sigma2_n_numeric_of_psd: f_max <= 0";
+  if steps < 8 then invalid_arg "Spectral.sigma2_n_numeric_of_psd: steps < 8";
+  let fn = float_of_int n in
+  let integrand f =
+    if f <= 0.0 then 0.0
+    else begin
+      let s = sin (Float.pi *. f *. fn /. f0) in
+      psd f *. s *. s *. s *. s
+    end
+  in
+  (* Skip f = 0 (diverging PSD); start one panel in. *)
+  let a = f_max /. float_of_int steps in
+  8.0 /. (Float.pi *. Float.pi *. f0 *. f0) *. simpson integrand a f_max steps
+
+let scaled p ~f0 ~n = sigma2_n p ~f0 ~n *. f0 *. f0
+
+let sigma2_n_random_walk ~hm2 ~f0 ~n =
+  check ~f0 ~n;
+  if hm2 < 0.0 then invalid_arg "Spectral.sigma2_n_random_walk: negative hm2";
+  let fn = float_of_int n in
+  4.0 *. Float.pi *. Float.pi /. 3.0 *. hm2 *. fn *. fn *. fn /. (f0 ** 3.0)

@@ -1,0 +1,40 @@
+(** Closed-form and numeric evaluation of the accumulated-jitter
+    variance sigma_N^2 from the phase-noise model (paper eqs. 9–11).
+
+    Eq. 9:  [sigma_N^2 = 8/(pi^2 f0^2) int_0^inf S_phi(f) sin^4(pi f N / f0) df]
+    Eq. 11: [sigma_N^2 = (2 b_th / f0^3) N + (8 ln2 b_fl / f0^4) N^2]
+
+    The numeric integrator exists to validate the closed form (and the
+    appendix's calculus) inside the test-suite, and to evaluate
+    arbitrary S_phi shapes the closed form does not cover. *)
+
+val sigma2_n : Ptrng_noise.Psd_model.phase -> f0:float -> n:int -> float
+(** Closed form (eq. 11). @raise Invalid_argument if [n <= 0] or
+    [f0 <= 0]. *)
+
+val sigma2_n_thermal : Ptrng_noise.Psd_model.phase -> f0:float -> n:int -> float
+(** The linear (thermal) term only: [2 b_th N / f0^3]. *)
+
+val sigma2_n_flicker : Ptrng_noise.Psd_model.phase -> f0:float -> n:int -> float
+(** The quadratic (flicker) term only: [8 ln2 b_fl N^2 / f0^4]. *)
+
+val sigma2_n_numeric :
+  ?rel_tol:float -> Ptrng_noise.Psd_model.phase -> f0:float -> n:int -> float
+(** Numeric evaluation of eq. 9 by composite Simpson integration in the
+    substituted variable u = f N / f0, with analytic small-u limits and
+    tail corrections.  Agrees with {!sigma2_n} to [rel_tol]
+    (default 1e-6). *)
+
+val sigma2_n_numeric_of_psd :
+  psd:(float -> float) -> f_max:float -> steps:int -> f0:float -> n:int -> float
+(** Eq. 9 for an arbitrary phase PSD, integrated on [0, f_max] with
+    [steps] Simpson panels — for model shapes beyond thermal+flicker. *)
+
+val scaled : Ptrng_noise.Psd_model.phase -> f0:float -> n:int -> float
+(** The Fig. 7 ordinate [f0^2 sigma_N^2]. *)
+
+val sigma2_n_random_walk : hm2:float -> f0:float -> n:int -> float
+(** Contribution of random-walk FM (one-sided [S_y = h_{-2}/f^2],
+    beyond the paper's model): [(4 pi^2 / 3) h_{-2} N^3 / f0^3] — the
+    cubic regime that follows flicker's quadratic one if the oscillator
+    also ages. *)

@@ -1,0 +1,1 @@
+lib/nist22/sp80022.ml: Array Float Format Hashtbl List Option Printf Ptrng_signal Ptrng_stats

@@ -1,0 +1,1 @@
+lib/nist22/sp80022.mli: Format

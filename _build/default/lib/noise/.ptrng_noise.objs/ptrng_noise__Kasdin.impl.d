@@ -1,0 +1,1 @@
+lib/noise/kasdin.ml: Array Float Ptrng_prng Ptrng_signal

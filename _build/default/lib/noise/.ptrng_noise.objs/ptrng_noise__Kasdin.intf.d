@@ -1,0 +1,1 @@
+lib/noise/kasdin.mli: Ptrng_prng

@@ -1,0 +1,1 @@
+lib/noise/psd_model.ml:

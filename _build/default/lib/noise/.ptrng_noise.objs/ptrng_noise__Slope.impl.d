@@ -1,0 +1,1 @@
+lib/noise/slope.ml: Array List Ptrng_signal Ptrng_stats

@@ -1,0 +1,1 @@
+lib/noise/slope.mli: Ptrng_signal

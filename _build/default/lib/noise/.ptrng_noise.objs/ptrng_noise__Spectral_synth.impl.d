@@ -1,0 +1,1 @@
+lib/noise/spectral_synth.ml: Array Psd_model Ptrng_prng Ptrng_signal White

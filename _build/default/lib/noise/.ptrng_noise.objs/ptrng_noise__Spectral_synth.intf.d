@@ -1,0 +1,1 @@
+lib/noise/spectral_synth.mli: Psd_model Ptrng_prng

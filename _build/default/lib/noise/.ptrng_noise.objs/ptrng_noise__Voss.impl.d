@@ -1,0 +1,1 @@
+lib/noise/voss.ml: Array Ptrng_prng

@@ -1,0 +1,1 @@
+lib/noise/voss.mli: Ptrng_prng

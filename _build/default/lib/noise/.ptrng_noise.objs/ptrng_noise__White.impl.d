@@ -1,0 +1,1 @@
+lib/noise/white.ml: Array Ptrng_prng

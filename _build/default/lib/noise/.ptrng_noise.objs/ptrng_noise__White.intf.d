@@ -1,0 +1,1 @@
+lib/noise/white.mli: Ptrng_prng

@@ -1,0 +1,13 @@
+let log_log_slope (s : Ptrng_signal.Psd.spectrum) ~f_lo ~f_hi =
+  let xs = ref [] and ys = ref [] in
+  Array.iteri
+    (fun k f ->
+      if f >= f_lo && f <= f_hi && f > 0.0 && s.psd.(k) > 0.0 then begin
+        xs := log10 f :: !xs;
+        ys := log10 s.psd.(k) :: !ys
+      end)
+    s.freqs;
+  let x = Array.of_list (List.rev !xs) and y = Array.of_list (List.rev !ys) in
+  if Array.length x < 3 then invalid_arg "Slope.log_log_slope: fewer than 3 bins in band";
+  let fit = Ptrng_stats.Regression.linear ~x ~y in
+  (fit.slope, fit.slope_se)

@@ -1,0 +1,9 @@
+(** Log-log slope estimation on spectra — identifies which power law a
+    measured PSD follows (thermal f^-2 vs flicker f^-3 regions of
+    S_phi, or f^0 vs f^-1 of S_y). *)
+
+val log_log_slope :
+  Ptrng_signal.Psd.spectrum -> f_lo:float -> f_hi:float -> float * float
+(** [log_log_slope s ~f_lo ~f_hi] fits [log10 psd = a + slope log10 f]
+    over the band and returns (slope, standard error).
+    @raise Invalid_argument if fewer than 3 usable bins fall in band. *)

@@ -1,0 +1,46 @@
+let generate rng ~psd ~fs n =
+  if not (Ptrng_signal.Fft.is_pow2 n) then
+    invalid_arg "Spectral_synth.generate: n must be a power of two";
+  if fs <= 0.0 then invalid_arg "Spectral_synth.generate: fs <= 0";
+  let g = Ptrng_prng.Gaussian.create rng in
+  let re = Array.make n 0.0 and im = Array.make n 0.0 in
+  let half = n / 2 in
+  (* E[|X_k|^2] = S(f_k) fs n / 2 for interior bins of an unscaled DFT. *)
+  for k = 1 to half - 1 do
+    let f = float_of_int k *. fs /. float_of_int n in
+    let amp = sqrt (psd f *. fs *. float_of_int n /. 4.0) in
+    let a = amp *. Ptrng_prng.Gaussian.draw g in
+    let b = amp *. Ptrng_prng.Gaussian.draw g in
+    re.(k) <- a;
+    im.(k) <- b;
+    re.(n - k) <- a;
+    im.(n - k) <- -.b
+  done;
+  (* Nyquist bin is real with the full expected power. *)
+  if half >= 1 && half < n then begin
+    let f = fs /. 2.0 in
+    re.(half) <- sqrt (psd f *. fs *. float_of_int n /. 2.0) *. Ptrng_prng.Gaussian.draw g
+  end;
+  (* inverse_pow2 applies the 1/n scaling, so a forward transform of the
+     result returns exactly the spectrum built above. *)
+  Ptrng_signal.Fft.inverse_pow2 ~re ~im;
+  re
+
+let generate_frac_freq rng ~model ~fs n =
+  let open Psd_model in
+  let y = Array.make n 0.0 in
+  if model.h0 > 0.0 then begin
+    let g = Ptrng_prng.Gaussian.create rng in
+    let sigma = sqrt (White.variance_of_level ~level:model.h0 ~fs) in
+    for i = 0 to n - 1 do
+      y.(i) <- sigma *. Ptrng_prng.Gaussian.draw g
+    done
+  end;
+  if model.hm1 > 0.0 || model.hm2 > 0.0 then begin
+    let colored_psd f = (model.hm1 /. f) +. (model.hm2 /. (f *. f)) in
+    let colored = generate rng ~psd:colored_psd ~fs n in
+    for i = 0 to n - 1 do
+      y.(i) <- y.(i) +. colored.(i)
+    done
+  end;
+  y

@@ -1,0 +1,26 @@
+(** Gaussian noise with an arbitrary target PSD, synthesised in the
+    frequency domain.
+
+    A Hermitian spectrum with independent complex-Gaussian bins whose
+    expected power matches the target density is inverse-transformed
+    into a real time series.  The output is a stationary Gaussian
+    process with (circulant) covariance matching the target PSD exactly
+    at the FFT grid frequencies; statistics that probe lags beyond
+    ~n/8 samples feel the periodicity, so callers should generate
+    blocks comfortably longer than the longest correlation they study.
+    This is the fast block generator behind the oscillator simulator;
+    {!Kasdin} and {!Voss} cross-validate it. *)
+
+val generate :
+  Ptrng_prng.Rng.t -> psd:(float -> float) -> fs:float -> int -> float array
+(** [generate rng ~psd ~fs n] returns [n] samples ([n] a power of two)
+    whose one-sided PSD matches [psd] (evaluated at [k fs / n],
+    k = 1 .. n/2; the DC bin is forced to zero, so the output has zero
+    mean over the block). @raise Invalid_argument if [n] is not a power
+    of two or [fs <= 0]. *)
+
+val generate_frac_freq :
+  Ptrng_prng.Rng.t -> model:Psd_model.frac_freq -> fs:float -> int -> float array
+(** Fractional-frequency noise for an oscillator: white FM is added in
+    the time domain (exactly white, no circularity), flicker and
+    random-walk FM come from {!generate}. *)

@@ -1,0 +1,24 @@
+type t = {
+  g : Ptrng_prng.Gaussian.t;
+  sources : float array;
+  mutable counter : int;
+}
+
+let create g ~octaves =
+  if octaves < 1 || octaves > 62 then invalid_arg "Voss.create: octaves outside [1,62]";
+  let sources = Array.init octaves (fun _ -> Ptrng_prng.Gaussian.draw g) in
+  { g; sources; counter = 0 }
+
+let next t =
+  let octaves = Array.length t.sources in
+  for j = 0 to octaves - 1 do
+    (* Source j holds its value for 2^j consecutive samples. *)
+    if t.counter land ((1 lsl j) - 1) = 0 then
+      t.sources.(j) <- Ptrng_prng.Gaussian.draw t.g
+  done;
+  t.counter <- t.counter + 1;
+  Array.fold_left ( +. ) 0.0 t.sources
+
+let generate t n = Array.init n (fun _ -> next t)
+
+let level_hm1 ~sigma = sigma *. sigma /. log 2.0

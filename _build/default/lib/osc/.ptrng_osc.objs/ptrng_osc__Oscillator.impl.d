@@ -1,0 +1,1 @@
+lib/osc/oscillator.ml: Array Float Ptrng_noise Ptrng_prng Ptrng_signal

@@ -1,0 +1,1 @@
+lib/osc/oscillator.mli: Ptrng_noise Ptrng_prng

@@ -1,0 +1,1 @@
+lib/osc/pair.ml: Oscillator Ptrng_noise Ptrng_prng

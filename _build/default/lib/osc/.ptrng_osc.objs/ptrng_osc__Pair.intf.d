@@ -1,0 +1,1 @@
+lib/osc/pair.mli: Oscillator Ptrng_noise Ptrng_prng

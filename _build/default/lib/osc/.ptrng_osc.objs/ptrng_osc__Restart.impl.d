@@ -1,0 +1,1 @@
+lib/osc/restart.ml: Array List Oscillator Ptrng_noise Ptrng_prng Ptrng_stats

@@ -1,0 +1,1 @@
+lib/osc/restart.mli: Oscillator Ptrng_prng

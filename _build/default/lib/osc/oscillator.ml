@@ -1,0 +1,100 @@
+type config = {
+  f0 : float;
+  phase : Ptrng_noise.Psd_model.phase;
+  flicker_generator : [ `Spectral | `Kasdin | `Voss | `None ];
+  rw_hm2 : float;
+}
+
+let config ?(flicker_generator = `Spectral) ?(rw_hm2 = 0.0) ~f0 ~phase () =
+  if f0 <= 0.0 then invalid_arg "Oscillator.config: f0 <= 0";
+  if phase.Ptrng_noise.Psd_model.b_th < 0.0 || phase.b_fl < 0.0 then
+    invalid_arg "Oscillator.config: negative phase-noise coefficient";
+  if rw_hm2 < 0.0 then invalid_arg "Oscillator.config: negative rw_hm2";
+  { f0; phase; flicker_generator; rw_hm2 }
+
+let thermal_sigma cfg =
+  sqrt (cfg.phase.Ptrng_noise.Psd_model.b_th /. (cfg.f0 ** 3.0))
+
+(* Flicker fractional-frequency samples at rate f0 with one-sided level
+   h_{-1} = 2 b_fl / f0^2, produced by the selected generator. *)
+let flicker_samples rng cfg n =
+  let hm1 = 2.0 *. cfg.phase.Ptrng_noise.Psd_model.b_fl /. (cfg.f0 *. cfg.f0) in
+  if hm1 = 0.0 then None
+  else
+    match cfg.flicker_generator with
+    | `None -> None
+    | `Spectral ->
+      let m = Ptrng_signal.Fft.next_pow2 n in
+      let model = { Ptrng_noise.Psd_model.h0 = 0.0; hm1; hm2 = 0.0 } in
+      let y = Ptrng_noise.Spectral_synth.generate_frac_freq rng ~model ~fs:cfg.f0 m in
+      Some (if m = n then y else Array.sub y 0 n)
+    | `Kasdin ->
+      let g = Ptrng_prng.Gaussian.create rng in
+      Some (Ptrng_noise.Kasdin.flicker_fm_block g ~hm1 ~fs:cfg.f0 n)
+    | `Voss ->
+      (* Per-source sigma inverts Voss.level_hm1 (= sigma^2 / ln 2);
+         octaves are chosen so the slowest source spans the block. *)
+      let sigma = sqrt (hm1 *. log 2.0) in
+      let octaves =
+        let rec count o span = if span >= n || o >= 40 then o else count (o + 1) (span * 2) in
+        count 1 1
+      in
+      let g = Ptrng_prng.Gaussian.create rng in
+      let v = Ptrng_noise.Voss.create g ~octaves in
+      Some (Array.map (fun s -> sigma *. s) (Ptrng_noise.Voss.generate v n))
+
+let periods rng cfg ~n =
+  if n <= 0 then invalid_arg "Oscillator.periods: n <= 0";
+  let t0 = 1.0 /. cfg.f0 in
+  let sigma_th = thermal_sigma cfg in
+  let out = Array.make n t0 in
+  if sigma_th > 0.0 then begin
+    let g = Ptrng_prng.Gaussian.create rng in
+    for k = 0 to n - 1 do
+      out.(k) <- out.(k) +. (sigma_th *. Ptrng_prng.Gaussian.draw g)
+    done
+  end;
+  (match flicker_samples rng cfg n with
+  | None -> ()
+  | Some y ->
+    for k = 0 to n - 1 do
+      out.(k) <- out.(k) +. (t0 *. y.(k))
+    done);
+  if cfg.rw_hm2 > 0.0 then begin
+    (* Random-walk FM (aging): y integrates white steps whose variance
+       follows from the one-sided level, sigma_w^2 = 2 pi^2 h_{-2}/fs
+       (exact in the time domain, no circularity). *)
+    let g = Ptrng_prng.Gaussian.create rng in
+    let sigma_w = sqrt (2.0 *. Float.pi *. Float.pi *. cfg.rw_hm2 /. cfg.f0) in
+    let y = ref 0.0 in
+    for k = 0 to n - 1 do
+      y := !y +. (sigma_w *. Ptrng_prng.Gaussian.draw g);
+      out.(k) <- out.(k) +. (t0 *. !y)
+    done
+  end;
+  out
+
+let edges_of_periods ?(t0 = 0.0) periods =
+  let n = Array.length periods in
+  let edges = Array.make (n + 1) t0 in
+  for k = 0 to n - 1 do
+    edges.(k + 1) <- edges.(k) +. periods.(k)
+  done;
+  edges
+
+let jitter_of_periods ~f0 periods =
+  if f0 <= 0.0 then invalid_arg "Oscillator.jitter_of_periods: f0 <= 0";
+  let t0 = 1.0 /. f0 in
+  Array.map (fun t -> t -. t0) periods
+
+let excess_phase ~f0 periods =
+  if f0 <= 0.0 then invalid_arg "Oscillator.excess_phase: f0 <= 0";
+  let t0 = 1.0 /. f0 in
+  let n = Array.length periods in
+  let phi = Array.make n 0.0 in
+  let time_error = ref 0.0 in
+  for k = 0 to n - 1 do
+    time_error := !time_error +. (periods.(k) -. t0);
+    phi.(k) <- -2.0 *. Float.pi *. f0 *. !time_error
+  done;
+  phi

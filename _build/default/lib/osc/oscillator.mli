@@ -1,0 +1,67 @@
+(** Event-level ring-oscillator simulator.
+
+    The oscillator is simulated period by period.  Writing [T0 = 1/f0],
+    period k lasts
+
+    [T_k = T0 + T0 * y_k + g_k]
+
+    where [g_k] is iid Gaussian thermal jitter with variance
+    [sigma_th^2 = b_th / f0^3] (white FM — exactly the independent part
+    of the paper's model) and [y_k] is flicker fractional-frequency
+    noise with one-sided level [h_{-1} = 2 b_fl / f0^2] (the
+    autocorrelated part).  With these calibrations the statistic
+    [s_N] built from the simulated periods has variance
+
+    [sigma_N^2 = (2 b_th / f0^3) N + (8 ln2 b_fl / f0^4) N^2]
+
+    — the paper's eq. 11 — which the test-suite verifies against the
+    closed form. *)
+
+type config = {
+  f0 : float;                              (** Nominal frequency, Hz. *)
+  phase : Ptrng_noise.Psd_model.phase;     (** This oscillator's (b_th, b_fl). *)
+  flicker_generator : [ `Spectral | `Kasdin | `Voss | `None ];
+      (** Which 1/f synthesiser drives [y_k]; [`Spectral] is the fast,
+          exactly-calibrated default, the others are cross-checks, and
+          [`None] disables flicker regardless of [b_fl] (the
+          "state-of-the-art model" baseline with independent jitter). *)
+  rw_hm2 : float;
+      (** Optional random-walk FM (aging/temperature drift) with
+          one-sided level [S_y = h_{-2}/f^2]; 0 in the paper's model.
+          Adds an N^3 term [(4 pi^2/3) h_{-2} N^3 T0^3] to sigma_N^2 —
+          an even steeper departure from Bienayme linearity than
+          flicker. *)
+}
+
+val config :
+  ?flicker_generator:[ `Spectral | `Kasdin | `Voss | `None ] ->
+  ?rw_hm2:float ->
+  f0:float ->
+  phase:Ptrng_noise.Psd_model.phase ->
+  unit ->
+  config
+(** @raise Invalid_argument on non-positive [f0] or negative
+    coefficients. *)
+
+val thermal_sigma : config -> float
+(** Per-period thermal jitter sigma = sqrt (b_th / f0^3), seconds. *)
+
+val periods : Ptrng_prng.Rng.t -> config -> n:int -> float array
+(** [periods rng cfg ~n] simulates [n] consecutive oscillation periods
+    (seconds). *)
+
+val edges_of_periods : ?t0:float -> float array -> float array
+(** Cumulative rising-edge times: [n+1] instants starting at [t0]
+    (default 0). *)
+
+val jitter_of_periods : f0:float -> float array -> float array
+(** The period-jitter process of the paper's eq. 3:
+    [J_k = T_k - 1/f0]. *)
+
+val excess_phase : f0:float -> float array -> float array
+(** [excess_phase ~f0 periods] is the paper's phi(t) (eq. 2) sampled at
+    each rising edge: [phi_k = -2 pi f0 (t_k - k/f0)] where [t_k] is
+    the simulated edge time.  Estimating the PSD of this series at
+    sample rate [f0] and halving it (one-sided to the paper's two-sided
+    convention) must reproduce [S_phi = b_fl/f^3 + b_th/f^2] — the test
+    suite closes that loop. *)

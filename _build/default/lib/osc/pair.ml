@@ -1,0 +1,31 @@
+type t = {
+  osc1 : Oscillator.config;
+  osc2 : Oscillator.config;
+}
+
+let of_relative ?flicker_generator ?(detuning = 1e-4) ~f0 ~relative () =
+  let open Ptrng_noise.Psd_model in
+  let half = { b_th = relative.b_th /. 2.0; b_fl = relative.b_fl /. 2.0 } in
+  let f1 = f0 *. (1.0 +. (detuning /. 2.0)) in
+  let f2 = f0 *. (1.0 -. (detuning /. 2.0)) in
+  {
+    osc1 = Oscillator.config ?flicker_generator ~f0:f1 ~phase:half ();
+    osc2 = Oscillator.config ?flicker_generator ~f0:f2 ~phase:half ();
+  }
+
+let paper_f0 = 103e6
+
+(* b_fl = b_th * f0 / (4 ln2 * 5354): the value that makes
+   r_N = 5354 / (5354 + N) as measured in the paper. *)
+let paper_relative =
+  let b_th = 276.04 in
+  { Ptrng_noise.Psd_model.b_th; b_fl = b_th *. paper_f0 /. (4.0 *. log 2.0 *. 5354.0) }
+
+let paper_pair () = of_relative ~f0:paper_f0 ~relative:paper_relative ()
+
+let simulate rng pair ~n =
+  let rng1 = Ptrng_prng.Rng.split rng in
+  let rng2 = Ptrng_prng.Rng.split rng in
+  let p1 = Oscillator.periods rng1 pair.osc1 ~n in
+  let p2 = Oscillator.periods rng2 pair.osc2 ~n in
+  (p1, p2)

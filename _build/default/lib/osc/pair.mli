@@ -1,0 +1,44 @@
+(** A pair of free-running ring oscillators — the entropy source of the
+    eRO-TRNG (paper Fig. 4) and the device under test of the
+    differential measurement (paper Fig. 6).
+
+    The paper's coefficients describe the {e relative} jitter between
+    the two rings.  Splitting each coefficient equally between two
+    independent oscillators reproduces the relative process exactly
+    (independent variances add), so [of_relative] is the calibrated way
+    to build a pair from a measured or modelled (b_th, b_fl). *)
+
+type t = {
+  osc1 : Oscillator.config;  (** The sampled ("fast counter") ring. *)
+  osc2 : Oscillator.config;  (** The sampling ("time base") ring. *)
+}
+
+val of_relative :
+  ?flicker_generator:[ `Spectral | `Kasdin | `Voss | `None ] ->
+  ?detuning:float ->
+  f0:float ->
+  relative:Ptrng_noise.Psd_model.phase ->
+  unit ->
+  t
+(** [of_relative ~f0 ~relative ()] builds two independent oscillators,
+    each carrying half of each [relative] coefficient.  [detuning] is
+    the fractional frequency offset between the rings (osc1 runs at
+    [f0 * (1 + detuning/2)], osc2 at [f0 * (1 - detuning/2)]); default
+    1e-4, the natural mismatch of two "identical" FPGA rings, which
+    also dithers the counter quantization. *)
+
+val paper_pair : unit -> t
+(** The pair calibrated to the paper's experiment: f0 = 103 MHz,
+    relative b_th = 276.04, b_fl = 1.9152e6 (the value implied by
+    r_N = 5354/(5354+N)). *)
+
+val paper_relative : Ptrng_noise.Psd_model.phase
+(** The paper's relative-jitter coefficients. *)
+
+val paper_f0 : float
+(** 103 MHz. *)
+
+val simulate :
+  Ptrng_prng.Rng.t -> t -> n:int -> float array * float array
+(** [simulate rng pair ~n] returns [n] simulated periods of each
+    oscillator, drawn from independent substreams of [rng]. *)

@@ -1,0 +1,1 @@
+lib/prng/distributions.ml: Array Float Gaussian Rng

@@ -1,0 +1,1 @@
+lib/prng/pcg32.ml: Int32 Int64

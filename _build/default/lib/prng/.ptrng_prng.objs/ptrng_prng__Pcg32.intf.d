@@ -1,0 +1,1 @@
+lib/prng/pcg32.mli:

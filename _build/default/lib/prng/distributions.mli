@@ -1,0 +1,34 @@
+(** Samplers for common distributions, built on {!Rng} and {!Gaussian}.
+
+    Used by workload generators and by failure-injection tests (e.g.
+    non-Gaussian jitter ablations). *)
+
+val exponential : Rng.t -> rate:float -> float
+(** Exponential with density [rate * exp (-rate*x)].
+    @raise Invalid_argument if [rate <= 0]. *)
+
+val laplace : Rng.t -> mu:float -> b:float -> float
+(** Laplace (double exponential) with location [mu] and scale [b]. *)
+
+val cauchy : Rng.t -> x0:float -> gamma:float -> float
+(** Cauchy with location [x0] and scale [gamma]; a heavy-tail stressor
+    (no finite variance). *)
+
+val bernoulli : Rng.t -> p:float -> bool
+(** [true] with probability [p]. @raise Invalid_argument unless
+    [0 <= p <= 1]. *)
+
+val binomial : Rng.t -> n:int -> p:float -> int
+(** Number of successes in [n] Bernoulli([p]) trials.  Exact inversion
+    for small [n*p], otherwise a normal approximation with continuity
+    correction clamped to [0, n]. *)
+
+val poisson : Rng.t -> lambda:float -> int
+(** Poisson counts; Knuth multiplication for [lambda <= 30], normal
+    approximation beyond. @raise Invalid_argument if [lambda <= 0]. *)
+
+val geometric : Rng.t -> p:float -> int
+(** Number of failures before the first success (support 0, 1, ...). *)
+
+val uniform_array : Rng.t -> int -> float array
+(** [uniform_array rng n] is [n] fresh uniforms in [0,1). *)

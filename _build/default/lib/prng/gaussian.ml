@@ -1,0 +1,101 @@
+type method_ = Ziggurat | Box_muller | Polar
+
+type t = {
+  method_ : method_;
+  rng : Rng.t;
+  mutable spare : float;
+  mutable has_spare : bool;
+}
+
+let pdf x = exp (-0.5 *. x *. x) /. sqrt (2.0 *. Float.pi)
+
+(* Ziggurat tables (Marsaglia & Tsang 2000, 128 layers).
+
+   f(x) = exp(-x^2/2) with abscissas x.(0) > x.(1) = r > ... > x.(128) = 0
+   and heights y.(i) = f(x.(i)).  Layer i is the horizontal band between
+   y.(i) and y.(i+1); every layer has area v; layer 0 is the base strip
+   plus the tail beyond r.  The recurrence closes for the magic pair
+   (r, v) below: it ends with y.(128) ~ 1 and x.(128) ~ 0. *)
+let zig_r = 3.442619855899
+let zig_v = 9.91256303526217e-3
+
+let zig_x, zig_y =
+  let n = 128 in
+  let x = Array.make (n + 1) 0.0 and y = Array.make (n + 1) 0.0 in
+  let f v = exp (-0.5 *. v *. v) in
+  x.(1) <- zig_r;
+  y.(1) <- f zig_r;
+  x.(0) <- zig_v /. y.(1);
+  y.(0) <- 0.0;
+  for i = 1 to n - 1 do
+    y.(i + 1) <- y.(i) +. (zig_v /. x.(i));
+    x.(i + 1) <- (if y.(i + 1) >= 1.0 then 0.0 else sqrt (-2.0 *. log y.(i + 1)))
+  done;
+  (x, y)
+
+let create ?(method_ = Ziggurat) rng = { method_; rng; spare = 0.0; has_spare = false }
+
+let draw_tail rng =
+  (* Marsaglia's exponential-rejection sampler for the normal tail x > r. *)
+  let rec loop () =
+    let x = -.log (Rng.float_pos rng) /. zig_r in
+    let y = -.log (Rng.float_pos rng) in
+    if y +. y >= x *. x then zig_r +. x else loop ()
+  in
+  loop ()
+
+let rec draw_ziggurat rng =
+  let i = Int64.to_int (Int64.logand (Rng.bits64 rng) 127L) in
+  let u = (2.0 *. Rng.float rng) -. 1.0 in
+  let z = u *. zig_x.(i) in
+  let az = Float.abs z in
+  if az < zig_x.(i + 1) then z
+  else if i = 0 then
+    let tail = draw_tail rng in
+    if u < 0.0 then -.tail else tail
+  else
+    let y = zig_y.(i) +. (Rng.float rng *. (zig_y.(i + 1) -. zig_y.(i))) in
+    if y < exp (-0.5 *. z *. z) then z else draw_ziggurat rng
+
+let draw t =
+  match t.method_ with
+  | Ziggurat -> draw_ziggurat t.rng
+  | Box_muller ->
+    if t.has_spare then begin
+      t.has_spare <- false;
+      t.spare
+    end
+    else begin
+      let u1 = Rng.float_pos t.rng and u2 = Rng.float t.rng in
+      let radius = sqrt (-2.0 *. log u1) and angle = 2.0 *. Float.pi *. u2 in
+      t.spare <- radius *. sin angle;
+      t.has_spare <- true;
+      radius *. cos angle
+    end
+  | Polar ->
+    if t.has_spare then begin
+      t.has_spare <- false;
+      t.spare
+    end
+    else begin
+      let rec loop () =
+        let v1 = (2.0 *. Rng.float t.rng) -. 1.0
+        and v2 = (2.0 *. Rng.float t.rng) -. 1.0 in
+        let s = (v1 *. v1) +. (v2 *. v2) in
+        if s >= 1.0 || s = 0.0 then loop ()
+        else begin
+          let scale = sqrt (-2.0 *. log s /. s) in
+          t.spare <- v2 *. scale;
+          t.has_spare <- true;
+          v1 *. scale
+        end
+      in
+      loop ()
+    end
+
+let draw_scaled t ~mu ~sigma = mu +. (sigma *. draw t)
+
+let fill t a =
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- draw t
+  done

@@ -1,0 +1,27 @@
+(** Standard-normal sampling.
+
+    Three classic algorithms are provided; the ziggurat is the default
+    used by the noise generators, with Box–Muller and the polar method
+    kept as independently-testable references. *)
+
+type method_ = Ziggurat | Box_muller | Polar
+
+type t
+(** A sampler: an algorithm plus its cached state (spare deviate,
+    ziggurat tables are global and shared). *)
+
+val create : ?method_:method_ -> Rng.t -> t
+(** [create ?method_ rng] builds a sampler drawing uniforms from [rng].
+    Default method is [Ziggurat]. *)
+
+val draw : t -> float
+(** One N(0,1) deviate. *)
+
+val draw_scaled : t -> mu:float -> sigma:float -> float
+(** [draw_scaled t ~mu ~sigma] is [mu + sigma * draw t]. *)
+
+val fill : t -> float array -> unit
+(** Overwrite an array with N(0,1) deviates. *)
+
+val pdf : float -> float
+(** Standard normal density. *)

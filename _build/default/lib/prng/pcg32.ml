@@ -1,0 +1,39 @@
+type t = { mutable state : int64; inc : int64 }
+
+let multiplier = 6364136223846793005L
+
+let step t = t.state <- Int64.add (Int64.mul t.state multiplier) t.inc
+
+let create ~seed ?(stream = 0L) () =
+  (* The increment must be odd; the standard initseq trick. *)
+  let inc = Int64.logor (Int64.shift_left stream 1) 1L in
+  let t = { state = 0L; inc } in
+  step t;
+  t.state <- Int64.add t.state seed;
+  step t;
+  t
+
+let ror32 x r =
+  let r = r land 31 in
+  if r = 0 then x
+  else
+    Int32.logor (Int32.shift_right_logical x r) (Int32.shift_left x (32 - r))
+
+let next t =
+  let old = t.state in
+  step t;
+  let xorshifted =
+    Int64.to_int32
+      (Int64.logand
+         (Int64.shift_right_logical (Int64.logxor (Int64.shift_right_logical old 18) old) 27)
+         0xFFFFFFFFL)
+  in
+  let rot = Int64.to_int (Int64.shift_right_logical old 59) in
+  ror32 xorshifted rot
+
+let next64 t =
+  let hi = Int64.of_int32 (next t) in
+  let lo = Int64.of_int32 (next t) in
+  Int64.logor
+    (Int64.shift_left hi 32)
+    (Int64.logand lo 0xFFFFFFFFL)

@@ -1,0 +1,18 @@
+(** PCG32 pseudo-random generator (O'Neill 2014, PCG-XSH-RR 64/32).
+
+    64-bit LCG state with a permuted 32-bit output.  Provided as an
+    alternative family to {!Xoshiro256} so statistical results can be
+    cross-checked against a structurally different generator. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int64 -> ?stream:int64 -> unit -> t
+(** [create ~seed ?stream ()] seeds the generator.  [stream] selects one
+    of 2^63 independent sequences (default 0). *)
+
+val next : t -> int32
+(** [next t] returns 32 fresh pseudo-random bits. *)
+
+val next64 : t -> int64
+(** [next64 t] concatenates two {!next} outputs into 64 bits. *)

@@ -1,0 +1,70 @@
+type backend = Xoshiro | Pcg | Splitmix
+
+type state =
+  | S_xoshiro of Xoshiro256.t
+  | S_pcg of Pcg32.t
+  | S_splitmix of Splitmix64.t
+
+type t = { state : state }
+
+let create ?(backend = Xoshiro) ~seed () =
+  let state =
+    match backend with
+    | Xoshiro -> S_xoshiro (Xoshiro256.create ~seed)
+    | Pcg -> S_pcg (Pcg32.create ~seed ())
+    | Splitmix -> S_splitmix (Splitmix64.create seed)
+  in
+  { state }
+
+let backend_name t =
+  match t.state with
+  | S_xoshiro _ -> "xoshiro256++"
+  | S_pcg _ -> "pcg32"
+  | S_splitmix _ -> "splitmix64"
+
+let bits64 t =
+  match t.state with
+  | S_xoshiro s -> Xoshiro256.next s
+  | S_pcg s -> Pcg32.next64 s
+  | S_splitmix s -> Splitmix64.next s
+
+let float t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let float_pos t =
+  (* 1 - u maps [0,1) to (0,1]. *)
+  1.0 -. float t
+
+let float_range t ~lo ~hi =
+  if lo >= hi then invalid_arg "Rng.float_range: lo >= hi";
+  lo +. ((hi -. lo) *. float t)
+
+let int_below t n =
+  if n <= 0 then invalid_arg "Rng.int_below: n <= 0";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let n64 = Int64.of_int n in
+  let limit = Int64.sub (Int64.div Int64.max_int n64) 1L in
+  let bound = Int64.mul limit n64 in
+  let rec draw () =
+    let v = Int64.shift_right_logical (bits64 t) 1 in
+    if v >= bound then draw () else Int64.to_int (Int64.rem v n64)
+  in
+  draw ()
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let split t =
+  let seed = bits64 t in
+  let backend =
+    match t.state with
+    | S_xoshiro _ -> Xoshiro
+    | S_pcg _ -> Pcg
+    | S_splitmix _ -> Splitmix
+  in
+  create ~backend ~seed ()
+
+let fill_floats t a =
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- float t
+  done

@@ -1,0 +1,43 @@
+(** Unified random-generator interface.
+
+    All stochastic code in this repository draws randomness through this
+    module, so any backend ({!Xoshiro256}, {!Pcg32}, {!Splitmix64}) can
+    be swapped in, and every simulation is reproducible from a seed. *)
+
+type t
+(** A generator handle: a backend plus its mutable state. *)
+
+type backend = Xoshiro | Pcg | Splitmix
+
+val create : ?backend:backend -> seed:int64 -> unit -> t
+(** [create ?backend ~seed ()] builds a seeded generator.
+    Default backend is [Xoshiro]. *)
+
+val backend_name : t -> string
+(** Human-readable backend label ("xoshiro256++", ...). *)
+
+val bits64 : t -> int64
+(** 64 uniform pseudo-random bits. *)
+
+val float : t -> float
+(** Uniform float in [0, 1), 53-bit resolution. *)
+
+val float_pos : t -> float
+(** Uniform float in (0, 1] — never 0, safe as a [log] argument. *)
+
+val float_range : t -> lo:float -> hi:float -> float
+(** Uniform float in [lo, hi). @raise Invalid_argument if [lo >= hi]. *)
+
+val int_below : t -> int -> int
+(** [int_below t n] is uniform on [0, n-1] without modulo bias.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val split : t -> t
+(** [split t] returns a generator seeded from [t]'s stream, for
+    independent substreams (e.g. one per simulated oscillator). *)
+
+val fill_floats : t -> float array -> unit
+(** [fill_floats t a] overwrites [a] with uniform [0,1) samples. *)

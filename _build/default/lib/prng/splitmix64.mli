@@ -1,0 +1,19 @@
+(** Splitmix64 pseudo-random generator (Steele, Lea, Flood 2014).
+
+    A tiny, fast, well-distributed 64-bit generator.  Its main role in
+    this library is to expand a single user seed into the larger state
+    vectors required by {!Xoshiro256} and {!Pcg32}, which is the seeding
+    procedure recommended by the xoshiro authors. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] builds a generator from any 64-bit seed (including 0). *)
+
+val next : t -> int64
+(** [next t] returns 64 fresh pseudo-random bits and advances the state. *)
+
+val next_float : t -> float
+(** [next_float t] returns a uniform float in [0, 1) using the top 53
+    bits of {!next}. *)

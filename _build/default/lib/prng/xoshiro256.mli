@@ -1,0 +1,22 @@
+(** Xoshiro256++ pseudo-random generator (Blackman, Vigna 2019).
+
+    256-bit state, period 2^256 - 1, excellent statistical quality; the
+    default generator of this library. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int64 -> t
+(** [create ~seed] seeds the 256-bit state by running {!Splitmix64} on
+    [seed], as recommended by the algorithm authors. *)
+
+val of_state : int64 array -> t
+(** [of_state s] uses the four words of [s] directly.
+    @raise Invalid_argument if [Array.length s <> 4] or all words are 0. *)
+
+val next : t -> int64
+(** [next t] returns 64 fresh pseudo-random bits. *)
+
+val jump : t -> unit
+(** [jump t] advances the state by 2^128 steps, used to split one stream
+    into non-overlapping substreams for independent simulations. *)

@@ -1,0 +1,1 @@
+lib/report/assessment.ml: Float Format List Ptrng_ais31 Ptrng_nist22 Ptrng_sp90b Ptrng_trng String

@@ -1,0 +1,1 @@
+lib/report/assessment.mli: Format Ptrng_ais31 Ptrng_nist22 Ptrng_sp90b Ptrng_trng

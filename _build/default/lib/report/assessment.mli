@@ -1,0 +1,47 @@
+(** One-call TRNG assessment: every evaluation standard in this
+    repository applied to one bitstream, with an opinionated overall
+    verdict.
+
+    The verdict logic (documented, deliberately conservative):
+
+    - [`Fail] — AIS31 procedure A fails, two or more SP 800-22 tests
+      fail, a health test alarms, or the 90B aggregate falls below
+      0.3 bit/bit;
+    - [`Caution] — exactly one SP 800-22 failure, or a 90B aggregate
+      below 0.5, or (when a stochastic model is supplied) the measured
+      serial correlation exceeds what the model's thermal part
+      explains;
+    - [`Pass] — otherwise.
+
+    Statistical batteries cannot certify entropy (the paper's core
+    point); a [`Pass] here plus a multilevel thermal measurement
+    ([Ptrng_measure.Thermal_extract]) is the combination AIS31's PTG.2
+    class actually asks for. *)
+
+type verdict = [ `Pass | `Caution | `Fail ]
+
+type t = {
+  bits_evaluated : int;
+  bias : float;
+  serial_correlation : float;
+  ais31_a : Ptrng_ais31.Report.summary option;    (** Needs 20000 bits. *)
+  ais31_b : Ptrng_ais31.Report.summary option;    (** Needs 2000 bits. *)
+  nist : Ptrng_nist22.Sp80022.result list;
+  sp90b : Ptrng_sp90b.Estimators.estimate list;
+  sp90b_aggregate : float;
+  predictors : Ptrng_sp90b.Estimators.estimate list;
+  predictor_aggregate : float;
+  health_rct_alarms : int;
+  health_apt_alarms : int;
+  verdict : verdict;
+}
+
+val evaluate : ?claimed_entropy:float -> Ptrng_trng.Bitstream.t -> t
+(** Run everything the stream length allows.  [claimed_entropy]
+    (default 0.997) sets the health-test cutoffs.
+    @raise Invalid_argument on fewer than 2000 bits. *)
+
+val verdict_name : verdict -> string
+
+val pp : Format.formatter -> t -> unit
+(** Render the full assessment as a text report. *)

@@ -1,0 +1,1 @@
+lib/signal/autocorr.mli:

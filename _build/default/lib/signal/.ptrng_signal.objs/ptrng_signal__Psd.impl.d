@@ -1,0 +1,1 @@
+lib/signal/psd.ml: Array Fft Window

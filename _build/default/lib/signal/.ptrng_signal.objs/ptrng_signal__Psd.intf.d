@@ -1,0 +1,1 @@
+lib/signal/psd.mli: Window

@@ -1,0 +1,18 @@
+(** Sample autocorrelation, computed via FFT in O(n log n).
+
+    The normalised ACF is the primary empirical probe for the paper's
+    central question: independent jitter realizations must show an ACF
+    indistinguishable from zero at all non-zero lags, while flicker
+    noise produces slowly decaying positive correlations. *)
+
+val autocovariance : ?max_lag:int -> float array -> float array
+(** [autocovariance ?max_lag x] returns biased sample autocovariances
+    c_0 .. c_max_lag (mean removed, divided by n).  [max_lag] defaults
+    to [n-1]. @raise Invalid_argument on empty input or bad lag. *)
+
+val acf : ?max_lag:int -> float array -> float array
+(** Normalised autocorrelation r_k = c_k / c_0 (so [r_0 = 1]).
+    @raise Invalid_argument if the series has zero variance. *)
+
+val confidence_bound : n:int -> float
+(** Two-sided 95% bound (+- 1.96/sqrt n) under the white-noise null. *)

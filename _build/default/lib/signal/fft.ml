@@ -1,0 +1,179 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let next_pow2 n =
+  let rec grow p = if p >= n then p else grow (p * 2) in
+  grow 1
+
+let check_pair re im =
+  let n = Array.length re in
+  if Array.length im <> n then invalid_arg "Fft: re/im length mismatch";
+  n
+
+let bit_reverse_permute re im =
+  let n = Array.length re in
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tr = re.(i) in
+      re.(i) <- re.(!j);
+      re.(!j) <- tr;
+      let ti = im.(i) in
+      im.(i) <- im.(!j);
+      im.(!j) <- ti
+    end;
+    let bit = ref (n lsr 1) in
+    while !j land !bit <> 0 do
+      j := !j lxor !bit;
+      bit := !bit lsr 1
+    done;
+    j := !j lor !bit
+  done
+
+(* One butterfly stage of span [len].  The twiddle factor walks the unit
+   circle with a multiplicative recurrence, re-anchored every 64 steps by
+   a direct cos/sin evaluation so rounding error cannot accumulate over
+   multi-million-point transforms. *)
+let stage re im n len sign =
+  let half = len / 2 in
+  let ang = sign *. 2.0 *. Float.pi /. float_of_int len in
+  let step_r = cos ang and step_i = sin ang in
+  let i = ref 0 in
+  while !i < n do
+    let wr = ref 1.0 and wi = ref 0.0 in
+    for k = 0 to half - 1 do
+      if k land 63 = 0 then begin
+        let a = ang *. float_of_int k in
+        wr := cos a;
+        wi := sin a
+      end;
+      let p = !i + k in
+      let q = p + half in
+      let vr = (re.(q) *. !wr) -. (im.(q) *. !wi) in
+      let vi = (re.(q) *. !wi) +. (im.(q) *. !wr) in
+      re.(q) <- re.(p) -. vr;
+      im.(q) <- im.(p) -. vi;
+      re.(p) <- re.(p) +. vr;
+      im.(p) <- im.(p) +. vi;
+      let nwr = (!wr *. step_r) -. (!wi *. step_i) in
+      wi := (!wr *. step_i) +. (!wi *. step_r);
+      wr := nwr
+    done;
+    i := !i + len
+  done
+
+let transform_pow2 ~sign re im =
+  let n = check_pair re im in
+  if not (is_pow2 n) then invalid_arg "Fft: length not a power of two";
+  if n > 1 then begin
+    bit_reverse_permute re im;
+    let len = ref 2 in
+    while !len <= n do
+      stage re im n !len sign;
+      len := !len * 2
+    done
+  end
+
+let forward_pow2 ~re ~im = transform_pow2 ~sign:(-1.0) re im
+
+let inverse_pow2 ~re ~im =
+  transform_pow2 ~sign:1.0 re im;
+  let n = Array.length re in
+  let inv = 1.0 /. float_of_int n in
+  for i = 0 to n - 1 do
+    re.(i) <- re.(i) *. inv;
+    im.(i) <- im.(i) *. inv
+  done
+
+(* Bluestein chirp-z: an n-point DFT as a cyclic convolution of length
+   m = next_pow2 (2n-1).  Chirp phases use k^2 mod 2n in exact integer
+   arithmetic to keep the angle accurate for large k. *)
+let chirp_angle n k =
+  let k2 = k * k mod (2 * n) in
+  Float.pi *. float_of_int k2 /. float_of_int n
+
+let bluestein ~sign re im =
+  let n = check_pair re im in
+  let m = next_pow2 ((2 * n) - 1) in
+  let ar = Array.make m 0.0 and ai = Array.make m 0.0 in
+  let br = Array.make m 0.0 and bi = Array.make m 0.0 in
+  for k = 0 to n - 1 do
+    let ang = sign *. chirp_angle n k in
+    let c = cos ang and s = sin ang in
+    ar.(k) <- (re.(k) *. c) -. (im.(k) *. s);
+    ai.(k) <- (re.(k) *. s) +. (im.(k) *. c);
+    br.(k) <- c;
+    bi.(k) <- -.s;
+    if k > 0 then begin
+      br.(m - k) <- c;
+      bi.(m - k) <- -.s
+    end
+  done;
+  forward_pow2 ~re:ar ~im:ai;
+  forward_pow2 ~re:br ~im:bi;
+  for k = 0 to m - 1 do
+    let pr = (ar.(k) *. br.(k)) -. (ai.(k) *. bi.(k)) in
+    let pi = (ar.(k) *. bi.(k)) +. (ai.(k) *. br.(k)) in
+    ar.(k) <- pr;
+    ai.(k) <- pi
+  done;
+  inverse_pow2 ~re:ar ~im:ai;
+  let outr = Array.make n 0.0 and outi = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    let ang = sign *. chirp_angle n k in
+    let c = cos ang and s = sin ang in
+    outr.(k) <- (ar.(k) *. c) -. (ai.(k) *. s);
+    outi.(k) <- (ar.(k) *. s) +. (ai.(k) *. c)
+  done;
+  (outr, outi)
+
+let dft ~re ~im =
+  let n = check_pair re im in
+  if is_pow2 n then begin
+    let cr = Array.copy re and ci = Array.copy im in
+    forward_pow2 ~re:cr ~im:ci;
+    (cr, ci)
+  end
+  else bluestein ~sign:(-1.0) re im
+
+let idft ~re ~im =
+  let n = check_pair re im in
+  if is_pow2 n then begin
+    let cr = Array.copy re and ci = Array.copy im in
+    inverse_pow2 ~re:cr ~im:ci;
+    (cr, ci)
+  end
+  else begin
+    let outr, outi = bluestein ~sign:1.0 re im in
+    let inv = 1.0 /. float_of_int n in
+    for k = 0 to n - 1 do
+      outr.(k) <- outr.(k) *. inv;
+      outi.(k) <- outi.(k) *. inv
+    done;
+    (outr, outi)
+  end
+
+let rfft x =
+  let n = Array.length x in
+  dft ~re:(Array.copy x) ~im:(Array.make n 0.0)
+
+let convolve_real a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then [||]
+  else begin
+    let n = na + nb - 1 in
+    let m = next_pow2 n in
+    let ar = Array.make m 0.0 and ai = Array.make m 0.0 in
+    let br = Array.make m 0.0 and bi = Array.make m 0.0 in
+    Array.blit a 0 ar 0 na;
+    Array.blit b 0 br 0 nb;
+    forward_pow2 ~re:ar ~im:ai;
+    forward_pow2 ~re:br ~im:bi;
+    for k = 0 to m - 1 do
+      let pr = (ar.(k) *. br.(k)) -. (ai.(k) *. bi.(k)) in
+      let pi = (ar.(k) *. bi.(k)) +. (ai.(k) *. br.(k)) in
+      ar.(k) <- pr;
+      ai.(k) <- pi
+    done;
+    inverse_pow2 ~re:ar ~im:ai;
+    Array.sub ar 0 n
+  end

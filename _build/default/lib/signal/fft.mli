@@ -1,0 +1,36 @@
+(** Fast Fourier transforms on split real/imaginary float arrays.
+
+    Power-of-two lengths use an in-place iterative radix-2
+    Cooley–Tukey; arbitrary lengths go through Bluestein's chirp-z
+    algorithm.  Forward transforms are unscaled
+    (X_k = sum_j x_j e^{-2 pi i jk/n}); inverse transforms divide by n,
+    so [inverse (forward x) = x]. *)
+
+val is_pow2 : int -> bool
+(** [is_pow2 n] is true iff [n] is a positive power of two. *)
+
+val next_pow2 : int -> int
+(** Smallest power of two >= [n] (with [next_pow2 0 = 1]). *)
+
+val forward_pow2 : re:float array -> im:float array -> unit
+(** In-place forward FFT.  @raise Invalid_argument if the arrays differ
+    in length or the length is not a power of two. *)
+
+val inverse_pow2 : re:float array -> im:float array -> unit
+(** In-place inverse FFT (scaled by 1/n).  Same preconditions as
+    {!forward_pow2}. *)
+
+val dft : re:float array -> im:float array -> float array * float array
+(** [dft ~re ~im] is the forward transform for any length, returning
+    fresh arrays (Bluestein when the length is not a power of two). *)
+
+val idft : re:float array -> im:float array -> float array * float array
+(** Inverse counterpart of {!dft} (scaled by 1/n). *)
+
+val rfft : float array -> float array * float array
+(** [rfft x] is the forward transform of a real signal of any length,
+    returned as full-length (re, im) arrays. *)
+
+val convolve_real : float array -> float array -> float array
+(** [convolve_real a b] is the full linear convolution (length
+    [|a|+|b|-1]) computed via FFT. *)

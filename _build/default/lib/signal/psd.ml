@@ -1,0 +1,83 @@
+type spectrum = {
+  freqs : float array;
+  psd : float array;
+  fs : float;
+  segments : int;
+}
+
+(* One windowed, mean-removed segment accumulated into [acc].
+   Density scaling: 2 |X_k|^2 / (fs * S2), halved at DC and Nyquist. *)
+let accumulate_segment ~window ~fs x offset seg_len acc =
+  let re = Array.make seg_len 0.0 and im = Array.make seg_len 0.0 in
+  let mean = ref 0.0 in
+  for j = 0 to seg_len - 1 do
+    mean := !mean +. x.(offset + j)
+  done;
+  let mean = !mean /. float_of_int seg_len in
+  for j = 0 to seg_len - 1 do
+    re.(j) <- (x.(offset + j) -. mean) *. window.(j)
+  done;
+  let fr, fi = Fft.dft ~re ~im in
+  let s2 = Window.sum_sq window in
+  let scale = 2.0 /. (fs *. s2) in
+  let nbins = Array.length acc in
+  for k = 0 to nbins - 1 do
+    let p = (fr.(k) *. fr.(k)) +. (fi.(k) *. fi.(k)) in
+    let full = if k = 0 || (seg_len land 1 = 0 && k = nbins - 1) then 0.5 else 1.0 in
+    acc.(k) <- acc.(k) +. (scale *. full *. p)
+  done
+
+let spectrum_of_acc ~fs ~seg_len ~segments acc =
+  let nbins = Array.length acc in
+  let freqs = Array.init nbins (fun k -> float_of_int k *. fs /. float_of_int seg_len) in
+  let psd = Array.map (fun v -> v /. float_of_int segments) acc in
+  { freqs; psd; fs; segments }
+
+let periodogram ?(window = Window.Hann) ~fs x =
+  let n = Array.length x in
+  if n = 0 then invalid_arg "Psd.periodogram: empty input";
+  if fs <= 0.0 then invalid_arg "Psd.periodogram: fs <= 0";
+  let w = Window.make window n in
+  let nbins = (n / 2) + 1 in
+  let acc = Array.make nbins 0.0 in
+  accumulate_segment ~window:w ~fs x 0 n acc;
+  spectrum_of_acc ~fs ~seg_len:n ~segments:1 acc
+
+let welch ?(window = Window.Hann) ?(overlap = 0.5) ~seg_len ~fs x =
+  let n = Array.length x in
+  if seg_len <= 0 || seg_len > n then invalid_arg "Psd.welch: bad seg_len";
+  if overlap < 0.0 || overlap > 0.9 then invalid_arg "Psd.welch: overlap outside [0,0.9]";
+  if fs <= 0.0 then invalid_arg "Psd.welch: fs <= 0";
+  let w = Window.make window seg_len in
+  let hop = max 1 (int_of_float (float_of_int seg_len *. (1.0 -. overlap))) in
+  let nbins = (seg_len / 2) + 1 in
+  let acc = Array.make nbins 0.0 in
+  let segments = ref 0 in
+  let offset = ref 0 in
+  while !offset + seg_len <= n do
+    accumulate_segment ~window:w ~fs x !offset seg_len acc;
+    incr segments;
+    offset := !offset + hop
+  done;
+  spectrum_of_acc ~fs ~seg_len ~segments:!segments acc
+
+let band_mean s ~f_lo ~f_hi =
+  let acc = ref 0.0 and count = ref 0 in
+  Array.iteri
+    (fun k f ->
+      if f >= f_lo && f <= f_hi then begin
+        acc := !acc +. s.psd.(k);
+        incr count
+      end)
+    s.freqs;
+  if !count = 0 then invalid_arg "Psd.band_mean: empty band";
+  !acc /. float_of_int !count
+
+let total_power s =
+  let n = Array.length s.freqs in
+  let acc = ref 0.0 in
+  for k = 0 to n - 2 do
+    let df = s.freqs.(k + 1) -. s.freqs.(k) in
+    acc := !acc +. (0.5 *. (s.psd.(k) +. s.psd.(k + 1)) *. df)
+  done;
+  !acc

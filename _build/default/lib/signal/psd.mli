@@ -1,0 +1,38 @@
+(** One-sided power spectral density estimation.
+
+    Estimates are densities in units of [x^2/Hz], normalised so that the
+    integral over frequency equals the signal variance (Parseval); this
+    is the convention needed to read the phase-noise coefficients b_th
+    and b_fl directly off the estimated spectrum. *)
+
+type spectrum = {
+  freqs : float array;  (** Frequency grid in Hz, [0 .. fs/2]. *)
+  psd : float array;    (** One-sided density estimate, x^2/Hz. *)
+  fs : float;           (** Sampling frequency used. *)
+  segments : int;       (** Number of averaged segments. *)
+}
+
+val periodogram : ?window:Window.kind -> fs:float -> float array -> spectrum
+(** Single-segment windowed periodogram.  Default window: [Hann].
+    @raise Invalid_argument on empty input or [fs <= 0]. *)
+
+val welch :
+  ?window:Window.kind ->
+  ?overlap:float ->
+  seg_len:int ->
+  fs:float ->
+  float array ->
+  spectrum
+(** Welch's averaged periodogram with fractional segment [overlap]
+    (default 0.5).  Segments are detrended by mean removal.
+    @raise Invalid_argument if [seg_len] exceeds the data length, is
+    not positive, or [overlap] is outside [0, 0.9]. *)
+
+val band_mean : spectrum -> f_lo:float -> f_hi:float -> float
+(** Mean density over a frequency band — a robust level estimate for
+    flat (white) regions. @raise Invalid_argument if the band contains
+    no estimated frequency. *)
+
+val total_power : spectrum -> float
+(** Trapezoidal integral of the density over the estimated band;
+    approximately the signal variance. *)

@@ -1,0 +1,37 @@
+type kind = Rectangular | Hann | Hamming | Blackman | Blackman_harris | Flattop
+
+let name = function
+  | Rectangular -> "rectangular"
+  | Hann -> "hann"
+  | Hamming -> "hamming"
+  | Blackman -> "blackman"
+  | Blackman_harris -> "blackman-harris"
+  | Flattop -> "flattop"
+
+(* Cosine-sum windows in periodic form: w(j) = sum_k a_k cos(2 pi k j / n). *)
+let cosine_sum coeffs n =
+  Array.init n (fun j ->
+      let theta = 2.0 *. Float.pi *. float_of_int j /. float_of_int n in
+      let acc = ref 0.0 in
+      Array.iteri (fun k a -> acc := !acc +. (a *. cos (theta *. float_of_int k))) coeffs;
+      !acc)
+
+let make kind n =
+  if n <= 0 then invalid_arg "Window.make: n <= 0";
+  match kind with
+  | Rectangular -> Array.make n 1.0
+  | Hann -> cosine_sum [| 0.5; -0.5 |] n
+  | Hamming -> cosine_sum [| 0.54; -0.46 |] n
+  | Blackman -> cosine_sum [| 0.42; -0.5; 0.08 |] n
+  | Blackman_harris -> cosine_sum [| 0.35875; -0.48829; 0.14128; -0.01168 |] n
+  | Flattop -> cosine_sum [| 0.21557895; -0.41663158; 0.277263158; -0.083578947; 0.006947368 |] n
+
+let coherent_gain w =
+  let n = Array.length w in
+  Array.fold_left ( +. ) 0.0 w /. float_of_int n
+
+let sum_sq w = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 w
+
+let enbw_bins w =
+  let s1 = Array.fold_left ( +. ) 0.0 w in
+  float_of_int (Array.length w) *. sum_sq w /. (s1 *. s1)

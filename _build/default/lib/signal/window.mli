@@ -1,0 +1,22 @@
+(** Tapering windows for spectral estimation.
+
+    Each window comes with the two normalisation constants PSD code
+    needs: the coherent gain (mean of the window) and the sum of squared
+    coefficients (for density scaling). *)
+
+type kind = Rectangular | Hann | Hamming | Blackman | Blackman_harris | Flattop
+
+val name : kind -> string
+
+val make : kind -> int -> float array
+(** [make kind n] is the [n]-point window (periodic form, suited to
+    Welch averaging). @raise Invalid_argument if [n <= 0]. *)
+
+val coherent_gain : float array -> float
+(** Mean of the window coefficients. *)
+
+val sum_sq : float array -> float
+(** Sum of squared coefficients (S2), the periodogram density scale. *)
+
+val enbw_bins : float array -> float
+(** Equivalent noise bandwidth in bins: [n * S2 / S1^2]. *)

@@ -1,0 +1,1 @@
+lib/sp90b/estimators.ml: Array Float Hashtbl List Option Printf Ptrng_stats

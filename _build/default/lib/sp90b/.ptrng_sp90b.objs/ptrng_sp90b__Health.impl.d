@@ -1,0 +1,1 @@
+lib/sp90b/health.ml: Array Float Ptrng_stats

@@ -1,0 +1,1 @@
+lib/sp90b/health.mli:

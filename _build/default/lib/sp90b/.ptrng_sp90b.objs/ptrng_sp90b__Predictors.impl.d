@@ -1,0 +1,1 @@
+lib/sp90b/predictors.ml: Array Estimators Float Hashtbl List Option

@@ -1,0 +1,97 @@
+let rct_cutoff ?(alpha_exp = 30) ~h () =
+  if h <= 0.0 || h > 1.0 then invalid_arg "Health.rct_cutoff: h outside (0,1]";
+  if alpha_exp <= 0 then invalid_arg "Health.rct_cutoff: alpha_exp <= 0";
+  1 + int_of_float (Float.ceil (float_of_int alpha_exp /. h))
+
+let apt_cutoff ?(alpha_exp = 30) ?(window = 1024) ~h () =
+  if h <= 0.0 || h > 1.0 then invalid_arg "Health.apt_cutoff: h outside (0,1]";
+  if window < 64 then invalid_arg "Health.apt_cutoff: window < 64";
+  let p = 2.0 ** -.h in
+  let log_alpha = -.float_of_int alpha_exp *. log 2.0 in
+  (* Exact binomial upper tail in log space, scanned from the top. *)
+  let logp = log p and logq = log (1.0 -. p) in
+  let log_choose n k =
+    Ptrng_stats.Special.log_gamma (float_of_int (n + 1))
+    -. Ptrng_stats.Special.log_gamma (float_of_int (k + 1))
+    -. Ptrng_stats.Special.log_gamma (float_of_int (n - k + 1))
+  in
+  let log_pmf k =
+    log_choose window k +. (float_of_int k *. logp)
+    +. (float_of_int (window - k) *. logq)
+  in
+  (* tail(c) = sum_{k >= c} pmf(k); find the smallest c with
+     tail(c) <= alpha by accumulating downward from k = window. *)
+  let tail = ref neg_infinity in
+  let log_add a b =
+    if a = neg_infinity then b
+    else if b = neg_infinity then a
+    else begin
+      let hi = Float.max a b in
+      hi +. log (exp (a -. hi) +. exp (b -. hi))
+    end
+  in
+  let cutoff = ref (window + 1) in
+  (try
+     for k = window downto 0 do
+       tail := log_add !tail (log_pmf k);
+       if !tail > log_alpha then begin
+         cutoff := k + 1;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !cutoff
+
+type rct = { cutoff : int; mutable current : bool option; mutable count : int }
+
+let rct_create ~cutoff =
+  if cutoff < 2 then invalid_arg "Health.rct_create: cutoff < 2";
+  { cutoff; current = None; count = 0 }
+
+let rct_feed t sample =
+  (match t.current with
+  | Some v when v = sample -> t.count <- t.count + 1
+  | _ ->
+    t.current <- Some sample;
+    t.count <- 1);
+  t.count >= t.cutoff
+
+type apt = {
+  a_cutoff : int;
+  window : int;
+  mutable reference : bool option;
+  mutable seen : int;
+  mutable matches : int;
+}
+
+let apt_create ~cutoff ~window =
+  if cutoff < 2 || cutoff > window then invalid_arg "Health.apt_create: bad cutoff";
+  { a_cutoff = cutoff; window; reference = None; seen = 0; matches = 0 }
+
+let apt_feed t sample =
+  match t.reference with
+  | None ->
+    t.reference <- Some sample;
+    t.seen <- 1;
+    t.matches <- 1;
+    false
+  | Some r ->
+    t.seen <- t.seen + 1;
+    if sample = r then t.matches <- t.matches + 1;
+    if t.seen >= t.window then begin
+      let alarm = t.matches >= t.a_cutoff in
+      t.reference <- None;
+      alarm
+    end
+    else false
+
+let scan ~cutoff_rct ~cutoff_apt ~window bits =
+  let rct = rct_create ~cutoff:cutoff_rct in
+  let apt = apt_create ~cutoff:cutoff_apt ~window in
+  let rct_alarms = ref 0 and apt_alarms = ref 0 in
+  Array.iter
+    (fun b ->
+      if rct_feed rct b then incr rct_alarms;
+      if apt_feed apt b then incr apt_alarms)
+    bits;
+  (!rct_alarms, !apt_alarms)

@@ -1,0 +1,42 @@
+(** SP 800-90B §4 continuous health tests (binary).
+
+    The standard's two mandatory on-line tests, designed to catch total
+    failures of the noise source with a false-alarm probability of
+    [alpha] (2^-30 by default) per evaluation, assuming the claimed
+    min-entropy [h] per bit:
+
+    - the {e repetition count test} (RCT) alarms on an impossible run of
+      identical samples;
+    - the {e adaptive proportion test} (APT) alarms when one value
+      dominates a window.
+
+    These complement the paper's proposed thermal-noise test: RCT/APT
+    catch gross failures within microseconds, the thermal test verifies
+    the entropy *rate* claim itself (slowly).  A flicker-quenched
+    oscillator that still wiggles passes RCT/APT — the gap the paper's
+    statistic closes. *)
+
+val rct_cutoff : ?alpha_exp:int -> h:float -> unit -> int
+(** Repetition cutoff [1 + ceil (alpha_exp / h)] for
+    [alpha = 2^-alpha_exp] (default 30).
+    @raise Invalid_argument unless [0 < h <= 1]. *)
+
+val apt_cutoff : ?alpha_exp:int -> ?window:int -> h:float -> unit -> int
+(** Smallest count C with [P(Bin(window, 2^-h) >= C) <= 2^-alpha_exp]
+    (default window 1024), computed from the exact binomial tail. *)
+
+type rct
+type apt
+
+val rct_create : cutoff:int -> rct
+val rct_feed : rct -> bool -> bool
+(** Feed one sample; [true] means ALARM (cutoff reached). The monitor
+    keeps running after an alarm. *)
+
+val apt_create : cutoff:int -> window:int -> apt
+val apt_feed : apt -> bool -> bool
+(** Feed one sample; [true] means ALARM in the window just closed. *)
+
+val scan : cutoff_rct:int -> cutoff_apt:int -> window:int -> bool array -> int * int
+(** Run both monitors over a recorded stream; returns (rct alarms,
+    apt alarms). *)

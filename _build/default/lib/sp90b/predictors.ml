@@ -1,0 +1,225 @@
+let z99 = 2.5758293035489004
+
+(* --- shared scoring ------------------------------------------------ *)
+
+(* Root near 1 of 1 - x + q p^r x^{r+1} = 0 by fixed-point iteration. *)
+let run_root ~p ~q ~r =
+  let x = ref 1.0 in
+  for _ = 1 to 60 do
+    x := 1.0 +. (q *. (p ** float_of_int r) *. (!x ** float_of_int (r + 1)))
+  done;
+  !x
+
+(* P(longest success run < r in n trials) for success probability p. *)
+let prob_no_run ~n ~p ~r =
+  if p >= 1.0 then 0.0
+  else if p <= 0.0 then 1.0
+  else begin
+    let q = 1.0 -. p in
+    let x = run_root ~p ~q ~r in
+    let logp =
+      log ((1.0 -. (p *. x)) /. ((float_of_int (r + 1) -. (float_of_int r *. x)) *. q))
+      -. (float_of_int (n + 1) *. log x)
+    in
+    Float.max 0.0 (Float.min 1.0 (exp logp))
+  end
+
+let local_bound ~n ~longest_run =
+  if n <= 0 then invalid_arg "Predictors.local_bound: n <= 0";
+  let r = longest_run + 1 in
+  (* 99% upper confidence bound: the largest p under which observing no
+     run of length r still has >= 1% probability.  P(no run >= r | p)
+     decreases in p, so bisect to P = 0.01. *)
+  let alpha = 0.01 in
+  let lo = ref 1e-9 and hi = ref (1.0 -. 1e-9) in
+  for _ = 1 to 80 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if prob_no_run ~n ~p:mid ~r > alpha then lo := mid else hi := mid
+  done;
+  0.5 *. (!lo +. !hi)
+
+let score ~name ~correct ~n ~longest_run =
+  if n <= 0 then invalid_arg "Predictors: no predictions made";
+  let fn = float_of_int n in
+  let p_global = float_of_int correct /. fn in
+  let p_global_u =
+    if correct = 0 then 1.0 -. (0.01 ** (1.0 /. fn))
+    else
+      Float.min 1.0
+        (p_global +. (z99 *. sqrt (p_global *. (1.0 -. p_global) /. (fn -. 1.0))))
+  in
+  let p_local = local_bound ~n ~longest_run in
+  let p_max = Float.max 0.5 (Float.max p_global_u p_local) in
+  {
+    Estimators.name;
+    p_max;
+    min_entropy = Float.max 0.0 (Float.min 1.0 (-.(log p_max /. log 2.0)));
+  }
+
+(* Fold a prediction stream: [predict i] returns the ensemble's guess
+   for bits.(i) (or None early on); the caller updates its own state
+   via [update i] afterwards. *)
+let run_predictor ~name ~start bits predict update =
+  let n = Array.length bits in
+  let correct = ref 0 and made = ref 0 in
+  let run = ref 0 and longest = ref 0 in
+  for i = start to n - 1 do
+    (match predict i with
+    | Some guess ->
+      incr made;
+      if guess = bits.(i) then begin
+        incr correct;
+        incr run;
+        if !run > !longest then longest := !run
+      end
+      else run := 0
+    | None -> ());
+    update i
+  done;
+  score ~name ~correct:!correct ~n:!made ~longest_run:!longest
+
+(* --- MultiMCW ------------------------------------------------------ *)
+
+let mcw_windows = [| 63; 255; 1023; 4095 |]
+
+let multi_mcw bits =
+  if Array.length bits < 4096 then invalid_arg "Predictors.multi_mcw: need >= 4096 bits";
+  let n = Array.length bits in
+  (* Prefix ones for O(1) window majority. *)
+  let ones = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    ones.(i + 1) <- ones.(i) + (if bits.(i) then 1 else 0)
+  done;
+  let k = Array.length mcw_windows in
+  let scoreboard = Array.make k 0 in
+  let sub_predict w i =
+    let lo = max 0 (i - w) in
+    let c1 = ones.(i) - ones.(lo) in
+    let len = i - lo in
+    if 2 * c1 > len then true
+    else if 2 * c1 < len then false
+    else bits.(i - 1) (* tie: most recent value *)
+  in
+  let predict i =
+    let best = ref 0 in
+    for j = 1 to k - 1 do
+      if scoreboard.(j) > scoreboard.(!best) then best := j
+    done;
+    Some (sub_predict mcw_windows.(!best) i)
+  in
+  let update i =
+    for j = 0 to k - 1 do
+      if sub_predict mcw_windows.(j) i = bits.(i) then
+        scoreboard.(j) <- scoreboard.(j) + 1
+    done
+  in
+  run_predictor ~name:"multi-mcw" ~start:64 bits predict update
+
+(* --- Lag ------------------------------------------------------------ *)
+
+let lag ?(max_lag = 128) bits =
+  if max_lag < 1 then invalid_arg "Predictors.lag: max_lag < 1";
+  if Array.length bits < max 1000 (2 * max_lag) then
+    invalid_arg "Predictors.lag: need >= 1000 bits";
+  let scoreboard = Array.make max_lag 0 in
+  let predict i =
+    let best = ref 0 in
+    for j = 1 to max_lag - 1 do
+      if scoreboard.(j) > scoreboard.(!best) then best := j
+    done;
+    Some bits.(i - (!best + 1))
+  in
+  let update i =
+    for j = 0 to max_lag - 1 do
+      if bits.(i - (j + 1)) = bits.(i) then scoreboard.(j) <- scoreboard.(j) + 1
+    done
+  in
+  run_predictor ~name:"lag" ~start:max_lag bits predict update
+
+(* --- MultiMMC ------------------------------------------------------- *)
+
+let multi_mmc ?(max_order = 16) bits =
+  if max_order < 1 || max_order > 30 then
+    invalid_arg "Predictors.multi_mmc: max_order outside [1,30]";
+  if Array.length bits < 1000 then invalid_arg "Predictors.multi_mmc: need >= 1000 bits";
+  (* Per order: context (packed bits + length marker) -> (c0, c1). *)
+  let tables = Array.init max_order (fun _ -> Hashtbl.create 1024) in
+  let context d i =
+    (* Bits i-d .. i-1 packed with a leading marker bit. *)
+    let acc = ref 1 in
+    for j = i - d to i - 1 do
+      acc := (!acc lsl 1) lor (if bits.(j) then 1 else 0)
+    done;
+    !acc
+  in
+  let scoreboard = Array.make max_order 0 in
+  let sub_predict d i =
+    match Hashtbl.find_opt tables.(d - 1) (context d i) with
+    | Some (c0, c1) when c0 <> c1 -> Some (c1 > c0)
+    | Some _ | None -> None
+  in
+  let predict i =
+    let best = ref 0 in
+    for j = 1 to max_order - 1 do
+      if scoreboard.(j) > scoreboard.(!best) then best := j
+    done;
+    sub_predict (!best + 1) i
+  in
+  let update i =
+    for d = 1 to min max_order i do
+      (match sub_predict d i with
+      | Some guess when guess = bits.(i) -> scoreboard.(d - 1) <- scoreboard.(d - 1) + 1
+      | _ -> ());
+      let key = context d i in
+      let c0, c1 = Option.value ~default:(0, 0) (Hashtbl.find_opt tables.(d - 1) key) in
+      Hashtbl.replace tables.(d - 1) key
+        (if bits.(i) then (c0, c1 + 1) else (c0 + 1, c1))
+    done
+  in
+  run_predictor ~name:"multi-mmc" ~start:2 bits predict update
+
+(* --- LZ78Y ----------------------------------------------------------- *)
+
+let lz78y bits =
+  if Array.length bits < 1000 then invalid_arg "Predictors.lz78y: need >= 1000 bits";
+  let max_depth = 16 in
+  let max_entries = 65536 in
+  let dict : (int, int * int) Hashtbl.t = Hashtbl.create 4096 in
+  let key d i =
+    let acc = ref 1 in
+    for j = i - d to i - 1 do
+      acc := (!acc lsl 1) lor (if bits.(j) then 1 else 0)
+    done;
+    !acc
+  in
+  let predict i =
+    let rec deepest d =
+      if d = 0 then None
+      else
+        match Hashtbl.find_opt dict (key d i) with
+        | Some (c0, c1) when c0 <> c1 -> Some (c1 > c0)
+        | _ -> deepest (d - 1)
+    in
+    deepest (min max_depth i)
+  in
+  let update i =
+    for d = 1 to min max_depth i do
+      let k = key d i in
+      match Hashtbl.find_opt dict k with
+      | Some (c0, c1) ->
+        Hashtbl.replace dict k (if bits.(i) then (c0, c1 + 1) else (c0 + 1, c1))
+      | None ->
+        if Hashtbl.length dict < max_entries then
+          Hashtbl.add dict k (if bits.(i) then (0, 1) else (1, 0))
+    done
+  in
+  run_predictor ~name:"lz78y" ~start:1 bits predict update
+
+let run_all bits =
+  let estimates = [ multi_mcw bits; lag bits; multi_mmc bits; lz78y bits ] in
+  let aggregate =
+    List.fold_left
+      (fun acc (e : Estimators.estimate) -> Float.min acc e.min_entropy)
+      1.0 estimates
+  in
+  (estimates, aggregate)

@@ -1,0 +1,1 @@
+lib/stats/allan.ml: Array Float List Printf Special

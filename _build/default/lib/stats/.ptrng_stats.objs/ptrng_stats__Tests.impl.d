@@ -1,0 +1,1 @@
+lib/stats/tests.ml: Array Descriptive Float List Ptrng_signal Special

@@ -1,0 +1,12 @@
+let ci ~rng ?(resamples = 1000) ?(level = 0.95) ~estimator x =
+  let n = Array.length x in
+  if n = 0 then invalid_arg "Bootstrap.ci: empty data";
+  if level <= 0.0 || level >= 1.0 then invalid_arg "Bootstrap.ci: level outside (0,1)";
+  if resamples < 10 then invalid_arg "Bootstrap.ci: too few resamples";
+  let stats =
+    Array.init resamples (fun _ ->
+        let sample = Array.init n (fun _ -> x.(Ptrng_prng.Rng.int_below rng n)) in
+        estimator sample)
+  in
+  let alpha = (1.0 -. level) /. 2.0 in
+  (Descriptive.quantile stats alpha, Descriptive.quantile stats (1.0 -. alpha))

@@ -1,0 +1,12 @@
+(** Bootstrap confidence intervals for arbitrary estimators. *)
+
+val ci :
+  rng:Ptrng_prng.Rng.t ->
+  ?resamples:int ->
+  ?level:float ->
+  estimator:(float array -> float) ->
+  float array ->
+  float * float
+(** [ci ~rng ~estimator x] returns a percentile bootstrap interval for
+    [estimator] applied to [x].  Defaults: 1000 resamples, 0.95 level.
+    @raise Invalid_argument on empty data or a level outside (0,1). *)

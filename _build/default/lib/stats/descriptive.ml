@@ -1,0 +1,74 @@
+let require_len name n x =
+  if Array.length x < n then
+    invalid_arg (Printf.sprintf "Descriptive.%s: need at least %d samples" name n)
+
+let sum x =
+  let acc = ref 0.0 and comp = ref 0.0 in
+  Array.iter
+    (fun v ->
+      let y = v -. !comp in
+      let t = !acc +. y in
+      comp := t -. !acc -. y;
+      acc := t)
+    x;
+  !acc
+
+let mean x =
+  require_len "mean" 1 x;
+  sum x /. float_of_int (Array.length x)
+
+let centered_moment x m p =
+  let acc = ref 0.0 in
+  Array.iter (fun v -> acc := !acc +. ((v -. m) ** p)) x;
+  !acc /. float_of_int (Array.length x)
+
+let variance_biased ?mean:m x =
+  require_len "variance_biased" 1 x;
+  let m = match m with Some v -> v | None -> mean x in
+  centered_moment x m 2.0
+
+let variance ?mean:m x =
+  require_len "variance" 2 x;
+  let n = float_of_int (Array.length x) in
+  variance_biased ?mean:m x *. n /. (n -. 1.0)
+
+let std ?mean x = sqrt (variance ?mean x)
+
+let skewness x =
+  require_len "skewness" 3 x;
+  let m = mean x in
+  let s2 = centered_moment x m 2.0 in
+  if s2 = 0.0 then invalid_arg "Descriptive.skewness: zero variance";
+  centered_moment x m 3.0 /. (s2 ** 1.5)
+
+let kurtosis_excess x =
+  require_len "kurtosis_excess" 4 x;
+  let m = mean x in
+  let s2 = centered_moment x m 2.0 in
+  if s2 = 0.0 then invalid_arg "Descriptive.kurtosis_excess: zero variance";
+  (centered_moment x m 4.0 /. (s2 *. s2)) -. 3.0
+
+let min_max x =
+  require_len "min_max" 1 x;
+  Array.fold_left
+    (fun (lo, hi) v -> (Float.min lo v, Float.max hi v))
+    (x.(0), x.(0))
+    x
+
+let quantile x p =
+  require_len "quantile" 1 x;
+  if p < 0.0 || p > 1.0 then invalid_arg "Descriptive.quantile: p outside [0,1]";
+  let sorted = Array.copy x in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let h = p *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor h) in
+  let hi = min (lo + 1) (n - 1) in
+  let frac = h -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median x = quantile x 0.5
+
+let standard_error_of_variance ~n ~variance =
+  if n < 2 then invalid_arg "Descriptive.standard_error_of_variance: n < 2";
+  variance *. sqrt (2.0 /. float_of_int (n - 1))

@@ -1,0 +1,27 @@
+(** Descriptive statistics on float arrays.
+
+    All estimators are two-pass (numerically stable) and raise
+    [Invalid_argument] on inputs too short to define them. *)
+
+val mean : float array -> float
+val variance : ?mean:float -> float array -> float
+(** Unbiased sample variance (n-1 denominator); needs n >= 2. *)
+
+val variance_biased : ?mean:float -> float array -> float
+(** Population variance (n denominator); needs n >= 1. *)
+
+val std : ?mean:float -> float array -> float
+val skewness : float array -> float
+val kurtosis_excess : float array -> float
+val min_max : float array -> float * float
+val median : float array -> float
+val quantile : float array -> float -> float
+(** [quantile x p] for p in [0,1], linear interpolation of order
+    statistics (type-7). *)
+
+val sum : float array -> float
+(** Kahan-compensated sum. *)
+
+val standard_error_of_variance : n:int -> variance:float -> float
+(** Standard error of the sample variance of n iid Gaussian samples:
+    [variance * sqrt (2 / (n-1))]. *)

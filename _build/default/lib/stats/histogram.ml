@@ -1,0 +1,31 @@
+type t = { edges : float array; counts : int array; total : int }
+
+let make ~bins ?range x =
+  if bins <= 0 then invalid_arg "Histogram.make: bins <= 0";
+  let n = Array.length x in
+  if n = 0 then invalid_arg "Histogram.make: empty data";
+  let lo, hi =
+    match range with
+    | Some (lo, hi) -> (lo, hi)
+    | None -> Descriptive.min_max x
+  in
+  if hi <= lo then invalid_arg "Histogram.make: empty range";
+  let width = (hi -. lo) /. float_of_int bins in
+  let edges = Array.init (bins + 1) (fun i -> lo +. (float_of_int i *. width)) in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun v ->
+      let b = int_of_float ((v -. lo) /. width) in
+      let b = max 0 (min (bins - 1) b) in
+      counts.(b) <- counts.(b) + 1)
+    x;
+  { edges; counts; total = n }
+
+let density t =
+  let bins = Array.length t.counts in
+  Array.init bins (fun i ->
+      let width = t.edges.(i + 1) -. t.edges.(i) in
+      float_of_int t.counts.(i) /. (float_of_int t.total *. width))
+
+let bin_centers t =
+  Array.init (Array.length t.counts) (fun i -> 0.5 *. (t.edges.(i) +. t.edges.(i + 1)))

@@ -1,0 +1,17 @@
+(** Fixed-width histograms. *)
+
+type t = {
+  edges : float array;  (** [bins + 1] bin boundaries, increasing. *)
+  counts : int array;   (** Occupancy of each bin. *)
+  total : int;          (** Total samples binned (outliers clamped to end bins). *)
+}
+
+val make : bins:int -> ?range:float * float -> float array -> t
+(** [make ~bins ?range x] builds a histogram; [range] defaults to the
+    data min/max. @raise Invalid_argument for [bins <= 0], empty data,
+    or an empty range. *)
+
+val density : t -> float array
+(** Counts normalised to a probability density over each bin. *)
+
+val bin_centers : t -> float array

@@ -1,0 +1,33 @@
+(** Special functions needed by the statistical machinery: log-gamma
+    (Lanczos), regularised incomplete gamma (series + continued
+    fraction), the error function, and inverses. *)
+
+val log_gamma : float -> float
+(** Natural log of the Gamma function for x > 0. *)
+
+val gamma_p : a:float -> x:float -> float
+(** Regularised lower incomplete gamma P(a, x), a > 0, x >= 0. *)
+
+val gamma_q : a:float -> x:float -> float
+(** Regularised upper incomplete gamma Q(a, x) = 1 - P(a, x). *)
+
+val erf : float -> float
+val erfc : float -> float
+
+val normal_cdf : float -> float
+(** Standard normal CDF. *)
+
+val normal_sf : float -> float
+(** Standard normal survival function, accurate in the upper tail. *)
+
+val normal_ppf : float -> float
+(** Inverse standard normal CDF (Acklam's rational approximation with a
+    Newton polish). @raise Invalid_argument if p outside (0,1). *)
+
+val chi2_cdf : df:float -> float -> float
+val chi2_sf : df:float -> float -> float
+(** Chi-squared CDF / survival with [df] degrees of freedom. *)
+
+val ks_sf : float -> float
+(** Kolmogorov distribution survival Q_KS(lambda)
+    = 2 sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2). *)

@@ -1,0 +1,153 @@
+type result = { statistic : float; p_value : float; df : float }
+
+let two_sided_normal_p z = 2.0 *. Special.normal_sf (Float.abs z)
+
+let chi2_gof ?(ddof = 0) ~observed ~expected () =
+  let k = Array.length observed in
+  if Array.length expected <> k then invalid_arg "Tests.chi2_gof: size mismatch";
+  if k - 1 - ddof <= 0 then invalid_arg "Tests.chi2_gof: no degrees of freedom left";
+  let stat = ref 0.0 in
+  for i = 0 to k - 1 do
+    if expected.(i) <= 0.0 then invalid_arg "Tests.chi2_gof: non-positive expected count";
+    let d = float_of_int observed.(i) -. expected.(i) in
+    stat := !stat +. (d *. d /. expected.(i))
+  done;
+  let df = float_of_int (k - 1 - ddof) in
+  { statistic = !stat; p_value = Special.chi2_sf ~df !stat; df }
+
+let ks_one_sample ~cdf x =
+  let n = Array.length x in
+  if n = 0 then invalid_arg "Tests.ks_one_sample: empty data";
+  let sorted = Array.copy x in
+  Array.sort compare sorted;
+  let fn = float_of_int n in
+  let d = ref 0.0 in
+  for i = 0 to n - 1 do
+    let f = cdf sorted.(i) in
+    let lo = float_of_int i /. fn and hi = float_of_int (i + 1) /. fn in
+    d := Float.max !d (Float.max (Float.abs (f -. lo)) (Float.abs (hi -. f)))
+  done;
+  let sqrt_n = sqrt fn in
+  let lambda = (sqrt_n +. 0.12 +. (0.11 /. sqrt_n)) *. !d in
+  { statistic = !d; p_value = Special.ks_sf lambda; df = Float.nan }
+
+let normality_ks x =
+  if Array.length x < 4 then invalid_arg "Tests.normality_ks: need >= 4 samples";
+  let mu = Descriptive.mean x in
+  let sd = Descriptive.std ~mean:mu x in
+  if sd = 0.0 then invalid_arg "Tests.normality_ks: zero variance";
+  ks_one_sample ~cdf:(fun v -> Special.normal_cdf ((v -. mu) /. sd)) x
+
+let anderson_darling_normal x =
+  let n = Array.length x in
+  if n < 8 then invalid_arg "Tests.anderson_darling_normal: need >= 8 samples";
+  let mu = Descriptive.mean x in
+  let sd = Descriptive.std ~mean:mu x in
+  if sd = 0.0 then invalid_arg "Tests.anderson_darling_normal: zero variance";
+  let z = Array.map (fun v -> (v -. mu) /. sd) x in
+  Array.sort compare z;
+  let fn = float_of_int n in
+  let eps = 1e-300 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let phi_lo = Float.max eps (Special.normal_cdf z.(i)) in
+    let phi_hi = Float.max eps (Special.normal_sf z.(n - 1 - i)) in
+    acc := !acc +. (float_of_int ((2 * i) + 1) *. (log phi_lo +. log phi_hi))
+  done;
+  let a2 = -.fn -. (!acc /. fn) in
+  (* Small-sample adjustment and D'Agostino's p-value approximation. *)
+  let a2s = a2 *. (1.0 +. (0.75 /. fn) +. (2.25 /. (fn *. fn))) in
+  let p =
+    if a2s >= 0.6 then exp (1.2937 -. (5.709 *. a2s) +. (0.0186 *. a2s *. a2s))
+    else if a2s > 0.34 then exp (0.9177 -. (4.279 *. a2s) -. (1.38 *. a2s *. a2s))
+    else if a2s > 0.2 then
+      1.0 -. exp (-8.318 +. (42.796 *. a2s) -. (59.938 *. a2s *. a2s))
+    else 1.0 -. exp (-13.436 +. (101.14 *. a2s) -. (223.73 *. a2s *. a2s))
+  in
+  { statistic = a2s; p_value = Float.max 0.0 (Float.min 1.0 p); df = Float.nan }
+
+let ljung_box ~lags x =
+  let n = Array.length x in
+  if lags <= 0 then invalid_arg "Tests.ljung_box: lags <= 0";
+  if n <= lags + 1 then invalid_arg "Tests.ljung_box: series too short";
+  let r = Ptrng_signal.Autocorr.acf ~max_lag:lags x in
+  let fn = float_of_int n in
+  let q = ref 0.0 in
+  for k = 1 to lags do
+    q := !q +. (r.(k) *. r.(k) /. (fn -. float_of_int k))
+  done;
+  let stat = fn *. (fn +. 2.0) *. !q in
+  let df = float_of_int lags in
+  { statistic = stat; p_value = Special.chi2_sf ~df stat; df }
+
+let runs_median x =
+  let n = Array.length x in
+  if n < 10 then invalid_arg "Tests.runs_median: need >= 10 samples";
+  let med = Descriptive.median x in
+  (* Drop exact ties with the median, as is standard. *)
+  let signs =
+    Array.to_list x
+    |> List.filter_map (fun v -> if v = med then None else Some (v > med))
+  in
+  let signs = Array.of_list signs in
+  let m = Array.length signs in
+  if m < 10 then invalid_arg "Tests.runs_median: too many ties";
+  let n1 = Array.fold_left (fun acc above -> if above then acc + 1 else acc) 0 signs in
+  let n2 = m - n1 in
+  if n1 = 0 || n2 = 0 then invalid_arg "Tests.runs_median: one-sided data";
+  let runs = ref 1 in
+  for i = 1 to m - 1 do
+    if signs.(i) <> signs.(i - 1) then incr runs
+  done;
+  let f1 = float_of_int n1 and f2 = float_of_int n2 in
+  let fm = f1 +. f2 in
+  let mean = (2.0 *. f1 *. f2 /. fm) +. 1.0 in
+  let var = 2.0 *. f1 *. f2 *. ((2.0 *. f1 *. f2) -. fm) /. (fm *. fm *. (fm -. 1.0)) in
+  let z = (float_of_int !runs -. mean) /. sqrt var in
+  { statistic = z; p_value = two_sided_normal_p z; df = Float.nan }
+
+let turning_points x =
+  let n = Array.length x in
+  if n < 10 then invalid_arg "Tests.turning_points: need >= 10 samples";
+  let count = ref 0 in
+  for i = 1 to n - 2 do
+    let a = x.(i - 1) and b = x.(i) and c = x.(i + 1) in
+    if (b > a && b > c) || (b < a && b < c) then incr count
+  done;
+  let fn = float_of_int n in
+  let mean = 2.0 *. (fn -. 2.0) /. 3.0 in
+  let var = ((16.0 *. fn) -. 29.0) /. 90.0 in
+  let z = (float_of_int !count -. mean) /. sqrt var in
+  { statistic = z; p_value = two_sided_normal_p z; df = Float.nan }
+
+let variance_ratio x ~q =
+  let n = Array.length x in
+  if q < 2 then invalid_arg "Tests.variance_ratio: q < 2";
+  if n < 4 * q then invalid_arg "Tests.variance_ratio: series too short";
+  let mu = Descriptive.mean x in
+  let fn = float_of_int n in
+  let var1 = ref 0.0 in
+  Array.iter
+    (fun v ->
+      let d = v -. mu in
+      var1 := !var1 +. (d *. d))
+    x;
+  let var1 = !var1 /. fn in
+  if var1 = 0.0 then invalid_arg "Tests.variance_ratio: zero variance";
+  (* Overlapping q-step sums of the mean-removed series. *)
+  let fq = float_of_int q in
+  let varq = ref 0.0 in
+  let window = ref 0.0 in
+  for i = 0 to q - 1 do
+    window := !window +. (x.(i) -. mu)
+  done;
+  varq := !window *. !window;
+  for i = q to n - 1 do
+    window := !window +. (x.(i) -. mu) -. (x.(i - q) -. mu);
+    varq := !varq +. (!window *. !window)
+  done;
+  let varq = !varq /. (fq *. float_of_int (n - q + 1)) in
+  let vr = varq /. var1 in
+  let phi = 2.0 *. ((2.0 *. fq) -. 1.0) *. (fq -. 1.0) /. (3.0 *. fq *. fn) in
+  let z = (vr -. 1.0) /. sqrt phi in
+  { statistic = z; p_value = two_sided_normal_p z; df = Float.nan }

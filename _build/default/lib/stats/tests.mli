@@ -1,0 +1,51 @@
+(** Hypothesis tests.
+
+    These are the independence/distribution probes applied to simulated
+    jitter series: a truly independent sequence must pass Ljung–Box,
+    runs and turning-point tests, while flicker-contaminated jitter
+    fails them at long lags — the statistical face of the paper's
+    claim. *)
+
+type result = {
+  statistic : float;
+  p_value : float;
+  df : float;  (** Degrees of freedom (or [nan] where not applicable). *)
+}
+
+val chi2_gof : ?ddof:int -> observed:int array -> expected:float array -> unit -> result
+(** Pearson chi-squared goodness of fit; [ddof] extra degrees of
+    freedom consumed by fitted parameters.
+    @raise Invalid_argument on size mismatch or non-positive expected
+    counts. *)
+
+val ks_one_sample : cdf:(float -> float) -> float array -> result
+(** One-sample Kolmogorov–Smirnov against a continuous [cdf], with the
+    finite-n correction (n + 0.12 + 0.11/sqrt n). *)
+
+val normality_ks : float array -> result
+(** KS test against a normal with the sample's mean and std (a pragmatic
+    Lilliefors-style check; the p-value is conservative). *)
+
+val anderson_darling_normal : float array -> result
+(** Anderson–Darling normality test with estimated parameters (case 3):
+    the statistic is the small-sample-adjusted A*^2 and the p-value uses
+    D'Agostino's approximation.  More tail-sensitive than KS — the right
+    instrument for checking that simulated jitter is Gaussian out to the
+    tails. @raise Invalid_argument on fewer than 8 samples. *)
+
+val ljung_box : lags:int -> float array -> result
+(** Ljung–Box portmanteau test for autocorrelation up to [lags]. *)
+
+val runs_median : float array -> result
+(** Wald–Wolfowitz runs test around the median (normal approximation);
+    sensitive to positive serial dependence. *)
+
+val turning_points : float array -> result
+(** Turning-point randomness test (normal approximation). *)
+
+val variance_ratio : float array -> q:int -> result
+(** Lo–MacKinlay variance-ratio test: compares the variance of
+    [q]-step sums against [q] times the one-step variance — a direct
+    statistical form of the Bienaymé linearity property the paper
+    exploits.  A positive statistic means super-linear variance growth
+    (positively correlated increments, flicker-like). *)

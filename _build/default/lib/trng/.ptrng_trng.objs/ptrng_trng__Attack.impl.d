@@ -1,0 +1,1 @@
+lib/trng/attack.ml: Ptrng_noise Ptrng_osc

@@ -1,0 +1,1 @@
+lib/trng/attack.mli: Ptrng_osc

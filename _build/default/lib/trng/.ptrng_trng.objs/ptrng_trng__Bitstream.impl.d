@@ -1,0 +1,1 @@
+lib/trng/bitstream.ml: Array Bytes Char List Printf

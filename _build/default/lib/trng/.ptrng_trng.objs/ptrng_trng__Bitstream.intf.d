@@ -1,0 +1,1 @@
+lib/trng/bitstream.mli:

@@ -1,0 +1,1 @@
+lib/trng/coherent.ml: Bitstream Float Option Post_process Ptrng_noise Ptrng_osc Ptrng_prng Sampler

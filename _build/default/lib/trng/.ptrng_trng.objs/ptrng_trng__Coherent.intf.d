@@ -1,0 +1,1 @@
+lib/trng/coherent.mli: Bitstream Ptrng_noise Ptrng_osc Ptrng_prng

@@ -1,0 +1,1 @@
+lib/trng/ero_trng.ml: Array Bitstream Post_process Ptrng_osc Sampler

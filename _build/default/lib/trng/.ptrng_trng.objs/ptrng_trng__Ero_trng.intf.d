@@ -1,0 +1,1 @@
+lib/trng/ero_trng.mli: Bitstream Ptrng_osc Ptrng_prng

@@ -1,0 +1,1 @@
+lib/trng/metastable.ml: Array Bitstream Ptrng_noise Ptrng_prng Ptrng_signal Ptrng_stats

@@ -1,0 +1,1 @@
+lib/trng/metastable.mli: Bitstream Ptrng_noise Ptrng_prng

@@ -1,0 +1,1 @@
+lib/trng/multi_ring.ml: Array Bitstream Option Ptrng_noise Ptrng_osc Ptrng_prng Sampler

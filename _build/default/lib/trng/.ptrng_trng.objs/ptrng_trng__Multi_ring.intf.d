@@ -1,0 +1,1 @@
+lib/trng/multi_ring.mli: Bitstream Ptrng_noise Ptrng_osc Ptrng_prng

@@ -1,0 +1,1 @@
+lib/trng/post_process.ml: Array Bitstream List

@@ -1,0 +1,1 @@
+lib/trng/sampler.ml: Array List

@@ -1,0 +1,29 @@
+let scale_config factor_th factor_fl (c : Ptrng_osc.Oscillator.config) ~f0 =
+  let open Ptrng_noise.Psd_model in
+  Ptrng_osc.Oscillator.config
+    ~flicker_generator:c.flicker_generator
+    ~rw_hm2:c.rw_hm2
+    ~f0
+    ~phase:{ b_th = c.phase.b_th *. factor_th; b_fl = c.phase.b_fl *. factor_fl }
+    ()
+
+let frequency_injection ~lock_strength (pair : Ptrng_osc.Pair.t) =
+  if lock_strength < 0.0 || lock_strength >= 1.0 then
+    invalid_arg "Attack.frequency_injection: lock_strength outside [0,1)";
+  let keep = 1.0 -. lock_strength in
+  let f_locked =
+    (pair.osc1.Ptrng_osc.Oscillator.f0 +. pair.osc2.Ptrng_osc.Oscillator.f0) /. 2.0
+  in
+  {
+    Ptrng_osc.Pair.osc1 = scale_config keep keep pair.osc1 ~f0:f_locked;
+    osc2 = scale_config keep keep pair.osc2 ~f0:f_locked;
+  }
+
+let thermal_quench ~factor (pair : Ptrng_osc.Pair.t) =
+  if factor <= 0.0 || factor > 1.0 then
+    invalid_arg "Attack.thermal_quench: factor outside (0,1]";
+  {
+    Ptrng_osc.Pair.osc1 =
+      scale_config factor 1.0 pair.osc1 ~f0:pair.osc1.Ptrng_osc.Oscillator.f0;
+    osc2 = scale_config factor 1.0 pair.osc2 ~f0:pair.osc2.Ptrng_osc.Oscillator.f0;
+  }

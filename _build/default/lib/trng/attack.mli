@@ -1,0 +1,22 @@
+(** Non-invasive attack models on the entropy source.
+
+    The frequency-injection attack (Markettos–Moore, paper ref. [3])
+    locks the two rings to an injected tone; their relative jitter —
+    the entropy source — collapses while each ring keeps oscillating,
+    so frequency-counting health tests see nothing.  We model the locked
+    pair by scaling the relative phase-noise coefficients. *)
+
+val frequency_injection :
+  lock_strength:float -> Ptrng_osc.Pair.t -> Ptrng_osc.Pair.t
+(** [frequency_injection ~lock_strength pair] returns an attacked pair:
+    relative b_th and b_fl scaled by [1 - lock_strength] and detuning
+    collapsed (both rings pulled onto the injected tone).
+    [lock_strength] in [0, 1): 0 = no attack, 0.99 = near-total lock.
+    @raise Invalid_argument outside [0, 1). *)
+
+val thermal_quench :
+  factor:float -> Ptrng_osc.Pair.t -> Ptrng_osc.Pair.t
+(** Scale only the thermal coefficient by [factor] (0 < factor <= 1) —
+    the stealthiest scenario for total-jitter health tests: flicker
+    keeps the measured long-run jitter looking healthy while the
+    entropy-bearing thermal noise disappears. *)

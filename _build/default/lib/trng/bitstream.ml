@@ -1,0 +1,58 @@
+type t = { bits : bool array }
+
+let of_bools bits = { bits = Array.copy bits }
+
+let of_ints values =
+  {
+    bits =
+      Array.map
+        (function
+          | 0 -> false
+          | 1 -> true
+          | v -> invalid_arg (Printf.sprintf "Bitstream.of_ints: %d is not a bit" v))
+        values;
+  }
+
+let length t = Array.length t.bits
+let get t i = t.bits.(i)
+let to_bools t = Array.copy t.bits
+
+let to_bytes t =
+  let n = Array.length t.bits in
+  let out = Bytes.make ((n + 7) / 8) '\000' in
+  for i = 0 to n - 1 do
+    if t.bits.(i) then begin
+      let byte = i / 8 and bit = 7 - (i mod 8) in
+      Bytes.set out byte (Char.chr (Char.code (Bytes.get out byte) lor (1 lsl bit)))
+    end
+  done;
+  out
+
+let ones t = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.bits
+
+let bias t =
+  let n = length t in
+  if n = 0 then invalid_arg "Bitstream.bias: empty stream";
+  (float_of_int (ones t) /. float_of_int n) -. 0.5
+
+let sub t ~pos ~len = { bits = Array.sub t.bits pos len }
+
+let concat ts = { bits = Array.concat (List.map (fun t -> t.bits) ts) }
+
+let serial_correlation t =
+  let n = length t in
+  if n < 2 then invalid_arg "Bitstream.serial_correlation: need >= 2 bits";
+  let v i = if t.bits.(i) then 1.0 else -1.0 in
+  let mean = ref 0.0 in
+  for i = 0 to n - 1 do
+    mean := !mean +. v i
+  done;
+  let mean = !mean /. float_of_int n in
+  let num = ref 0.0 and den = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = v i -. mean in
+    den := !den +. (d *. d);
+    if i < n - 1 then num := !num +. (d *. (v (i + 1) -. mean))
+  done;
+  if !den = 0.0 then invalid_arg "Bitstream.serial_correlation: constant stream";
+  !num /. !den

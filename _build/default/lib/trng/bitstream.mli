@@ -1,0 +1,29 @@
+(** Raw binary sequences and their elementary statistics. *)
+
+type t
+(** An immutable sequence of bits. *)
+
+val of_bools : bool array -> t
+val of_ints : int array -> t
+(** Values must be 0 or 1. @raise Invalid_argument otherwise. *)
+
+val length : t -> int
+val get : t -> int -> bool
+val to_bools : t -> bool array
+val to_bytes : t -> bytes
+(** Packs 8 bits per byte, MSB first; the tail is zero-padded. *)
+
+val ones : t -> int
+(** Population count. *)
+
+val bias : t -> float
+(** [ones/length - 0.5]; 0 for a balanced stream.
+    @raise Invalid_argument on the empty stream. *)
+
+val sub : t -> pos:int -> len:int -> t
+val concat : t list -> t
+
+val serial_correlation : t -> float
+(** Lag-1 serial correlation coefficient of the +-1-mapped bits;
+    near 0 for independent bits.
+    @raise Invalid_argument when shorter than 2 or degenerate. *)

@@ -1,0 +1,31 @@
+type config = {
+  pair : Ptrng_osc.Pair.t;
+  divisor : int;
+  xor_factor : int;
+}
+
+let config ?(divisor = 1000) ?(xor_factor = 1) pair =
+  if divisor <= 0 then invalid_arg "Ero_trng.config: divisor <= 0";
+  if xor_factor <= 0 then invalid_arg "Ero_trng.config: xor_factor <= 0";
+  { pair; divisor; xor_factor }
+
+let paper_trng () = config (Ptrng_osc.Pair.paper_pair ())
+
+let generate_raw rng cfg ~bits =
+  if bits <= 0 then invalid_arg "Ero_trng.generate_raw: bits <= 0";
+  (* Simulate enough periods of both rings: [bits * divisor] Osc2
+     cycles, with margin for the frequency mismatch. *)
+  let cycles = (bits + 2) * cfg.divisor in
+  let n = cycles + (cycles / 64) + 16 in
+  let p1, p2 = Ptrng_osc.Pair.simulate rng cfg.pair ~n in
+  let osc1_edges = Ptrng_osc.Oscillator.edges_of_periods p1 in
+  let osc2_edges = Ptrng_osc.Oscillator.edges_of_periods p2 in
+  let raw = Sampler.sample ~osc1_edges ~osc2_edges ~divisor:cfg.divisor in
+  let available = Array.length raw in
+  if available < bits then Bitstream.of_bools raw
+  else Bitstream.of_bools (Array.sub raw 0 bits)
+
+let generate rng cfg ~bits =
+  let raw = generate_raw rng cfg ~bits in
+  if cfg.xor_factor = 1 then raw
+  else Post_process.xor_decimate ~k:cfg.xor_factor raw

@@ -1,0 +1,53 @@
+type config = {
+  sigma_setup : float;
+  offset0 : float;
+  drift_walk : float;
+  flicker : Ptrng_noise.Psd_model.frac_freq;
+  sample_rate : float;
+}
+
+let config ?(offset0 = 0.0) ?(drift_walk = 0.0) ?(flicker_hm1 = 0.0)
+    ?(sample_rate = 1e6) ~sigma_setup () =
+  if sigma_setup <= 0.0 then invalid_arg "Metastable.config: sigma_setup <= 0";
+  if drift_walk < 0.0 then invalid_arg "Metastable.config: negative drift_walk";
+  if flicker_hm1 < 0.0 then invalid_arg "Metastable.config: negative flicker_hm1";
+  if sample_rate <= 0.0 then invalid_arg "Metastable.config: sample_rate <= 0";
+  {
+    sigma_setup;
+    offset0;
+    drift_walk;
+    flicker = { Ptrng_noise.Psd_model.h0 = 0.0; hm1 = flicker_hm1; hm2 = 0.0 };
+    sample_rate;
+  }
+
+let bit_probability cfg ~offset =
+  Ptrng_stats.Special.normal_cdf (offset /. cfg.sigma_setup)
+
+let generate rng cfg ~bits =
+  if bits <= 0 then invalid_arg "Metastable.generate: bits <= 0";
+  let g = Ptrng_prng.Gaussian.create rng in
+  let flicker =
+    if cfg.flicker.Ptrng_noise.Psd_model.hm1 > 0.0 then begin
+      let n = Ptrng_signal.Fft.next_pow2 bits in
+      Some
+        (Ptrng_noise.Spectral_synth.generate_frac_freq rng ~model:cfg.flicker
+           ~fs:cfg.sample_rate n)
+    end
+    else None
+  in
+  let offset = ref cfg.offset0 in
+  Bitstream.of_bools
+    (Array.init bits (fun i ->
+         if cfg.drift_walk > 0.0 then
+           offset := !offset +. (cfg.drift_walk *. Ptrng_prng.Gaussian.draw g);
+         let wander = match flicker with Some f -> f.(i) | None -> 0.0 in
+         let p = bit_probability cfg ~offset:(!offset +. wander) in
+         Ptrng_prng.Rng.float rng < p))
+
+let expected_entropy cfg =
+  let p = bit_probability cfg ~offset:cfg.offset0 in
+  if p <= 0.0 || p >= 1.0 then 0.0
+  else begin
+    let q = 1.0 -. p in
+    -.((p *. log p) +. (q *. log q)) /. log 2.0
+  end

@@ -1,0 +1,45 @@
+(** Metastability-based TRNG model (Ben-Romdhane–Graba–Danger, the
+    paper's ref. [9]).
+
+    A flip-flop is clocked while its data input transitions; the
+    resolution outcome depends on the data-to-clock offset delta within
+    the metastability window.  With setup-time noise of std
+    [sigma_setup], the bit is 1 with probability
+    [Phi(delta / sigma_setup)] — maximal entropy at delta = 0, decaying
+    as the offset drifts.
+
+    The offset itself is not constant in silicon: it random-walks with
+    thermal noise and wanders with flicker, so an initially calibrated
+    generator degrades — the same thermal/flicker split as everywhere
+    else in this repository decides how fast, and whether the drift is
+    a random walk (recalibration-friendly) or long-memory flicker. *)
+
+type config = {
+  sigma_setup : float;    (** Metastability noise window, s. *)
+  offset0 : float;        (** Initial data-to-clock offset, s. *)
+  drift_walk : float;     (** Per-sample random-walk std of the offset, s. *)
+  flicker : Ptrng_noise.Psd_model.frac_freq;
+      (** Optional 1/f wandering of the offset (h0 unused). *)
+  sample_rate : float;    (** Samples per second (for flicker scaling). *)
+}
+
+val config :
+  ?offset0:float ->
+  ?drift_walk:float ->
+  ?flicker_hm1:float ->
+  ?sample_rate:float ->
+  sigma_setup:float ->
+  unit ->
+  config
+(** Defaults: zero initial offset, no drift, no flicker, 1 MHz.
+    @raise Invalid_argument if [sigma_setup <= 0]. *)
+
+val bit_probability : config -> offset:float -> float
+(** P(bit = 1) at a given instantaneous offset. *)
+
+val generate : Ptrng_prng.Rng.t -> config -> bits:int -> Bitstream.t
+(** Simulate the offset trajectory and the resolved bits. *)
+
+val expected_entropy : config -> float
+(** Shannon entropy per bit at the *initial* offset — what a one-shot
+    calibration would certify. *)

@@ -1,0 +1,57 @@
+type config = {
+  rings : Ptrng_osc.Oscillator.config array;
+  sampler_f0 : float;
+  divisor : int;
+}
+
+let config ?relative ?flicker_generator ?(spread = 1e-3) ~f0 ~rings ~divisor () =
+  if rings <= 0 || rings > 64 then invalid_arg "Multi_ring.config: rings outside [1,64]";
+  if divisor <= 0 then invalid_arg "Multi_ring.config: divisor <= 0";
+  if f0 <= 0.0 then invalid_arg "Multi_ring.config: f0 <= 0";
+  let relative = Option.value relative ~default:Ptrng_osc.Pair.paper_relative in
+  let open Ptrng_noise.Psd_model in
+  let half = { b_th = relative.b_th /. 2.0; b_fl = relative.b_fl /. 2.0 } in
+  {
+    rings =
+      Array.init rings (fun i ->
+          (* Stagger the frequencies so no ring is harmonically locked
+             to the sampler or to its neighbours. *)
+          let detune = spread *. (1.0 +. float_of_int i) in
+          Ptrng_osc.Oscillator.config ?flicker_generator
+            ~f0:(f0 *. (1.0 +. detune))
+            ~phase:half ());
+    sampler_f0 = f0;
+    divisor;
+  }
+
+let sample_ring rng cfg ring_cfg ~bits =
+  let samples = bits + 2 in
+  let n_ref = (samples * cfg.divisor) + 16 in
+  (* The ring must cover the sampler's span plus detuning margin. *)
+  let n_ring = n_ref + (n_ref / 16) + 16 in
+  let ring_periods = Ptrng_osc.Oscillator.periods rng ring_cfg ~n:n_ring in
+  let ring_edges = Ptrng_osc.Oscillator.edges_of_periods ring_periods in
+  (* Ideal (noise-free) reference clock, as in the Sunar design. *)
+  let ref_edges =
+    Array.init (n_ref + 1) (fun i -> float_of_int i /. cfg.sampler_f0)
+  in
+  Sampler.sample ~osc1_edges:ring_edges ~osc2_edges:ref_edges ~divisor:cfg.divisor
+
+let generate_single rng cfg ~ring ~bits =
+  if bits <= 0 then invalid_arg "Multi_ring.generate_single: bits <= 0";
+  if ring < 0 || ring >= Array.length cfg.rings then
+    invalid_arg "Multi_ring.generate_single: ring index out of range";
+  let raw = sample_ring (Ptrng_prng.Rng.split rng) cfg cfg.rings.(ring) ~bits in
+  let take = min bits (Array.length raw) in
+  Bitstream.of_bools (Array.sub raw 0 take)
+
+let generate rng cfg ~bits =
+  if bits <= 0 then invalid_arg "Multi_ring.generate: bits <= 0";
+  let streams =
+    Array.map (fun ring_cfg -> sample_ring (Ptrng_prng.Rng.split rng) cfg ring_cfg ~bits)
+      cfg.rings
+  in
+  let len = Array.fold_left (fun acc s -> min acc (Array.length s)) bits streams in
+  Bitstream.of_bools
+    (Array.init len (fun i ->
+         Array.fold_left (fun acc s -> acc <> s.(i)) false streams))

@@ -1,0 +1,41 @@
+(** Multi-ring TRNG (Sunar–Martin–Stinson, the paper's ref. [7]).
+
+    Many free-running rings are sampled by one reference clock and
+    XORed together.  The design argument is the piling-up lemma: if
+    ring i alone yields a bit of bias e_i, the XOR has bias
+    [2^{r-1} prod e_i] — exponentially small in the ring count even
+    when each ring is individually poor.
+
+    The argument silently assumes the rings are *independent* and each
+    ring's successive samples are usable randomness; flicker-correlated
+    phase (the paper's subject) weakens the second premise, which is
+    observable here by comparing serial correlation before and after
+    the XOR: bias collapses as promised, memory does not. *)
+
+type config = {
+  rings : Ptrng_osc.Oscillator.config array;
+  sampler_f0 : float;  (** Reference (sampling) clock frequency. *)
+  divisor : int;       (** Reference periods between samples. *)
+}
+
+val config :
+  ?relative:Ptrng_noise.Psd_model.phase ->
+  ?flicker_generator:[ `Spectral | `Kasdin | `Voss | `None ] ->
+  ?spread:float ->
+  f0:float ->
+  rings:int ->
+  divisor:int ->
+  unit ->
+  config
+(** [config ~f0 ~rings ~divisor ()] builds [rings] oscillators around
+    [f0], detuned from each other by multiples of [spread] (default
+    1e-3, so ring frequencies do not lock to the sampler), each
+    carrying the per-oscillator share of [relative] (default: the
+    paper's coefficients).  The sampler runs at [f0].
+    @raise Invalid_argument for non-positive sizes or [rings > 64]. *)
+
+val generate : Ptrng_prng.Rng.t -> config -> bits:int -> Bitstream.t
+(** XOR of all rings' sampled bits. *)
+
+val generate_single : Ptrng_prng.Rng.t -> config -> ring:int -> bits:int -> Bitstream.t
+(** One ring's sampled bits alone (for before/after comparisons). *)

@@ -1,0 +1,30 @@
+let xor_decimate ~k stream =
+  if k <= 0 then invalid_arg "Post_process.xor_decimate: k <= 0";
+  let bits = Bitstream.to_bools stream in
+  let n = Array.length bits / k in
+  let out = Array.make n false in
+  for i = 0 to n - 1 do
+    let acc = ref false in
+    for j = 0 to k - 1 do
+      acc := !acc <> bits.((i * k) + j)
+    done;
+    out.(i) <- !acc
+  done;
+  Bitstream.of_bools out
+
+let von_neumann stream =
+  let bits = Bitstream.to_bools stream in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i + 1 < Array.length bits do
+    (match (bits.(!i), bits.(!i + 1)) with
+    | false, true -> out := false :: !out
+    | true, false -> out := true :: !out
+    | false, false | true, true -> ());
+    i := !i + 2
+  done;
+  Bitstream.of_bools (Array.of_list (List.rev !out))
+
+let expected_xor_bias ~bias ~k =
+  if k <= 0 then invalid_arg "Post_process.expected_xor_bias: k <= 0";
+  (2.0 ** float_of_int (k - 1)) *. (bias ** float_of_int k)

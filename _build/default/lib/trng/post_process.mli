@@ -1,0 +1,17 @@
+(** Algebraic post-processing blocks (the third box of the AIS31
+    decomposition, paper Fig. 1). *)
+
+val xor_decimate : k:int -> Bitstream.t -> Bitstream.t
+(** XOR each group of [k] consecutive bits into one output bit (parity
+    filter): multiplies throughput by 1/k and, for independent bits of
+    bias e, reduces the bias to [2^{k-1} e^k].
+    @raise Invalid_argument if [k <= 0]. *)
+
+val von_neumann : Bitstream.t -> Bitstream.t
+(** Von Neumann corrector: maps bit pairs 01 -> 0, 10 -> 1, discards
+    00/11.  Unbiased output for independent (possibly biased) input;
+    dependent input breaks the guarantee — another face of the paper's
+    warning. *)
+
+val expected_xor_bias : bias:float -> k:int -> float
+(** Piling-up lemma: output bias of the parity filter for iid input. *)

@@ -1,0 +1,36 @@
+let state_at ~edges t =
+  let n = Array.length edges in
+  if n < 2 || t < edges.(0) || t >= edges.(n - 1) then
+    invalid_arg "Sampler.state_at: instant outside edge span";
+  (* Binary search for the period containing t. *)
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if edges.(mid) <= t then lo := mid else hi := mid
+  done;
+  let start = edges.(!lo) and stop = edges.(!lo + 1) in
+  t -. start < (stop -. start) /. 2.0
+
+let sample ~osc1_edges ~osc2_edges ~divisor =
+  if divisor <= 0 then invalid_arg "Sampler.sample: divisor <= 0";
+  let n1 = Array.length osc1_edges in
+  if n1 < 2 then invalid_arg "Sampler.sample: osc1 stream too short";
+  let t_max = osc1_edges.(n1 - 1) in
+  let bits = ref [] in
+  let p = ref 0 in
+  (* Walk the sample instants in order, advancing a single pointer into
+     osc1's edges: overall O(edges), not O(samples * log edges). *)
+  let idx = ref divisor in
+  (try
+     while !idx < Array.length osc2_edges do
+       let t = osc2_edges.(!idx) in
+       if t >= t_max then raise Exit;
+       while !p + 1 < n1 && osc1_edges.(!p + 1) <= t do
+         incr p
+       done;
+       let start = osc1_edges.(!p) and stop = osc1_edges.(!p + 1) in
+       bits := (t -. start < (stop -. start) /. 2.0) :: !bits;
+       idx := !idx + divisor
+     done
+   with Exit -> ());
+  Array.of_list (List.rev !bits)

@@ -1,0 +1,18 @@
+(** The digitizer of the eRO-TRNG (paper Fig. 4): a D flip-flop
+    clocked by (divided) Osc2 latching the instantaneous state of Osc1.
+
+    Osc1 is modelled as a 50% duty square wave: between consecutive
+    rising edges [e_i, e_{i+1})] its state is high on the first half of
+    the period. *)
+
+val state_at : edges:float array -> float -> bool
+(** [state_at ~edges t] is Osc1's level at time [t] (edges must be the
+    increasing rising-edge instants covering [t]).
+    @raise Invalid_argument if [t] lies outside the edge span. *)
+
+val sample :
+  osc1_edges:float array -> osc2_edges:float array -> divisor:int -> bool array
+(** [sample ~osc1_edges ~osc2_edges ~divisor] latches Osc1 at every
+    [divisor]-th Osc2 rising edge (skipping edge 0, which is the common
+    time origin), producing as many bits as fit in the streams.
+    @raise Invalid_argument if [divisor <= 0]. *)

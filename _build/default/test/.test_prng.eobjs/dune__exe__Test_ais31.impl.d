@@ -1,0 +1,1 @@
+test/test_ais31.ml: Alcotest Array Format List Procedure_a Procedure_b Ptrng_ais31 Ptrng_prng Ptrng_trng Report String Testkit

@@ -1,0 +1,1 @@
+test/test_ais31.mli:

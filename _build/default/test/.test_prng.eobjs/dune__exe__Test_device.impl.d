@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Constants Float Inverter Isf List Mosfet Phase_noise Printf Ptrng_device Ptrng_noise Technology Testkit

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Float List Ptrng_ais31 Ptrng_measure Ptrng_model Ptrng_nist22 Ptrng_noise Ptrng_osc Ptrng_prng Ptrng_signal Ptrng_sp90b Ptrng_stats Ptrng_trng Testkit

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Float Lazy List Printf Ptrng_ais31 Ptrng_measure Ptrng_model Ptrng_noise Ptrng_osc Ptrng_trng Testkit

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Bienayme Bit_markov Compare Design Entropy Float List Multilevel Phase_chain Printf Ptrng_measure Ptrng_model Ptrng_noise Ptrng_osc Ptrng_trng Spectral Testkit

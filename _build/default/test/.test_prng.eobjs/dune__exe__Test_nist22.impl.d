@@ -1,0 +1,1 @@
+test/test_nist22.ml: Alcotest Array Format Int64 Lazy List Ptrng_nist22 Ptrng_osc Ptrng_prng Ptrng_trng Sp80022 String Testkit

@@ -1,0 +1,1 @@
+test/test_nist22.mli:

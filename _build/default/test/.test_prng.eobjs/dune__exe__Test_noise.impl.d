@@ -1,0 +1,1 @@
+test/test_noise.ml: Alcotest Array Float Kasdin List Printf Psd_model Ptrng_noise Ptrng_prng Ptrng_signal Ptrng_stats Slope Spectral_synth Testkit Voss White

@@ -1,0 +1,1 @@
+test/test_osc.ml: Alcotest Array List Oscillator Pair Printf Ptrng_measure Ptrng_model Ptrng_noise Ptrng_osc Ptrng_signal Ptrng_stats Restart Testkit

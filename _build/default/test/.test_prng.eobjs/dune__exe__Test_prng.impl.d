@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Distributions Float Gaussian Int64 List Pcg32 Ptrng_prng Ptrng_stats QCheck2 Rng Splitmix64 Testkit Xoshiro256

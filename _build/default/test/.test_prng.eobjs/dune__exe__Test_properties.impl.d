@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Bytes Char Float Gen Int64 List Ptrng_measure Ptrng_model Ptrng_nist22 Ptrng_noise Ptrng_prng Ptrng_signal Ptrng_sp90b Ptrng_stats Ptrng_trng QCheck2 Testkit

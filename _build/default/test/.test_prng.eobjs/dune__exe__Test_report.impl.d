@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array Assessment Format List Ptrng_osc Ptrng_prng Ptrng_report Ptrng_trng Testkit

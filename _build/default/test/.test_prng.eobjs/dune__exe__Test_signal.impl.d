@@ -1,0 +1,1 @@
+test/test_signal.ml: Alcotest Array Autocorr Fft Filter Float List Printf Psd Ptrng_prng Ptrng_signal Ptrng_stats Testkit Window

@@ -1,0 +1,1 @@
+test/test_sp90b.ml: Alcotest Array Estimators Float Health List Predictors Ptrng_osc Ptrng_prng Ptrng_sp90b Ptrng_trng Testkit

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Allan Array Bootstrap Descriptive Float Histogram Int64 List Matrix Printf Ptrng_noise Ptrng_prng Ptrng_stats Regression Special Testkit Tests

@@ -1,0 +1,1 @@
+test/test_trng.ml: Alcotest Array Attack Bitstream Bytes Char Ero_trng Float Metastable Multi_ring Post_process Ptrng_noise Ptrng_osc Ptrng_prng Ptrng_trng Sampler Testkit

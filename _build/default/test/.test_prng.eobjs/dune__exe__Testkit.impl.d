@@ -1,0 +1,1 @@
+test/testkit.ml: Alcotest Float Ptrng_prng QCheck2 QCheck_alcotest String

@@ -1,0 +1,302 @@
+open Ptrng_prng
+
+let draw_array rng n = Array.init n (fun _ -> Rng.float rng)
+
+(* --- Splitmix64 --- *)
+
+let splitmix_tests =
+  [
+    Testkit.case "deterministic for equal seeds" (fun () ->
+        let a = Splitmix64.create 42L and b = Splitmix64.create 42L in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "same stream" (Splitmix64.next a) (Splitmix64.next b)
+        done);
+    Testkit.case "different seeds give different streams" (fun () ->
+        let a = Splitmix64.create 1L and b = Splitmix64.create 2L in
+        let same = ref 0 in
+        for _ = 1 to 64 do
+          if Splitmix64.next a = Splitmix64.next b then incr same
+        done;
+        Testkit.check_true "almost surely disjoint" (!same = 0));
+    Testkit.case "zero seed is fine" (fun () ->
+        let t = Splitmix64.create 0L in
+        Testkit.check_true "non-zero output" (Splitmix64.next t <> 0L));
+    Testkit.case "next_float in [0,1)" (fun () ->
+        let t = Splitmix64.create 7L in
+        for _ = 1 to 1000 do
+          let v = Splitmix64.next_float t in
+          Testkit.check_in_range "float range" ~lo:0.0 ~hi:0.9999999999999999 v
+        done);
+    Testkit.case "output bits look balanced" (fun () ->
+        let t = Splitmix64.create 99L in
+        let ones = ref 0 in
+        for _ = 1 to 1000 do
+          let v = Splitmix64.next t in
+          for b = 0 to 63 do
+            if Int64.logand (Int64.shift_right_logical v b) 1L = 1L then incr ones
+          done
+        done;
+        (* 64000 bits: expect 32000 +- ~5 sigma (sigma = 126.5). *)
+        Testkit.check_in_range "ones count" ~lo:31350.0 ~hi:32650.0 (float_of_int !ones));
+  ]
+
+(* --- Xoshiro256++ --- *)
+
+let xoshiro_tests =
+  [
+    Testkit.case "deterministic for equal seeds" (fun () ->
+        let a = Xoshiro256.create ~seed:5L and b = Xoshiro256.create ~seed:5L in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "same stream" (Xoshiro256.next a) (Xoshiro256.next b)
+        done);
+    Testkit.case "of_state rejects wrong length" (fun () ->
+        Alcotest.check_raises "3 words"
+          (Invalid_argument "Xoshiro256.of_state: need 4 words")
+          (fun () -> ignore (Xoshiro256.of_state [| 1L; 2L; 3L |])));
+    Testkit.case "of_state rejects all-zero" (fun () ->
+        Alcotest.check_raises "zero state"
+          (Invalid_argument "Xoshiro256.of_state: all-zero state is absorbing")
+          (fun () -> ignore (Xoshiro256.of_state [| 0L; 0L; 0L; 0L |])));
+    Testkit.case "jump decorrelates streams" (fun () ->
+        let a = Xoshiro256.create ~seed:11L in
+        let b = Xoshiro256.create ~seed:11L in
+        Xoshiro256.jump b;
+        let same = ref 0 in
+        for _ = 1 to 128 do
+          if Xoshiro256.next a = Xoshiro256.next b then incr same
+        done;
+        Testkit.check_true "no collisions" (!same = 0));
+    Testkit.case "jump is deterministic" (fun () ->
+        let a = Xoshiro256.create ~seed:11L and b = Xoshiro256.create ~seed:11L in
+        Xoshiro256.jump a;
+        Xoshiro256.jump b;
+        Alcotest.(check int64) "same after jump" (Xoshiro256.next a) (Xoshiro256.next b));
+  ]
+
+(* --- PCG32 --- *)
+
+let pcg_tests =
+  [
+    Testkit.case "deterministic for equal seeds" (fun () ->
+        let a = Pcg32.create ~seed:3L () and b = Pcg32.create ~seed:3L () in
+        for _ = 1 to 100 do
+          Alcotest.(check int32) "same stream" (Pcg32.next a) (Pcg32.next b)
+        done);
+    Testkit.case "streams are independent sequences" (fun () ->
+        let a = Pcg32.create ~seed:3L ~stream:1L ()
+        and b = Pcg32.create ~seed:3L ~stream:2L () in
+        let same = ref 0 in
+        for _ = 1 to 64 do
+          if Pcg32.next a = Pcg32.next b then incr same
+        done;
+        Testkit.check_true "almost surely disjoint" (!same <= 1));
+    Testkit.case "next64 combines two words" (fun () ->
+        let a = Pcg32.create ~seed:8L () and b = Pcg32.create ~seed:8L () in
+        let hi = Pcg32.next a and lo = Pcg32.next a in
+        let expected =
+          Int64.logor
+            (Int64.shift_left (Int64.of_int32 hi) 32)
+            (Int64.logand (Int64.of_int32 lo) 0xFFFFFFFFL)
+        in
+        Alcotest.(check int64) "composition" expected (Pcg32.next64 b));
+  ]
+
+(* --- Rng facade --- *)
+
+let rng_tests =
+  [
+    Testkit.qcheck "float is in [0,1)" QCheck2.Gen.int (fun seed ->
+        let rng = Rng.create ~seed:(Int64.of_int seed) () in
+        let v = Rng.float rng in
+        v >= 0.0 && v < 1.0);
+    Testkit.qcheck "float_pos is in (0,1]" QCheck2.Gen.int (fun seed ->
+        let rng = Rng.create ~seed:(Int64.of_int seed) () in
+        let v = Rng.float_pos rng in
+        v > 0.0 && v <= 1.0);
+    Testkit.qcheck "int_below stays in range"
+      QCheck2.Gen.(pair int (int_range 1 1000))
+      (fun (seed, n) ->
+        let rng = Rng.create ~seed:(Int64.of_int seed) () in
+        let v = Rng.int_below rng n in
+        v >= 0 && v < n);
+    Testkit.case "int_below rejects non-positive bound" (fun () ->
+        Alcotest.check_raises "n = 0" (Invalid_argument "Rng.int_below: n <= 0")
+          (fun () -> ignore (Rng.int_below (Testkit.rng ()) 0)));
+    Testkit.case "float_range rejects empty interval" (fun () ->
+        Alcotest.check_raises "lo >= hi" (Invalid_argument "Rng.float_range: lo >= hi")
+          (fun () -> ignore (Rng.float_range (Testkit.rng ()) ~lo:1.0 ~hi:1.0)));
+    Testkit.case "int_below is uniform (chi2)" (fun () ->
+        let rng = Testkit.rng () in
+        let buckets = 16 and draws = 160000 in
+        let observed = Array.make buckets 0 in
+        for _ = 1 to draws do
+          let v = Rng.int_below rng buckets in
+          observed.(v) <- observed.(v) + 1
+        done;
+        let expected = Array.make buckets (float_of_int draws /. float_of_int buckets) in
+        let r = Ptrng_stats.Tests.chi2_gof ~observed ~expected () in
+        Testkit.check_true "uniform at 0.1%" (r.p_value > 0.001));
+    Testkit.case "bool is fair" (fun () ->
+        let rng = Testkit.rng () in
+        let heads = ref 0 in
+        let n = 100000 in
+        for _ = 1 to n do
+          if Rng.bool rng then incr heads
+        done;
+        (* 5 sigma band around n/2. *)
+        Testkit.check_in_range "heads" ~lo:49200.0 ~hi:50800.0 (float_of_int !heads));
+    Testkit.case "split yields a decorrelated stream" (fun () ->
+        let rng = Testkit.rng () in
+        let child = Rng.split rng in
+        let a = draw_array rng 5000 and b = draw_array child 5000 in
+        let mixed = Array.init 5000 (fun i -> a.(i) -. b.(i)) in
+        (* Difference of independent U(0,1) has variance 1/6. *)
+        Testkit.check_rel ~tol:0.1 "variance of difference" (1.0 /. 6.0)
+          (Ptrng_stats.Descriptive.variance mixed));
+    Testkit.case "fill_floats fills every slot" (fun () ->
+        let rng = Testkit.rng () in
+        let a = Array.make 100 (-1.0) in
+        Rng.fill_floats rng a;
+        Array.iter (fun v -> Testkit.check_in_range "slot" ~lo:0.0 ~hi:1.0 v) a);
+    Testkit.case "all backends produce working generators" (fun () ->
+        List.iter
+          (fun backend ->
+            let rng = Rng.create ~backend ~seed:12L () in
+            let v = Rng.float rng in
+            Testkit.check_in_range (Rng.backend_name rng) ~lo:0.0 ~hi:1.0 v)
+          [ Rng.Xoshiro; Rng.Pcg; Rng.Splitmix ]);
+  ]
+
+(* --- Gaussian sampling --- *)
+
+let gaussian_moments method_ name =
+  Testkit.case (name ^ " has N(0,1) moments") (fun () ->
+      let g = Gaussian.create ~method_ (Testkit.rng ()) in
+      let n = 200000 in
+      let x = Array.init n (fun _ -> Gaussian.draw g) in
+      Testkit.check_abs ~tol:0.02 "mean" 0.0 (Ptrng_stats.Descriptive.mean x);
+      Testkit.check_rel ~tol:0.03 "variance" 1.0 (Ptrng_stats.Descriptive.variance x);
+      Testkit.check_abs ~tol:0.05 "skewness" 0.0 (Ptrng_stats.Descriptive.skewness x);
+      Testkit.check_abs ~tol:0.1 "excess kurtosis" 0.0
+        (Ptrng_stats.Descriptive.kurtosis_excess x))
+
+let gaussian_ks method_ name =
+  Testkit.case (name ^ " passes KS against Phi") (fun () ->
+      let g = Gaussian.create ~method_ (Testkit.rng ~seed:77L ()) in
+      let x = Array.init 20000 (fun _ -> Gaussian.draw g) in
+      let r = Ptrng_stats.Tests.ks_one_sample ~cdf:Ptrng_stats.Special.normal_cdf x in
+      Testkit.check_true "KS p-value > 0.001" (r.p_value > 0.001))
+
+let gaussian_tests =
+  [
+    gaussian_moments Gaussian.Ziggurat "ziggurat";
+    gaussian_moments Gaussian.Box_muller "box-muller";
+    gaussian_moments Gaussian.Polar "polar";
+    gaussian_ks Gaussian.Ziggurat "ziggurat";
+    gaussian_ks Gaussian.Box_muller "box-muller";
+    gaussian_ks Gaussian.Polar "polar";
+    Testkit.case "tail samples occur and are finite" (fun () ->
+        let g = Gaussian.create (Testkit.rng ~seed:5L ()) in
+        let beyond = ref 0 in
+        for _ = 1 to 2_000_000 do
+          let v = Gaussian.draw g in
+          Testkit.check_true "finite" (Float.is_finite v);
+          if Float.abs v > 3.4426 then incr beyond
+        done;
+        (* P(|Z| > 3.4426) ~ 5.7e-4: expect ~1150 hits. *)
+        Testkit.check_in_range "tail hits" ~lo:800.0 ~hi:1600.0 (float_of_int !beyond));
+    Testkit.case "draw_scaled applies mu and sigma" (fun () ->
+        let g = Gaussian.create (Testkit.rng ()) in
+        let x = Array.init 100000 (fun _ -> Gaussian.draw_scaled g ~mu:3.0 ~sigma:0.5) in
+        Testkit.check_abs ~tol:0.02 "mean" 3.0 (Ptrng_stats.Descriptive.mean x);
+        Testkit.check_rel ~tol:0.05 "variance" 0.25 (Ptrng_stats.Descriptive.variance x));
+    Testkit.case "pdf peak value" (fun () ->
+        Testkit.check_rel ~tol:1e-12 "pdf 0" (1.0 /. sqrt (2.0 *. Float.pi)) (Gaussian.pdf 0.0));
+  ]
+
+(* --- Distributions --- *)
+
+let distributions_tests =
+  [
+    Testkit.case "exponential mean and variance" (fun () ->
+        let rng = Testkit.rng () in
+        let x = Array.init 200000 (fun _ -> Distributions.exponential rng ~rate:2.0) in
+        Testkit.check_rel ~tol:0.03 "mean" 0.5 (Ptrng_stats.Descriptive.mean x);
+        Testkit.check_rel ~tol:0.05 "variance" 0.25 (Ptrng_stats.Descriptive.variance x));
+    Testkit.case "exponential rejects bad rate" (fun () ->
+        Alcotest.check_raises "rate 0"
+          (Invalid_argument "Distributions.exponential: rate <= 0")
+          (fun () -> ignore (Distributions.exponential (Testkit.rng ()) ~rate:0.0)));
+    Testkit.case "laplace variance is 2 b^2" (fun () ->
+        let rng = Testkit.rng () in
+        let x = Array.init 200000 (fun _ -> Distributions.laplace rng ~mu:1.0 ~b:0.7) in
+        Testkit.check_rel ~tol:0.03 "mean" 1.0 (Ptrng_stats.Descriptive.mean x);
+        Testkit.check_rel ~tol:0.05 "variance" (2.0 *. 0.49)
+          (Ptrng_stats.Descriptive.variance x));
+    Testkit.case "cauchy median is x0" (fun () ->
+        let rng = Testkit.rng () in
+        let x = Array.init 100000 (fun _ -> Distributions.cauchy rng ~x0:4.0 ~gamma:1.0) in
+        Testkit.check_abs ~tol:0.05 "median" 4.0 (Ptrng_stats.Descriptive.median x));
+    Testkit.case "bernoulli frequency" (fun () ->
+        let rng = Testkit.rng () in
+        let hits = ref 0 in
+        for _ = 1 to 100000 do
+          if Distributions.bernoulli rng ~p:0.3 then incr hits
+        done;
+        Testkit.check_rel ~tol:0.03 "frequency" 0.3 (float_of_int !hits /. 100000.0));
+    Testkit.case "binomial small-n path" (fun () ->
+        let rng = Testkit.rng () in
+        let x =
+          Array.init 50000 (fun _ -> float_of_int (Distributions.binomial rng ~n:20 ~p:0.25))
+        in
+        Testkit.check_rel ~tol:0.03 "mean" 5.0 (Ptrng_stats.Descriptive.mean x);
+        Testkit.check_rel ~tol:0.06 "variance" 3.75 (Ptrng_stats.Descriptive.variance x));
+    Testkit.case "binomial large-n path" (fun () ->
+        let rng = Testkit.rng () in
+        let x =
+          Array.init 50000 (fun _ ->
+              float_of_int (Distributions.binomial rng ~n:10000 ~p:0.5))
+        in
+        Testkit.check_rel ~tol:0.002 "mean" 5000.0 (Ptrng_stats.Descriptive.mean x);
+        Testkit.check_rel ~tol:0.1 "variance" 2500.0 (Ptrng_stats.Descriptive.variance x));
+    Testkit.case "binomial edge cases" (fun () ->
+        let rng = Testkit.rng () in
+        Alcotest.(check int) "p=0" 0 (Distributions.binomial rng ~n:10 ~p:0.0);
+        Alcotest.(check int) "p=1" 10 (Distributions.binomial rng ~n:10 ~p:1.0);
+        Alcotest.(check int) "n=0" 0 (Distributions.binomial rng ~n:0 ~p:0.5));
+    Testkit.case "poisson small-lambda path" (fun () ->
+        let rng = Testkit.rng () in
+        let x =
+          Array.init 100000 (fun _ -> float_of_int (Distributions.poisson rng ~lambda:4.0))
+        in
+        Testkit.check_rel ~tol:0.03 "mean" 4.0 (Ptrng_stats.Descriptive.mean x);
+        Testkit.check_rel ~tol:0.05 "variance" 4.0 (Ptrng_stats.Descriptive.variance x));
+    Testkit.case "poisson large-lambda path" (fun () ->
+        let rng = Testkit.rng () in
+        let x =
+          Array.init 50000 (fun _ -> float_of_int (Distributions.poisson rng ~lambda:400.0))
+        in
+        Testkit.check_rel ~tol:0.01 "mean" 400.0 (Ptrng_stats.Descriptive.mean x);
+        Testkit.check_rel ~tol:0.1 "variance" 400.0 (Ptrng_stats.Descriptive.variance x));
+    Testkit.case "geometric mean" (fun () ->
+        let rng = Testkit.rng () in
+        let x =
+          Array.init 100000 (fun _ -> float_of_int (Distributions.geometric rng ~p:0.25))
+        in
+        Testkit.check_rel ~tol:0.05 "mean" 3.0 (Ptrng_stats.Descriptive.mean x));
+    Testkit.case "uniform_array bounds and size" (fun () ->
+        let a = Distributions.uniform_array (Testkit.rng ()) 1000 in
+        Alcotest.(check int) "length" 1000 (Array.length a);
+        Array.iter (fun v -> Testkit.check_in_range "value" ~lo:0.0 ~hi:1.0 v) a);
+  ]
+
+let () =
+  Alcotest.run "ptrng_prng"
+    [
+      ("splitmix64", splitmix_tests);
+      ("xoshiro256", xoshiro_tests);
+      ("pcg32", pcg_tests);
+      ("rng", rng_tests);
+      ("gaussian", gaussian_tests);
+      ("distributions", distributions_tests);
+    ]

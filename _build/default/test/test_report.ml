@@ -1,0 +1,50 @@
+open Ptrng_report
+
+let prng_stream n =
+  let rng = Testkit.rng ~seed:0x11EL () in
+  Ptrng_trng.Bitstream.of_bools (Array.init n (fun _ -> Ptrng_prng.Rng.bool rng))
+
+let assessment_tests =
+  [
+    Testkit.case "good source passes the full assessment" (fun () ->
+        let t = Assessment.evaluate (prng_stream 60000) in
+        Alcotest.(check string) "verdict" "PASS" (Assessment.verdict_name t.verdict);
+        Testkit.check_true "ais31 A present" (t.ais31_a <> None);
+        Testkit.check_true "90B aggregate positive" (t.sp90b_aggregate > 0.3);
+        Alcotest.(check int) "no rct alarms" 0 t.health_rct_alarms);
+    Testkit.case "constant source fails everything" (fun () ->
+        let t =
+          Assessment.evaluate (Ptrng_trng.Bitstream.of_bools (Array.make 30000 true))
+        in
+        Alcotest.(check string) "verdict" "FAIL" (Assessment.verdict_name t.verdict);
+        Testkit.check_true "health fires" (t.health_rct_alarms > 0);
+        Testkit.check_abs ~tol:1e-9 "no entropy" 0.0 t.sp90b_aggregate);
+    Testkit.case "locked TRNG fails" (fun () ->
+        let pair =
+          Ptrng_trng.Attack.frequency_injection ~lock_strength:0.9995
+            (Ptrng_osc.Pair.paper_pair ())
+        in
+        let cfg = Ptrng_trng.Ero_trng.config ~divisor:100 pair in
+        let stream =
+          Ptrng_trng.Ero_trng.generate (Testkit.rng ~seed:17L ()) cfg ~bits:30000
+        in
+        let t = Assessment.evaluate stream in
+        Alcotest.(check string) "verdict" "FAIL" (Assessment.verdict_name t.verdict));
+    Testkit.case "short streams skip procedure A but still assess" (fun () ->
+        let t = Assessment.evaluate (prng_stream 5000) in
+        Testkit.check_true "no procedure A" (t.ais31_a = None);
+        Testkit.check_true "nist present" (List.length t.nist >= 6));
+    Testkit.case "report renders all sections" (fun () ->
+        let t = Assessment.evaluate (prng_stream 30000) in
+        let text = Format.asprintf "%a" Assessment.pp t in
+        List.iter
+          (fun needle ->
+            Testkit.check_true needle (Testkit.contains ~needle text))
+          [ "AIS31"; "SP 800-22"; "SP 800-90B"; "health"; "overall" ]);
+    Testkit.case "rejects tiny streams" (fun () ->
+        Alcotest.check_raises "short"
+          (Invalid_argument "Assessment.evaluate: need >= 2000 bits")
+          (fun () -> ignore (Assessment.evaluate (prng_stream 100))));
+  ]
+
+let () = Alcotest.run "ptrng_report" [ ("assessment", assessment_tests) ]
