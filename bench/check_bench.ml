@@ -1,0 +1,69 @@
+(* Smoke check for the bench harness: parse the JSON report and assert
+   the fields the perf-trajectory tooling relies on, so `dune runtest`
+   fails loudly if BENCH_1.json ever stops being produced or loses its
+   schema (see docs/OBSERVABILITY.md). *)
+
+module Json = Ptrng_telemetry.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("check_bench: " ^ m); exit 1) fmt
+
+let get path j key =
+  match Json.member key j with
+  | Some v -> v
+  | None -> fail "missing field %s.%s" path key
+
+let number path j key =
+  match Json.to_float (get path j key) with
+  | Some v -> v
+  | None -> fail "field %s.%s is not numeric" path key
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_1.json" in
+  let contents =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error e -> fail "cannot read %s: %s" path e
+  in
+  let report =
+    try Json.of_string contents with Failure e -> fail "%s does not parse: %s" path e
+  in
+  (match Json.member "schema" report with
+  | Some (Json.String "ptrng-bench/1") -> ()
+  | _ -> fail "bad or missing schema tag");
+  ignore (number "report" report "total_s");
+  let sections =
+    match get "report" report "sections" with
+    | Json.List l -> l
+    | _ -> fail "sections is not a list"
+  in
+  if sections = [] then fail "no sections recorded";
+  let find_section name =
+    match
+      List.find_opt
+        (fun s -> Json.member "name" s = Some (Json.String name))
+        sections
+    with
+    | Some s -> s
+    | None -> fail "section %s missing" name
+  in
+  List.iter
+    (fun s ->
+      let wall = number "section" s "wall_s" in
+      if not (wall >= 0.0) then fail "negative section wall time")
+    sections;
+  (* Fig. 7 accumulation must report throughput and the fitted model. *)
+  let fig7 = find_section "fig7" in
+  let throughput = get "fig7" fig7 "throughput" in
+  let pps = number "fig7.throughput" throughput "periods_per_sec" in
+  if not (pps > 0.0) then fail "fig7 periods_per_sec not positive";
+  let fig7_results = get "fig7" fig7 "results" in
+  ignore (number "fig7.results" fig7_results "fit_a");
+  ignore (number "fig7.results" fig7_results "fit_b");
+  let extraction = get "extraction" (find_section "extraction") "results" in
+  ignore (number "extraction.results" extraction "b_th");
+  ignore (number "extraction.results" extraction "sigma_th_ps");
+  (* The telemetry snapshot must show the accumulation actually ran. *)
+  let metrics = get "report" report "metrics" in
+  let periods = number "metrics" metrics "ptrng_measure_periods_accumulated_total" in
+  if not (periods > 0.0) then fail "ptrng_measure_periods_accumulated_total is zero";
+  Printf.printf "check_bench: %s ok (%d sections, %.3e periods/s)\n" path
+    (List.length sections) pps

@@ -3,25 +3,56 @@
      dune exec bench/main.exe              (default sizes, ~2 min)
      dune exec bench/main.exe -- --quick   (CI-sized)
      dune exec bench/main.exe -- --full    (high-precision Fig. 7)
+     dune exec bench/main.exe -- --smoke   (seconds; for dune runtest)
      dune exec bench/main.exe -- --no-perf (skip Bechamel timings)
+     dune exec bench/main.exe -- --out F   (write the JSON report to F)
 
    One section per experiment of EXPERIMENTS.md (the paper's Fig. 7 and
    the numeric results of Sections III-E/IV-B, plus the three
    ablations), followed by Bechamel micro-benchmarks of the
-   computational kernels. *)
+   computational kernels.
 
+   Every run also writes a machine-readable report (BENCH_1.json by
+   default): per-section wall time and allocation from the telemetry
+   span tree, key numeric results (fitted a/b, sigma_th, growth
+   exponents), per-section throughput, kernel timings and the full
+   metrics snapshot.  docs/OBSERVABILITY.md describes the format; the
+   @bench-smoke alias checks it never rots. *)
+
+module Tm = Ptrng_telemetry
+
+let smoke = Array.exists (( = ) "--smoke") Sys.argv
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let full = Array.exists (( = ) "--full") Sys.argv
-let no_perf = Array.exists (( = ) "--no-perf") Sys.argv
+let no_perf = Array.exists (( = ) "--no-perf") Sys.argv || smoke
+
+let out_path =
+  let path = ref "BENCH_1.json" in
+  Array.iteri
+    (fun i a -> if a = "--out" && i + 1 < Array.length Sys.argv then path := Sys.argv.(i + 1))
+    Sys.argv;
+  !path
+
+let mode =
+  if smoke then "smoke" else if quick then "quick" else if full then "full" else "default"
 
 let paper_f0 = Ptrng_osc.Pair.paper_f0
 let paper_phase = Ptrng_osc.Pair.paper_relative
 
-let log2_periods = if quick then 18 else if full then 22 else 20
+let log2_periods =
+  if smoke then 14 else if quick then 18 else if full then 22 else 20
 
 let banner title =
   let line = String.make 78 '=' in
   Printf.printf "\n%s\n== %s\n%s\n%!" line title line
+
+(* Section results, newest first: (section, key-value list). *)
+let section_results : (string * (string * Tm.Json.t) list) list ref = ref []
+
+let run_section name f =
+  Tm.Span.with_ ~name (fun () ->
+      let kv = f () in
+      section_results := (name, kv) :: !section_results)
 
 (* ------------------------------------------------------------------ *)
 (* FIG7 + RN + THERMAL: the central experiment                        *)
@@ -59,6 +90,19 @@ let section_fig7 () =
   Printf.printf "growth exponent %.3f +- %.3f (independence = 1, flicker = 2)\n" slope se;
   analysis
 
+let fig7_kv (analysis : Ptrng_model.Multilevel.analysis) =
+  let fit = analysis.fit in
+  let slope, slope_se = analysis.growth_exponent in
+  [
+    ("periods", Tm.Json.Int analysis.n_periods);
+    ("fit_a", Tm.Json.num fit.a);
+    ("fit_a_se", Tm.Json.num fit.a_se);
+    ("fit_b", Tm.Json.num fit.b);
+    ("fit_b_se", Tm.Json.num fit.b_se);
+    ("growth_exponent", Tm.Json.num slope);
+    ("growth_exponent_se", Tm.Json.num slope_se);
+  ]
+
 let section_extraction (analysis : Ptrng_model.Multilevel.analysis) =
   banner "RN & THERMAL — Sections III-E and IV-B";
   let e = analysis.extract in
@@ -75,7 +119,7 @@ let section_extraction (analysis : Ptrng_model.Multilevel.analysis) =
   Printf.printf "%-36s %14d %14d\n" "N at r_N > 95%"
     (Ptrng_measure.Thermal_extract.independence_threshold e ~confidence:0.95)
     281;
-  match analysis.counter_fit with
+  (match analysis.counter_fit with
   | None ->
     Printf.printf
       "(counter-only extraction: too few saturated points at this trace length;\n\
@@ -88,22 +132,37 @@ let section_extraction (analysis : Ptrng_model.Multilevel.analysis) =
       \  b_fl = %.3e +- %.1e (flicker recoverable by real hardware)\n\
       \  b_th = %.0f +- %.0f (unresolved below the quantization floor:\n\
       \  see ONLINE for the averaging budget)\n"
-      phase.Ptrng_noise.Psd_model.b_fl bfl_se phase.Ptrng_noise.Psd_model.b_th bth_se
+      phase.Ptrng_noise.Psd_model.b_fl bfl_se phase.Ptrng_noise.Psd_model.b_th bth_se);
+  [
+    ("b_th", Tm.Json.num e.phase.Ptrng_noise.Psd_model.b_th);
+    ("b_fl", Tm.Json.num e.phase.Ptrng_noise.Psd_model.b_fl);
+    ("sigma_th_ps", Tm.Json.num (e.sigma_thermal *. 1e12));
+    ("sigma_relative_permil", Tm.Json.num (e.sigma_relative *. 1e3));
+    ("k_ratio", Tm.Json.num e.k_ratio);
+    ( "n_threshold_95",
+      Tm.Json.Int (Ptrng_measure.Thermal_extract.independence_threshold e ~confidence:0.95)
+    );
+  ]
 
 let section_model () =
   banner "MODEL — eq. 11 closed form vs numeric eq. 9 integral";
   Printf.printf "%8s  %13s  %13s  %9s\n" "N" "closed" "numeric" "rel.err";
+  let worst = ref 0.0 in
   List.iter
     (fun n ->
       let c = Ptrng_model.Spectral.sigma2_n paper_phase ~f0:paper_f0 ~n in
       let v = Ptrng_model.Spectral.sigma2_n_numeric paper_phase ~f0:paper_f0 ~n in
-      Printf.printf "%8d  %13.6e  %13.6e  %9.2e\n" n c v (Float.abs ((v -. c) /. c)))
-    [ 1; 10; 281; 5354; 100000 ]
+      let err = Float.abs ((v -. c) /. c) in
+      if err > !worst then worst := err;
+      Printf.printf "%8d  %13.6e  %13.6e  %9.2e\n" n c v err)
+    [ 1; 10; 281; 5354; 100000 ];
+  [ ("worst_rel_err", Tm.Json.num !worst) ]
 
 let section_entropy () =
   banner "ENTROPY — Ablation A: overestimation by the independence assumption";
   let extract = Ptrng_measure.Thermal_extract.of_phase ~f0:paper_f0 paper_phase in
   let ns = [| 100; 281; 5354; 100000 |] in
+  let max_over = ref 0.0 in
   List.iter
     (fun k ->
       let rows =
@@ -112,25 +171,36 @@ let section_entropy () =
       Printf.printf "K = %d periods/sample:\n" k;
       Array.iter
         (fun (r : Ptrng_model.Compare.row) ->
+          if r.overestimate > !max_over then max_over := r.overestimate;
           Printf.printf
             "  N=%6d  sigma_naive=%7.2f ps  H_naive=%8.5f  H_true=%8.5f  (+%.5f)\n"
             r.n (r.sigma_naive *. 1e12) r.entropy_naive r.entropy_true r.overestimate)
         rows)
-    [ 300; 1000 ]
+    [ 300; 1000 ];
+  [ ("max_overestimate_bits", Tm.Json.num !max_over) ]
 
 let section_scaling () =
   banner "SCALING — Ablation B: independence threshold across CMOS nodes";
   Printf.printf "%-16s %9s %12s %12s %8s\n" "node" "f0[MHz]" "b_th" "b_fl" "N(95%)";
+  let kv = ref [] in
   List.iter
     (fun node ->
       let ring = Ptrng_device.Technology.ring node in
       let p = ring.Ptrng_device.Technology.phase in
+      let threshold =
+        Ptrng_device.Technology.independence_threshold_n p
+          ~f0:ring.Ptrng_device.Technology.f0 ~confidence:0.95
+      in
+      kv :=
+        ( "n95_" ^ String.map (fun c -> if c = ' ' then '_' else c)
+                     node.Ptrng_device.Technology.name,
+          Tm.Json.Int threshold )
+        :: !kv;
       Printf.printf "%-16s %9.1f %12.4e %12.4e %8d\n" node.Ptrng_device.Technology.name
         (ring.Ptrng_device.Technology.f0 /. 1e6)
-        p.Ptrng_noise.Psd_model.b_th p.Ptrng_noise.Psd_model.b_fl
-        (Ptrng_device.Technology.independence_threshold_n p
-           ~f0:ring.Ptrng_device.Technology.f0 ~confidence:0.95))
-    Ptrng_device.Technology.presets
+        p.Ptrng_noise.Psd_model.b_th p.Ptrng_noise.Psd_model.b_fl threshold)
+    Ptrng_device.Technology.presets;
+  List.rev !kv
 
 let section_online () =
   banner "ONLINE — Ablation C: embedded thermal-noise test";
@@ -154,11 +224,16 @@ let section_online () =
   in
   let reference = paper_phase.Ptrng_noise.Psd_model.b_th *. 100.0 in
   let cfg =
-    { Ptrng_measure.Online_test.ns = [| 512; 2048; 8192; 32768 |];
-      windows = (if quick then 32 else 64);
-      min_fraction = 0.4 }
+    if smoke then
+      { Ptrng_measure.Online_test.ns = [| 256; 1024; 4096; 16384 |];
+        windows = 16; min_fraction = 0.4 }
+    else
+      { Ptrng_measure.Online_test.ns = [| 512; 2048; 8192; 32768 |];
+        windows = (if quick then 32 else 64);
+        min_fraction = 0.4 }
   in
-  let evaluate label seed pair =
+  let kv = ref [] in
+  let evaluate key label seed pair =
     let n = Ptrng_measure.Online_test.required_cycles cfg + 8192 in
     let p1, p2 = Ptrng_osc.Pair.simulate (Ptrng_prng.Rng.create ~seed ()) pair ~n in
     let edges1 = Ptrng_osc.Oscillator.edges_of_periods p1 in
@@ -167,14 +242,17 @@ let section_online () =
       Ptrng_measure.Online_test.run cfg ~f0:paper_f0 ~reference_b_th:reference ~edges1
         ~edges2
     in
+    kv := (key ^ "_pass", Tm.Json.Bool v.pass) :: (key ^ "_b_th", Tm.Json.num v.b_th_est)
+          :: !kv;
     Printf.printf "%-34s b_th=%9.0f  %s\n" label v.b_th_est
       (if v.pass then "PASS" else "ALARM")
   in
-  evaluate "100x-thermal, healthy" 100L strong;
-  evaluate "100x-thermal, 95% injection lock" 101L
+  evaluate "healthy" "100x-thermal, healthy" 100L strong;
+  evaluate "injection" "100x-thermal, 95% injection lock" 101L
     (Ptrng_trng.Attack.frequency_injection ~lock_strength:0.95 strong);
-  evaluate "100x-thermal, x0.05 quench" 102L
-    (Ptrng_trng.Attack.thermal_quench ~factor:0.05 strong)
+  evaluate "quench" "100x-thermal, x0.05 quench" 102L
+    (Ptrng_trng.Attack.thermal_quench ~factor:0.05 strong);
+  List.rev !kv
 
 let section_allan () =
   banner "ALLAN — time-domain view: Allan deviation of the relative frequency";
@@ -189,12 +267,16 @@ let section_allan () =
   Printf.printf "predicted crossover tau_c = %.1f us (= k/f0 = 5354 periods)\n\n"
     (tau_c *. 1e6);
   let pair = Ptrng_osc.Pair.paper_pair () in
-  let n = 1 lsl (if quick then 18 else 20) in
+  let n = 1 lsl (if smoke then 14 else if quick then 18 else 20) in
   let p1, p2 = Ptrng_osc.Pair.simulate (Ptrng_prng.Rng.create ~seed:55L ()) pair ~n in
   let t0 = 1.0 /. paper_f0 in
   (* Relative fractional frequency per period. *)
   let y = Array.init n (fun k -> (p1.(k) -. p2.(k)) /. t0) in
   let y = Ptrng_signal.Filter.remove_mean y in
+  let ms =
+    if smoke then [| 16; 64; 256; 1024 |]
+    else [| 16; 64; 256; 1024; 4096; 16384; 65536 |]
+  in
   Printf.printf "%10s  %13s  %13s  %13s\n" "tau [us]" "adev meas" "adev model" "ratio";
   Array.iter
     (fun (pt : Ptrng_stats.Allan.point) ->
@@ -205,16 +287,13 @@ let section_allan () =
       Printf.printf "%10.2f  %13.4e  %13.4e  %13.3f\n" (pt.tau *. 1e6)
         (sqrt pt.avar) (sqrt model_avar)
         (sqrt (pt.avar /. model_avar)))
-    (Ptrng_stats.Allan.sweep ~tau0:t0
-       ~ms:[| 16; 64; 256; 1024; 4096; 16384; 65536 |]
-       y)
+    (Ptrng_stats.Allan.sweep ~tau0:t0 ~ms y);
+  [ ("periods", Tm.Json.Int n); ("crossover_tau_us", Tm.Json.num (tau_c *. 1e6)) ]
 
 let section_restart () =
   banner "RESTART — Ablation D: oscillator restarts restore Bienayme linearity";
-  let cfg =
-    Ptrng_osc.Oscillator.config ~f0:paper_f0 ~phase:paper_phase ()
-  in
-  let restarts = if quick then 800 else 2000 in
+  let cfg = Ptrng_osc.Oscillator.config ~f0:paper_f0 ~phase:paper_phase () in
+  let restarts = if smoke then 200 else if quick then 800 else 2000 in
   let n = 4096 in
   let runs =
     Ptrng_osc.Restart.ensemble (Ptrng_prng.Rng.create ~seed:77L ()) cfg ~restarts ~n
@@ -229,8 +308,12 @@ let section_restart () =
         (float_of_int n *. sigma_th2)
         (Ptrng_model.Spectral.sigma2_n paper_phase ~f0:paper_f0 ~n /. 2.0))
     curve;
-  Printf.printf "restart growth exponent: %.3f (1 = independence restored)\n"
-    (Ptrng_osc.Restart.growth_exponent curve)
+  let exponent = Ptrng_osc.Restart.growth_exponent curve in
+  Printf.printf "restart growth exponent: %.3f (1 = independence restored)\n" exponent;
+  [
+    ("periods", Tm.Json.Int (restarts * n));
+    ("growth_exponent", Tm.Json.num exponent);
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel kernel benchmarks                                          *)
@@ -313,7 +396,7 @@ let section_perf () =
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
   Printf.printf "%-44s %16s\n" "kernel" "time per run";
-  List.iter
+  List.filter_map
     (fun (name, ols) ->
       match Analyze.OLS.estimates ols with
       | Some (est :: _) ->
@@ -322,19 +405,89 @@ let section_perf () =
           else if est > 1e3 then Printf.sprintf "%10.3f us" (est /. 1e3)
           else Printf.sprintf "%10.1f ns" est
         in
-        Printf.printf "%-44s %16s\n" name txt
-      | _ -> Printf.printf "%-44s %16s\n" name "n/a")
+        Printf.printf "%-44s %16s\n" name txt;
+        Some (name, Tm.Json.num est)
+      | _ ->
+        Printf.printf "%-44s %16s\n" name "n/a";
+        None)
     rows
 
+(* ------------------------------------------------------------------ *)
+(* JSON report                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let section_json (span : Tm.Span.t) =
+  let kv = try List.assoc span.name !section_results with Not_found -> [] in
+  let throughput =
+    List.filter_map
+      (fun (key, v) ->
+        match (key, v) with
+        | "periods", Tm.Json.Int periods when span.wall_s > 0.0 ->
+          Some
+            ("periods_per_sec", Tm.Json.num (float_of_int periods /. span.wall_s))
+        | _ -> None)
+      kv
+  in
+  Tm.Json.Obj
+    ([
+       ("name", Tm.Json.String span.name);
+       ("wall_s", Tm.Json.num span.wall_s);
+       ("alloc_bytes", Tm.Json.num span.alloc_bytes);
+     ]
+    @ (if throughput = [] then [] else [ ("throughput", Tm.Json.Obj throughput) ])
+    @ [ ("results", Tm.Json.Obj kv) ]
+    @
+    match span.children with
+    | [] -> []
+    | children -> [ ("trace", Tm.Json.List (List.map Tm.Span.to_json children)) ])
+
+let write_report ~kernels ~total_s =
+  let sections = List.map section_json (Tm.Span.roots ()) in
+  let snapshot = Tm.Sink.snapshot_json () in
+  let metrics =
+    match Tm.Json.member "metrics" snapshot with
+    | Some m -> m
+    | None -> Tm.Json.Obj []
+  in
+  let report =
+    Tm.Json.Obj
+      [
+        ("schema", Tm.Json.String "ptrng-bench/1");
+        ("mode", Tm.Json.String mode);
+        ("log2_periods", Tm.Json.Int log2_periods);
+        ("total_s", Tm.Json.num total_s);
+        ("sections", Tm.Json.List sections);
+        ("kernels", Tm.Json.Obj kernels);
+        ("metrics", metrics);
+      ]
+  in
+  (try
+     let oc = open_out out_path in
+     output_string oc (Tm.Json.to_string_pretty report);
+     output_char oc '\n';
+     close_out oc
+   with Sys_error e ->
+     Printf.eprintf "bench: cannot write report: %s\n" e;
+     exit 1);
+  Printf.printf "\nwrote %s\n" out_path
+
 let () =
+  Tm.Registry.enable ();
   let t0 = Unix.gettimeofday () in
-  let analysis = section_fig7 () in
-  section_extraction analysis;
-  section_model ();
-  section_entropy ();
-  section_scaling ();
-  section_online ();
-  section_restart ();
-  section_allan ();
-  if not no_perf then section_perf ();
-  Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  let analysis = ref None in
+  run_section "fig7" (fun () ->
+      let a = section_fig7 () in
+      analysis := Some a;
+      fig7_kv a);
+  run_section "extraction" (fun () ->
+      section_extraction (Option.get !analysis));
+  run_section "model" section_model;
+  run_section "entropy" section_entropy;
+  run_section "scaling" section_scaling;
+  run_section "online" section_online;
+  run_section "restart" section_restart;
+  run_section "allan" section_allan;
+  let kernels = if no_perf then [] else Tm.Span.with_ ~name:"perf" section_perf in
+  let total_s = Unix.gettimeofday () -. t0 in
+  Printf.printf "\ntotal bench time: %.1f s\n" total_s;
+  write_report ~kernels ~total_s

@@ -361,6 +361,107 @@ let run_selftest () =
 
 open Cmdliner
 
+(* ---------------------------------------------------------------- *)
+(* telemetry options, shared by every sub-command                   *)
+(* ---------------------------------------------------------------- *)
+
+type telemetry_opts = {
+  metrics_out : string option;
+  trace : bool;
+  events : string option;
+  prometheus_out : string option;
+}
+
+let telemetry_opts =
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Enable telemetry and write the metrics/span snapshot (JSON) to \
+             $(docv) on exit.  See docs/OBSERVABILITY.md.")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Enable telemetry and print the span trace tree on exit.")
+  in
+  let events =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Enable telemetry and stream structured events (JSONL, one object \
+             per line) to $(docv) while running.")
+  in
+  let prometheus_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prometheus-out" ] ~docv:"FILE"
+          ~doc:
+            "Enable telemetry and write the Prometheus text exposition to \
+             $(docv) on exit.")
+  in
+  Term.(
+    const (fun metrics_out trace events prometheus_out ->
+        { metrics_out; trace; events; prometheus_out })
+    $ metrics_out $ trace $ events $ prometheus_out)
+
+let with_telemetry opts k =
+  let module Tm = Ptrng_telemetry in
+  let active =
+    opts.metrics_out <> None || opts.trace || opts.events <> None
+    || opts.prometheus_out <> None
+  in
+  if not active then k ()
+  else begin
+    Tm.Registry.enable ();
+    (match opts.events with
+    | Some path -> (
+      try Tm.Event_log.open_ path
+      with Sys_error e ->
+        Printf.eprintf "repro: cannot open event log: %s\n" e;
+        exit 1)
+    | None -> ());
+    let write what writer path =
+      try
+        writer path;
+        Printf.printf "wrote %s %s\n" what path
+      with Sys_error e ->
+        Printf.eprintf "repro: cannot write %s: %s\n" what e;
+        exit 1
+    in
+    let finish () =
+      (match opts.metrics_out with
+      | Some path -> write "metrics snapshot" Tm.Sink.write_snapshot path
+      | None -> ());
+      (match opts.prometheus_out with
+      | Some path -> write "prometheus exposition" Tm.Sink.write_prometheus path
+      | None -> ());
+      if opts.trace then begin
+        print_newline ();
+        print_endline "trace:";
+        Format.printf "%a@." Tm.Span.pp (Tm.Span.roots ())
+      end;
+      Tm.Event_log.close ()
+    in
+    Fun.protect ~finally:finish k
+  end
+
+(* Wrap a sub-command body (as a thunk term) with the telemetry options
+   so every experiment can emit machine-readable output.  The body runs
+   inside a [repro.<name>] root span. *)
+let instrument name thunk =
+  let spanned opts k =
+    with_telemetry opts (fun () ->
+        Ptrng_telemetry.Span.with_ ~name:("repro." ^ name) k)
+  in
+  Term.(const spanned $ telemetry_opts $ thunk)
+
 let seed_arg =
   Arg.(value & opt int 2014 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
@@ -380,11 +481,17 @@ let fig7_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the curve as CSV to $(docv).")
   in
-  Cmd.v (Cmd.info "fig7" ~doc) Term.(const run_fig7 $ seed_arg $ log2_periods_arg $ csv_arg)
+  Cmd.v (Cmd.info "fig7" ~doc)
+    (instrument "fig7"
+       Term.(
+         const (fun seed p csv () -> run_fig7 seed p csv)
+         $ seed_arg $ log2_periods_arg $ csv_arg))
 
 let extract_cmd =
   let doc = "Reproduce Sections III-E/IV-B: thermal jitter, r_N and the threshold." in
-  Cmd.v (Cmd.info "extract" ~doc) Term.(const run_extract $ seed_arg $ log2_periods_arg)
+  Cmd.v (Cmd.info "extract" ~doc)
+    (instrument "extract"
+       Term.(const (fun seed p () -> run_extract seed p) $ seed_arg $ log2_periods_arg))
 
 let entropy_cmd =
   let doc = "Entropy overestimation of the independence-assuming model." in
@@ -394,11 +501,13 @@ let entropy_cmd =
       & info [ "sampling-periods" ] ~docv:"K"
           ~doc:"Oscillator periods accumulated between samples.")
   in
-  Cmd.v (Cmd.info "entropy" ~doc) Term.(const run_entropy $ k_arg)
+  Cmd.v (Cmd.info "entropy" ~doc)
+    (instrument "entropy" Term.(const (fun k () -> run_entropy k) $ k_arg))
 
 let scaling_cmd =
   let doc = "Technology-node scaling of the independence threshold." in
-  Cmd.v (Cmd.info "scaling" ~doc) Term.(const (fun () -> run_scaling ()) $ const ())
+  Cmd.v (Cmd.info "scaling" ~doc)
+    (instrument "scaling" Term.(const (fun () () -> run_scaling ()) $ const ()))
 
 let online_cmd =
   let doc = "Embedded thermal-noise health test under attack." in
@@ -413,7 +522,10 @@ let online_cmd =
       & info [ "strength" ] ~docv:"S" ~doc:"Attack strength in [0,1).")
   in
   Cmd.v (Cmd.info "online" ~doc)
-    Term.(const run_online $ seed_arg $ attack_arg $ strength_arg)
+    (instrument "online"
+       Term.(
+         const (fun seed attack strength () -> run_online seed attack strength)
+         $ seed_arg $ attack_arg $ strength_arg))
 
 let trng_cmd =
   let doc = "Generate bits with the simulated eRO-TRNG and test them." in
@@ -440,9 +552,12 @@ let trng_cmd =
       & info [ "sp90b" ] ~doc:"Run the SP 800-90B min-entropy estimators on the output.")
   in
   Cmd.v (Cmd.info "trng" ~doc)
-    Term.(
-      const run_trng $ seed_arg $ bits_arg $ divisor_arg $ xor_arg $ ais31_arg $ nist_arg
-      $ sp90b_arg)
+    (instrument "trng"
+       Term.(
+         const (fun seed bits divisor xor ais31 nist sp90b () ->
+             run_trng seed bits divisor xor ais31 nist sp90b)
+         $ seed_arg $ bits_arg $ divisor_arg $ xor_arg $ ais31_arg $ nist_arg
+         $ sp90b_arg))
 
 let assess_cmd =
   let doc = "Generate bits with the simulated eRO-TRNG and run every battery." in
@@ -454,11 +569,17 @@ let assess_cmd =
       value & opt int 1000
       & info [ "divisor" ] ~docv:"K" ~doc:"Osc2 cycles between samples.")
   in
-  Cmd.v (Cmd.info "assess" ~doc) Term.(const run_assess $ seed_arg $ bits_arg $ divisor_arg)
+  Cmd.v (Cmd.info "assess" ~doc)
+    (instrument "assess"
+       Term.(
+         const (fun seed bits divisor () -> run_assess seed bits divisor)
+         $ seed_arg $ bits_arg $ divisor_arg))
 
 let allan_cmd =
   let doc = "Allan deviation of the simulated relative frequency, with the crossover." in
-  Cmd.v (Cmd.info "allan" ~doc) Term.(const run_allan $ seed_arg $ log2_periods_arg)
+  Cmd.v (Cmd.info "allan" ~doc)
+    (instrument "allan"
+       Term.(const (fun seed p () -> run_allan seed p) $ seed_arg $ log2_periods_arg))
 
 let design_cmd =
   let doc = "Size the sampler divisor for a target entropy per bit." in
@@ -467,11 +588,13 @@ let design_cmd =
       value & opt float 0.997
       & info [ "target" ] ~docv:"H" ~doc:"Entropy target in (0,1), default AIS31 PTG.2.")
   in
-  Cmd.v (Cmd.info "design" ~doc) Term.(const run_design $ target_arg)
+  Cmd.v (Cmd.info "design" ~doc)
+    (instrument "design" Term.(const (fun target () -> run_design target) $ target_arg))
 
 let selftest_cmd =
   let doc = "Check eq. 11 against numeric integration of eq. 9." in
-  Cmd.v (Cmd.info "selftest" ~doc) Term.(const (fun () -> run_selftest ()) $ const ())
+  Cmd.v (Cmd.info "selftest" ~doc)
+    (instrument "selftest" Term.(const (fun () () -> run_selftest ()) $ const ()))
 
 let main_cmd =
   let doc =

@@ -1,3 +1,9 @@
+module Tm = Ptrng_telemetry.Registry
+
+let test_seconds =
+  Tm.Hist.v ~help:"Wall time of one AIS31 procedure-A block (T1-T5)." ~lo:1e-6
+    ~hi:1e3 "ptrng_ais31_block_seconds"
+
 let block_bits = 20000
 
 let t0_words = 1 lsl 16
@@ -132,10 +138,12 @@ let t5_autocorrelation block =
 
 let run_block block =
   check_block "run_block" block;
-  [ t1_monobit block; t2_poker block; t3_runs block; t4_long_run block;
-    t5_autocorrelation block ]
+  Tm.Hist.time test_seconds (fun () ->
+      [ t1_monobit block; t2_poker block; t3_runs block; t4_long_run block;
+        t5_autocorrelation block ])
 
 let run ?blocks stream =
+  Ptrng_telemetry.Span.with_ ~name:"ais31.procedure_a" @@ fun () ->
   let available = Ptrng_trng.Bitstream.length stream / block_bits in
   if available = 0 then invalid_arg "Procedure_a.run: stream shorter than one block";
   let blocks = match blocks with Some b -> min b available | None -> min available 257 in

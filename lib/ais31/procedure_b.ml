@@ -103,6 +103,7 @@ let t8_entropy ?(q = 2560) ?(k = 256000) bits =
     ~detail:"entropy per 8-bit block, bound > 7.976"
 
 let run stream =
+  Ptrng_telemetry.Span.with_ ~name:"ais31.procedure_b" @@ fun () ->
   let bits = Ptrng_trng.Bitstream.to_bools stream in
   let n = Array.length bits in
   if n < 2000 then invalid_arg "Procedure_b.run: stream too short";

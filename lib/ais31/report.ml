@@ -12,7 +12,24 @@ type summary = {
   verdict : bool;
 }
 
-let make ~name ~statistic ~pass ~detail = { name; statistic; pass; detail }
+module Tm = Ptrng_telemetry.Registry
+
+let tests_total =
+  Tm.Counter.v ~help:"AIS31 test evaluations (every T0-T8 result built)."
+    "ptrng_ais31_tests_total"
+
+let failures_total =
+  Tm.Counter.v ~help:"AIS31 test evaluations that failed their bound."
+    "ptrng_ais31_failures_total"
+
+(* Every individual test result flows through [make], so counting here
+   covers both procedures and direct calls to the T* functions. *)
+let make ~name ~statistic ~pass ~detail =
+  if !Tm.on then begin
+    Tm.Counter.incr tests_total;
+    if not pass then Tm.Counter.incr failures_total
+  end;
+  { name; statistic; pass; detail }
 
 let summarize ?(allowed_failures = 1) results =
   let failed = List.length (List.filter (fun r -> not r.pass) results) in

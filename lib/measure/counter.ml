@@ -1,3 +1,8 @@
+let windows_total =
+  Ptrng_telemetry.Registry.Counter.v
+    ~help:"Counter windows measured (each spans N Osc2 cycles)."
+    "ptrng_measure_counter_windows_total"
+
 let q_counts ~edges1 ~edges2 ~n =
   if n <= 0 then invalid_arg "Counter.q_counts: n <= 0";
   let m1 = Array.length edges1 in
@@ -12,6 +17,7 @@ let q_counts ~edges1 ~edges2 ~n =
   done;
   let windows = !windows in
   if windows < 2 then invalid_arg "Counter.q_counts: fewer than 2n covered Osc2 cycles";
+  Ptrng_telemetry.Registry.Counter.incr ~by:windows windows_total;
   let counts = Array.make windows 0 in
   let p = ref 0 in
   for w = 0 to windows - 1 do

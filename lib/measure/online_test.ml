@@ -1,3 +1,24 @@
+module Tm = Ptrng_telemetry.Registry
+
+(* Running counters so a long acquisition campaign can be monitored
+   mid-flight (scrape the registry) instead of waiting for the final
+   boolean of each evaluation. *)
+let runs_total =
+  Tm.Counter.v ~help:"Online thermal-noise test evaluations."
+    "ptrng_measure_online_runs_total"
+
+let alarms_total =
+  Tm.Counter.v ~help:"Online test evaluations that raised an alarm."
+    "ptrng_measure_online_alarms_total"
+
+let alarm_rate =
+  Tm.Gauge.v ~help:"alarms_total / runs_total so far (0 when no run yet)."
+    "ptrng_measure_online_alarm_rate"
+
+let b_th_gauge =
+  Tm.Gauge.v ~help:"Most recent estimated thermal coefficient b_th."
+    "ptrng_measure_online_b_th_last"
+
 type config = {
   ns : int array;
   windows : int;
@@ -77,10 +98,24 @@ let run cfg ~f0 ~reference_b_th ~edges1 ~edges2 =
   let b_th_est = phase.Ptrng_noise.Psd_model.b_th in
   let sigma_est = if b_th_est > 0.0 then sqrt (b_th_est /. (f0 ** 3.0)) else 0.0 in
   let last = points.(Array.length points - 1) in
+  let pass = b_th_est >= cfg.min_fraction *. reference_b_th in
+  if !Tm.on then begin
+    Tm.Counter.incr runs_total;
+    if not pass then Tm.Counter.incr alarms_total;
+    Tm.Gauge.set alarm_rate
+      (float_of_int (Tm.Counter.value alarms_total)
+      /. float_of_int (Tm.Counter.value runs_total));
+    Tm.Gauge.set b_th_gauge b_th_est;
+    Ptrng_telemetry.Event_log.emit ~kind:"online_test"
+      [
+        ("b_th_est", Ptrng_telemetry.Json.num b_th_est);
+        ("pass", Ptrng_telemetry.Json.Bool pass);
+      ]
+  end;
   {
     b_th_est;
     sigma_est;
     floor_est = fit.c;
     total_var_max_n = last.Variance_curve.scaled;
-    pass = b_th_est >= cfg.min_fraction *. reference_b_th;
+    pass;
   }

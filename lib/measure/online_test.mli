@@ -43,6 +43,13 @@ val run :
   config -> f0:float -> reference_b_th:float ->
   edges1:float array -> edges2:float array -> verdict
 (** Evaluate the test on a recorded edge-stream segment.
+
+    When telemetry is enabled every evaluation also updates the running
+    registry metrics [ptrng_measure_online_runs_total],
+    [ptrng_measure_online_alarms_total],
+    [ptrng_measure_online_alarm_rate] and
+    [ptrng_measure_online_b_th_last], so a long campaign can be
+    monitored mid-flight instead of only through each final boolean.
     @raise Invalid_argument on a malformed config or a stream too
     short to fill the grid. *)
 

@@ -1,3 +1,18 @@
+module Tm = Ptrng_telemetry.Registry
+
+let periods_total =
+  Tm.Counter.v
+    ~help:"Oscillator periods folded into S_N realizations (count x N per call)."
+    "ptrng_measure_periods_accumulated_total"
+
+let realizations_total =
+  Tm.Counter.v ~help:"S_N realizations extracted from jitter series."
+    "ptrng_measure_realizations_total"
+
+let accumulation_n =
+  Tm.Hist.v ~help:"Accumulation length N of each realizations call." ~lo:1.0
+    ~hi:1e8 ~buckets_per_decade:3 "ptrng_measure_accumulation_n"
+
 let cumulative j =
   let n = Array.length j in
   let c = Array.make (n + 1) 0.0 in
@@ -13,6 +28,11 @@ let realizations ?(stride = 1) ~n j =
   if len < 2 * n then invalid_arg "S_process.realizations: series shorter than 2n";
   let c = cumulative j in
   let count = ((len - (2 * n)) / stride) + 1 in
+  if !Tm.on then begin
+    Tm.Counter.incr ~by:(count * n) periods_total;
+    Tm.Counter.incr ~by:count realizations_total;
+    Tm.Hist.observe accumulation_n (float_of_int n)
+  end;
   Array.init count (fun k ->
       let i = k * stride in
       c.(i + (2 * n)) -. (2.0 *. c.(i + n)) +. c.(i))

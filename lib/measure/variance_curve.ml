@@ -1,3 +1,13 @@
+module Tm = Ptrng_telemetry.Registry
+
+let points_total =
+  Tm.Counter.v ~help:"Variance-curve points estimated (one per accepted N)."
+    "ptrng_measure_curve_points_total"
+
+let curve_seconds =
+  Tm.Hist.v ~help:"Wall time of one variance-curve construction." ~lo:1e-6
+    ~hi:1e4 "ptrng_measure_curve_seconds"
+
 type point = {
   n : int;
   sigma2 : float;
@@ -37,36 +47,40 @@ let point_of_samples ~f0 ~n ~neff s =
 
 let of_jitter ?(overlapping = true) ~f0 ~ns jitter =
   if f0 <= 0.0 then invalid_arg "Variance_curve.of_jitter: f0 <= 0";
-  let len = Array.length jitter in
-  let points = ref [] in
-  Array.iter
-    (fun n ->
-      if n > 0 && len >= 2 * n then begin
-        let stride = if overlapping then 1 else 2 * n in
-        let s = S_process.realizations ~stride ~n jitter in
-        let count = Array.length s in
-        if count >= 2 then begin
-          let neff = if overlapping then max 2 (count / (2 * n)) else count in
-          points := point_of_samples ~f0 ~n ~neff s :: !points
-        end
-      end)
-    ns;
-  Array.of_list (List.rev !points)
+  Tm.Hist.time curve_seconds (fun () ->
+      let len = Array.length jitter in
+      let points = ref [] in
+      Array.iter
+        (fun n ->
+          if n > 0 && len >= 2 * n then begin
+            let stride = if overlapping then 1 else 2 * n in
+            let s = S_process.realizations ~stride ~n jitter in
+            let count = Array.length s in
+            if count >= 2 then begin
+              let neff = if overlapping then max 2 (count / (2 * n)) else count in
+              Tm.Counter.incr points_total;
+              points := point_of_samples ~f0 ~n ~neff s :: !points
+            end
+          end)
+        ns;
+      Array.of_list (List.rev !points))
 
 let of_counters ~edges1 ~edges2 ~f0 ~ns =
   if f0 <= 0.0 then invalid_arg "Variance_curve.of_counters: f0 <= 0";
-  let cycles2 = Array.length edges2 - 1 in
-  let points = ref [] in
-  Array.iter
-    (fun n ->
-      if n > 0 && cycles2 / n >= 3 then begin
-        let s = Counter.s_realizations ~edges1 ~edges2 ~f0 ~n in
-        if Array.length s >= 2 then begin
-          (* Counter windows are disjoint, but adjacent differences share
-             a window: halve the count for the error estimate. *)
-          let neff = max 2 (Array.length s / 2) in
-          points := point_of_samples ~f0 ~n ~neff s :: !points
-        end
-      end)
-    ns;
-  Array.of_list (List.rev !points)
+  Tm.Hist.time curve_seconds (fun () ->
+      let cycles2 = Array.length edges2 - 1 in
+      let points = ref [] in
+      Array.iter
+        (fun n ->
+          if n > 0 && cycles2 / n >= 3 then begin
+            let s = Counter.s_realizations ~edges1 ~edges2 ~f0 ~n in
+            if Array.length s >= 2 then begin
+              (* Counter windows are disjoint, but adjacent differences share
+                 a window: halve the count for the error estimate. *)
+              let neff = max 2 (Array.length s / 2) in
+              Tm.Counter.incr points_total;
+              points := point_of_samples ~f0 ~n ~neff s :: !points
+            end
+          end)
+        ns;
+      Array.of_list (List.rev !points))

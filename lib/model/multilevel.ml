@@ -12,21 +12,35 @@ type analysis = {
 let nominal_f0 (pair : Ptrng_osc.Pair.t) =
   (pair.osc1.Ptrng_osc.Oscillator.f0 +. pair.osc2.Ptrng_osc.Oscillator.f0) /. 2.0
 
+module Span = Ptrng_telemetry.Span
+
 let characterize ?(n_periods = 1 lsl 20) ?n_grid ~rng pair =
   if n_periods < 1024 then invalid_arg "Multilevel.characterize: n_periods < 1024";
+  Span.with_ ~name:"model.characterize" @@ fun () ->
+  Span.set_attr "n_periods" (Ptrng_telemetry.Json.Int n_periods);
   let f0 = nominal_f0 pair in
   let ns =
     match n_grid with
     | Some g -> g
     | None -> Ptrng_measure.Variance_curve.log2_grid ~n_min:4 ~n_max:(n_periods / 32)
   in
-  let p1, p2 = Ptrng_osc.Pair.simulate rng pair ~n:n_periods in
+  let p1, p2 =
+    Span.with_ ~name:"simulate" (fun () -> Ptrng_osc.Pair.simulate rng pair ~n:n_periods)
+  in
   let jitter = Ptrng_measure.S_process.relative_jitter ~periods1:p1 ~periods2:p2 in
-  let ideal_curve = Ptrng_measure.Variance_curve.of_jitter ~f0 ~ns jitter in
+  let ideal_curve =
+    Span.with_ ~name:"variance_curve.jitter" (fun () ->
+        Ptrng_measure.Variance_curve.of_jitter ~f0 ~ns jitter)
+  in
   let edges1 = Ptrng_osc.Oscillator.edges_of_periods p1 in
   let edges2 = Ptrng_osc.Oscillator.edges_of_periods p2 in
-  let counter_curve = Ptrng_measure.Variance_curve.of_counters ~edges1 ~edges2 ~f0 ~ns in
-  let fit = Ptrng_measure.Fit.fit ~f0 ideal_curve in
+  let counter_curve =
+    Span.with_ ~name:"variance_curve.counter" (fun () ->
+        Ptrng_measure.Variance_curve.of_counters ~edges1 ~edges2 ~f0 ~ns)
+  in
+  let fit =
+    Span.with_ ~name:"fit" (fun () -> Ptrng_measure.Fit.fit ~f0 ideal_curve)
+  in
   let counter_fit =
     (* The realistic (integer-counter) extraction: below quantization
        saturation the error variance grows with N (drift regime) and

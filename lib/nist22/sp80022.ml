@@ -565,7 +565,22 @@ let random_excursions_variant bits =
       (List.init 19 (fun i -> i - 9))
   end
 
+module Tm = Ptrng_telemetry.Registry
+
+let tests_total =
+  Tm.Counter.v ~help:"SP 800-22 test results produced by run_all."
+    "ptrng_nist22_tests_total"
+
+let failures_total =
+  Tm.Counter.v ~help:"SP 800-22 results with p below the 0.01 level."
+    "ptrng_nist22_failures_total"
+
+let test_seconds =
+  Tm.Hist.v ~help:"Wall time of one SP 800-22 test." ~lo:1e-6 ~hi:1e3
+    "ptrng_nist22_test_seconds"
+
 let run_all bits =
+  Ptrng_telemetry.Span.with_ ~name:"nist22.run_all" @@ fun () ->
   let n = Array.length bits in
   let tests =
     [
@@ -600,7 +615,20 @@ let run_all bits =
           worst (random_excursions bits) @ worst (random_excursions_variant bits) );
     ]
   in
-  List.concat_map (fun (minimum, f) -> if n >= minimum then f () else []) tests
+  List.concat_map
+    (fun (minimum, f) ->
+      if n >= minimum then begin
+        let results = Tm.Hist.time test_seconds f in
+        if !Tm.on then
+          List.iter
+            (fun (r : result) ->
+              Tm.Counter.incr tests_total;
+              if not r.pass then Tm.Counter.incr failures_total)
+            results;
+        results
+      end
+      else [])
+    tests
 
 let pp_results ppf results =
   Format.fprintf ppf "@[<v>";

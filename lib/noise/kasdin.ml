@@ -1,3 +1,9 @@
+module Tm = Ptrng_telemetry.Registry
+
+let samples_total =
+  Tm.Counter.v ~help:"1/f^alpha samples synthesized by the Kasdin-Walter filter."
+    "ptrng_noise_kasdin_samples_total"
+
 let coefficients ~alpha n =
   if n <= 0 then invalid_arg "Kasdin.coefficients: n <= 0";
   let h = Array.make n 0.0 in
@@ -10,6 +16,7 @@ let coefficients ~alpha n =
 
 let generate_block g ~alpha ~sigma_w n =
   if n <= 0 then invalid_arg "Kasdin.generate_block: n <= 0";
+  Tm.Counter.incr ~by:n samples_total;
   let white = Array.init n (fun _ -> sigma_w *. Ptrng_prng.Gaussian.draw g) in
   let h = coefficients ~alpha n in
   Ptrng_signal.Filter.fir_fft ~h white
@@ -39,6 +46,7 @@ let stream_create g ~alpha ~sigma_w ~taps =
   }
 
 let stream_next s =
+  Tm.Counter.incr samples_total;
   let k = Array.length s.taps in
   s.buf.(s.pos) <- s.sigma_w *. Ptrng_prng.Gaussian.draw s.g;
   let acc = ref 0.0 in

@@ -1,7 +1,13 @@
+let samples_total =
+  Ptrng_telemetry.Registry.Counter.v
+    ~help:"Noise samples synthesized by frequency-domain shaping."
+    "ptrng_noise_spectral_samples_total"
+
 let generate rng ~psd ~fs n =
   if not (Ptrng_signal.Fft.is_pow2 n) then
     invalid_arg "Spectral_synth.generate: n must be a power of two";
   if fs <= 0.0 then invalid_arg "Spectral_synth.generate: fs <= 0";
+  Ptrng_telemetry.Registry.Counter.incr ~by:n samples_total;
   let g = Ptrng_prng.Gaussian.create rng in
   let re = Array.make n 0.0 and im = Array.make n 0.0 in
   let half = n / 2 in

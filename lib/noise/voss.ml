@@ -1,3 +1,9 @@
+module Tm = Ptrng_telemetry.Registry
+
+let samples_total =
+  Tm.Counter.v ~help:"Pink-noise samples synthesized by the Voss-McCartney stack."
+    "ptrng_noise_voss_samples_total"
+
 type t = {
   g : Ptrng_prng.Gaussian.t;
   sources : float array;
@@ -10,6 +16,7 @@ let create g ~octaves =
   { g; sources; counter = 0 }
 
 let next t =
+  Tm.Counter.incr samples_total;
   let octaves = Array.length t.sources in
   for j = 0 to octaves - 1 do
     (* Source j holds its value for 2^j consecutive samples. *)

@@ -1,3 +1,17 @@
+module Tm = Ptrng_telemetry.Registry
+
+let fft_total =
+  Tm.Counter.v ~help:"Power-of-two FFT passes executed (forward or inverse)."
+    "ptrng_signal_fft_total"
+
+let bluestein_total =
+  Tm.Counter.v ~help:"Bluestein chirp-z transforms of non-power-of-two length."
+    "ptrng_signal_fft_bluestein_total"
+
+let fft_size =
+  Tm.Hist.v ~help:"Transform length in points." ~lo:1.0 ~hi:1e9
+    ~buckets_per_decade:3 "ptrng_signal_fft_size"
+
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
 let next_pow2 n =
@@ -64,6 +78,10 @@ let stage re im n len sign =
 let transform_pow2 ~sign re im =
   let n = check_pair re im in
   if not (is_pow2 n) then invalid_arg "Fft: length not a power of two";
+  if !Tm.on then begin
+    Tm.Counter.incr fft_total;
+    Tm.Hist.observe fft_size (float_of_int n)
+  end;
   if n > 1 then begin
     bit_reverse_permute re im;
     let len = ref 2 in
@@ -93,6 +111,10 @@ let chirp_angle n k =
 
 let bluestein ~sign re im =
   let n = check_pair re im in
+  if !Tm.on then begin
+    Tm.Counter.incr bluestein_total;
+    Tm.Hist.observe fft_size (float_of_int n)
+  end;
   let m = next_pow2 ((2 * n) - 1) in
   let ar = Array.make m 0.0 and ai = Array.make m 0.0 in
   let br = Array.make m 0.0 and bi = Array.make m 0.0 in

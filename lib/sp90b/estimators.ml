@@ -142,9 +142,26 @@ let t_tuple ?(max_t = 16) bits =
    with Exit -> ());
   finish ~name:"t-tuple" !worst
 
+module Tm = Ptrng_telemetry.Registry
+
+let estimates_total =
+  Tm.Counter.v ~help:"SP 800-90B min-entropy estimates computed."
+    "ptrng_sp90b_estimates_total"
+
+let estimator_seconds =
+  Tm.Hist.v ~help:"Wall time of one SP 800-90B estimator." ~lo:1e-6 ~hi:1e3
+    "ptrng_sp90b_estimator_seconds"
+
 let run_all bits =
+  Ptrng_telemetry.Span.with_ ~name:"sp90b.run_all" @@ fun () ->
+  let timed f =
+    let e = Tm.Hist.time estimator_seconds (fun () -> f bits) in
+    Tm.Counter.incr estimates_total;
+    e
+  in
   let estimates =
-    [ most_common_value bits; collision bits; markov bits; t_tuple bits ]
+    [ timed most_common_value; timed collision; timed markov;
+      timed (fun bits -> t_tuple bits) ]
   in
   let aggregate =
     List.fold_left (fun acc e -> Float.min acc e.min_entropy) 1.0 estimates

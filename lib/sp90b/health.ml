@@ -85,6 +85,20 @@ let apt_feed t sample =
     end
     else false
 
+module Tm = Ptrng_telemetry.Registry
+
+let samples_scanned_total =
+  Tm.Counter.v ~help:"Bits fed through the continuous RCT/APT health scan."
+    "ptrng_sp90b_health_samples_total"
+
+let rct_alarms_total =
+  Tm.Counter.v ~help:"Repetition-count health-test alarms raised by scan."
+    "ptrng_sp90b_rct_alarms_total"
+
+let apt_alarms_total =
+  Tm.Counter.v ~help:"Adaptive-proportion health-test alarms raised by scan."
+    "ptrng_sp90b_apt_alarms_total"
+
 let scan ~cutoff_rct ~cutoff_apt ~window bits =
   let rct = rct_create ~cutoff:cutoff_rct in
   let apt = apt_create ~cutoff:cutoff_apt ~window in
@@ -94,4 +108,9 @@ let scan ~cutoff_rct ~cutoff_apt ~window bits =
       if rct_feed rct b then incr rct_alarms;
       if apt_feed apt b then incr apt_alarms)
     bits;
+  if !Tm.on then begin
+    Tm.Counter.incr ~by:(Array.length bits) samples_scanned_total;
+    Tm.Counter.incr ~by:!rct_alarms rct_alarms_total;
+    Tm.Counter.incr ~by:!apt_alarms apt_alarms_total
+  end;
   (!rct_alarms, !apt_alarms)

@@ -1,0 +1,10 @@
+let last = ref neg_infinity
+
+(* No monotonic clock in the stdlib/unix pairing shipped here; clamp
+   gettimeofday so NTP steps can never produce a negative span. *)
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+let allocated_bytes () = Gc.allocated_bytes ()

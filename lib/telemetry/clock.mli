@@ -1,0 +1,9 @@
+(** Time and allocation probes for the span tracer. *)
+
+val now : unit -> float
+(** Seconds since an arbitrary origin, guaranteed non-decreasing within
+    the process (wall clock, clamped against backwards steps). *)
+
+val allocated_bytes : unit -> float
+(** Total bytes allocated on the OCaml heap so far
+    ([Gc.allocated_bytes]); differences give per-span allocation. *)

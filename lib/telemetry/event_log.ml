@@ -1,0 +1,31 @@
+let channel : out_channel option ref = ref None
+let t0 = ref 0.0
+
+let close () =
+  match !channel with
+  | None -> ()
+  | Some oc ->
+    channel := None;
+    close_out_noerr oc
+
+let open_ path =
+  close ();
+  channel := Some (open_out path);
+  t0 := Clock.now ()
+
+let is_open () = !channel <> None
+
+let emit ?(kind = "event") fields =
+  if !Registry.on then
+    match !channel with
+    | None -> ()
+    | Some oc ->
+      let line =
+        Json.Obj
+          (("ev", Json.String kind)
+          :: ("t", Json.num (Clock.now () -. !t0))
+          :: fields)
+      in
+      output_string oc (Json.to_string line);
+      output_char oc '\n';
+      flush oc

@@ -1,0 +1,103 @@
+type t = {
+  lo : float;
+  log10_lo : float;
+  bpd : int;
+  bounds : float array;       (* finite upper bounds, ascending *)
+  counts : int array;         (* length bounds + 1; last = +inf bucket *)
+  mutable total : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create ?(lo = 1e-9) ?(hi = 1e9) ?(buckets_per_decade = 5) () =
+  if not (lo > 0.0 && hi > lo) then invalid_arg "Histogram.create: need 0 < lo < hi";
+  if buckets_per_decade <= 0 then
+    invalid_arg "Histogram.create: buckets_per_decade <= 0";
+  let bpd = buckets_per_decade in
+  let n =
+    1 + int_of_float (Float.ceil (log10 (hi /. lo) *. float_of_int bpd -. 1e-9))
+  in
+  let bounds =
+    Array.init n (fun i -> lo *. (10.0 ** (float_of_int i /. float_of_int bpd)))
+  in
+  {
+    lo;
+    log10_lo = log10 lo;
+    bpd;
+    bounds;
+    counts = Array.make (n + 1) 0;
+    total = 0;
+    sum = 0.0;
+    min_v = Float.nan;
+    max_v = Float.nan;
+  }
+
+let bucket_index h v =
+  if v <= h.lo then 0
+  else begin
+    let i =
+      int_of_float
+        (Float.ceil ((log10 v -. h.log10_lo) *. float_of_int h.bpd -. 1e-9))
+    in
+    if i >= Array.length h.bounds then Array.length h.bounds else max 0 i
+  end
+
+let observe h v =
+  if Float.is_finite v then begin
+    let i = bucket_index h v in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.total <- h.total + 1;
+    h.sum <- h.sum +. v;
+    if Float.is_nan h.min_v || v < h.min_v then h.min_v <- v;
+    if Float.is_nan h.max_v || v > h.max_v then h.max_v <- v
+  end
+
+let count h = h.total
+let sum h = h.sum
+let min_value h = h.min_v
+let max_value h = h.max_v
+let mean h = if h.total = 0 then Float.nan else h.sum /. float_of_int h.total
+
+let quantile h q =
+  if not (q >= 0.0 && q <= 1.0) then invalid_arg "Histogram.quantile: q outside [0,1]";
+  if h.total = 0 then Float.nan
+  else begin
+    let rank = q *. float_of_int h.total in
+    let n = Array.length h.bounds in
+    let rec find i acc =
+      if i > n then n
+      else begin
+        let acc' = acc + h.counts.(i) in
+        if float_of_int acc' >= rank && h.counts.(i) > 0 then i else find (i + 1) acc'
+      end
+    in
+    let i = find 0 0 in
+    if i >= n then h.max_v (* +inf bucket: best available point estimate *)
+    else if i = 0 then Float.min h.bounds.(0) h.max_v
+    else begin
+      (* Geometric interpolation between the bucket's bounds by the
+         fraction of its observations below the requested rank. *)
+      let below = ref 0 in
+      for j = 0 to i - 1 do
+        below := !below + h.counts.(j)
+      done;
+      let inside = h.counts.(i) in
+      let frac =
+        if inside = 0 then 1.0
+        else Float.max 0.0 (Float.min 1.0 ((rank -. float_of_int !below) /. float_of_int inside))
+      in
+      let lo_b = h.bounds.(i - 1) and hi_b = h.bounds.(i) in
+      lo_b *. ((hi_b /. lo_b) ** frac)
+    end
+  end
+
+let bucket_bounds h = Array.copy h.bounds
+let bucket_counts h = Array.copy h.counts
+
+let reset h =
+  Array.fill h.counts 0 (Array.length h.counts) 0;
+  h.total <- 0;
+  h.sum <- 0.0;
+  h.min_v <- Float.nan;
+  h.max_v <- Float.nan

@@ -1,0 +1,43 @@
+(** Log-bucketed histogram with approximate quantiles.
+
+    Bucket upper bounds form a geometric grid: [lo * 10^(i/bpd)] for
+    [i = 0 .. n-1], plus a final +infinity bucket.  Any observation is
+    a single array increment; a quantile query walks the cumulative
+    counts and interpolates geometrically inside the winning bucket, so
+    the relative error is bounded by one bucket ratio
+    ([10^(1/buckets_per_decade)]). *)
+
+type t
+
+val create : ?lo:float -> ?hi:float -> ?buckets_per_decade:int -> unit -> t
+(** Defaults: [lo = 1e-9], [hi = 1e9], [buckets_per_decade = 5].
+    @raise Invalid_argument unless [0 < lo < hi] and
+    [buckets_per_decade > 0]. *)
+
+val observe : t -> float -> unit
+(** Record one value.  Non-finite values are dropped; values [<= lo]
+    land in the first bucket, values above [hi] in the +inf bucket. *)
+
+val count : t -> int
+val sum : t -> float
+
+val min_value : t -> float
+(** [nan] while empty. *)
+
+val max_value : t -> float
+(** [nan] while empty. *)
+
+val mean : t -> float
+(** [nan] while empty. *)
+
+val quantile : t -> float -> float
+(** [quantile h q] for [q] in [0,1]; [nan] while empty.
+    @raise Invalid_argument on [q] outside [0,1]. *)
+
+val bucket_bounds : t -> float array
+(** Finite upper bounds, ascending (the +inf bucket is implicit). *)
+
+val bucket_counts : t -> int array
+(** Per-bucket counts, one longer than [bucket_bounds] (last = +inf). *)
+
+val reset : t -> unit

@@ -1,0 +1,104 @@
+let on = ref false
+let enable () = on := true
+let disable () = on := false
+let enabled () = !on
+
+type counter_cell = { c_name : string; c_help : string; mutable c_value : int }
+type gauge_cell = { g_name : string; g_help : string; mutable g_value : float }
+type hist_cell = { h_name : string; h_help : string; h_hist : Histogram.t }
+
+type cell =
+  | C of counter_cell
+  | G of gauge_cell
+  | H of hist_cell
+
+(* Registration order is preserved for the sinks; the table only
+   guarantees one cell per name. *)
+let table : (string, cell) Hashtbl.t = Hashtbl.create 64
+let order : cell list ref = ref []
+
+let register name cell =
+  match Hashtbl.find_opt table name with
+  | Some existing -> existing
+  | None ->
+    Hashtbl.add table name cell;
+    order := cell :: !order;
+    cell
+
+let reset () =
+  List.iter
+    (function
+      | C c -> c.c_value <- 0
+      | G g -> g.g_value <- 0.0
+      | H h -> Histogram.reset h.h_hist)
+    !order
+
+let clear () =
+  Hashtbl.reset table;
+  order := []
+
+module Counter = struct
+  type t = counter_cell
+
+  let v ?(help = "") name =
+    match register name (C { c_name = name; c_help = help; c_value = 0 }) with
+    | C c -> c
+    | _ -> invalid_arg (Printf.sprintf "Registry: %s is not a counter" name)
+
+  let incr ?(by = 1) c =
+    if by < 0 then invalid_arg "Counter.incr: negative increment";
+    if !on then c.c_value <- c.c_value + by
+
+  let value c = c.c_value
+end
+
+module Gauge = struct
+  type t = gauge_cell
+
+  let v ?(help = "") name =
+    match register name (G { g_name = name; g_help = help; g_value = 0.0 }) with
+    | G g -> g
+    | _ -> invalid_arg (Printf.sprintf "Registry: %s is not a gauge" name)
+
+  let set g value = if !on then g.g_value <- value
+  let value g = g.g_value
+end
+
+module Hist = struct
+  type t = hist_cell
+
+  let v ?(help = "") ?lo ?hi ?buckets_per_decade name =
+    let cell =
+      H { h_name = name; h_help = help; h_hist = Histogram.create ?lo ?hi ?buckets_per_decade () }
+    in
+    match register name cell with
+    | H h -> h
+    | _ -> invalid_arg (Printf.sprintf "Registry: %s is not a histogram" name)
+
+  let observe h value = if !on then Histogram.observe h.h_hist value
+
+  let time h f =
+    if !on then begin
+      let t0 = Clock.now () in
+      let finally () = Histogram.observe h.h_hist (Clock.now () -. t0) in
+      Fun.protect ~finally f
+    end
+    else f ()
+
+  let histogram h = h.h_hist
+end
+
+type metric =
+  | Counter of string * string * int
+  | Gauge of string * string * float
+  | Histogram of string * string * Histogram.t
+
+let all () =
+  if not !on then []
+  else
+    List.rev_map
+      (function
+        | C c -> Counter (c.c_name, c.c_help, c.c_value)
+        | G g -> Gauge (g.g_name, g.g_help, g.g_value)
+        | H h -> Histogram (h.h_name, h.h_help, h.h_hist))
+      !order

@@ -1,0 +1,119 @@
+let quantiles = [ (0.5, "p50"); (0.9, "p90"); (0.99, "p99") ]
+
+let to_human () =
+  let b = Buffer.create 1024 in
+  let metrics = Registry.all () in
+  if metrics <> [] then begin
+    Buffer.add_string b "metrics:\n";
+    List.iter
+      (fun m ->
+        match m with
+        | Registry.Counter (name, _, v) ->
+          Buffer.add_string b (Printf.sprintf "  %-48s %d\n" name v)
+        | Registry.Gauge (name, _, v) ->
+          Buffer.add_string b (Printf.sprintf "  %-48s %g\n" name v)
+        | Registry.Histogram (name, _, h) ->
+          if Histogram.count h = 0 then
+            Buffer.add_string b (Printf.sprintf "  %-48s (empty)\n" name)
+          else
+            Buffer.add_string b
+              (Printf.sprintf "  %-48s n=%d mean=%.3g p50=%.3g p99=%.3g max=%.3g\n"
+                 name (Histogram.count h) (Histogram.mean h)
+                 (Histogram.quantile h 0.5) (Histogram.quantile h 0.99)
+                 (Histogram.max_value h)))
+      metrics
+  end;
+  (match Span.roots () with
+  | [] -> ()
+  | spans ->
+    Buffer.add_string b "spans:\n";
+    Buffer.add_string b (Format.asprintf "%a" Span.pp spans));
+  Buffer.contents b
+
+(* Prometheus sample values are floats; print integers without the
+   decimal point as the exposition format allows. *)
+let prom_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let prom_escape_help s =
+  String.concat "\\n" (String.split_on_char '\n' s)
+
+let to_prometheus () =
+  let b = Buffer.create 1024 in
+  let header name help kind =
+    if help <> "" then
+      Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name (prom_escape_help help));
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  List.iter
+    (fun m ->
+      match m with
+      | Registry.Counter (name, help, v) ->
+        header name help "counter";
+        Buffer.add_string b (Printf.sprintf "%s %d\n" name v)
+      | Registry.Gauge (name, help, v) ->
+        header name help "gauge";
+        Buffer.add_string b (Printf.sprintf "%s %s\n" name (prom_value v))
+      | Registry.Histogram (name, help, h) ->
+        header name help "histogram";
+        let bounds = Histogram.bucket_bounds h in
+        let counts = Histogram.bucket_counts h in
+        let acc = ref 0 in
+        Array.iteri
+          (fun i ub ->
+            acc := !acc + counts.(i);
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (prom_value ub) !acc))
+          bounds;
+        acc := !acc + counts.(Array.length counts - 1);
+        Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name !acc);
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum %s\n" name (prom_value (Histogram.sum h)));
+        Buffer.add_string b (Printf.sprintf "%s_count %d\n" name (Histogram.count h)))
+    (Registry.all ());
+  Buffer.contents b
+
+let hist_json h =
+  let stats =
+    [
+      ("count", Json.Int (Histogram.count h));
+      ("sum", Json.num (Histogram.sum h));
+      ("min", Json.num (Histogram.min_value h));
+      ("max", Json.num (Histogram.max_value h));
+      ("mean", Json.num (Histogram.mean h));
+    ]
+  in
+  let qs =
+    List.map (fun (q, label) -> (label, Json.num (Histogram.quantile h q))) quantiles
+  in
+  Json.Obj (stats @ qs)
+
+let snapshot_json () =
+  let metrics =
+    List.map
+      (fun m ->
+        match m with
+        | Registry.Counter (name, _, v) -> (name, Json.Int v)
+        | Registry.Gauge (name, _, v) -> (name, Json.num v)
+        | Registry.Histogram (name, _, h) -> (name, hist_json h))
+      (Registry.all ())
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "ptrng-telemetry/1");
+      ("metrics", Json.Obj metrics);
+      ("spans", Json.List (List.map Span.to_json (Span.roots ())));
+    ]
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let write_snapshot path =
+  write_file path (Json.to_string_pretty (snapshot_json ()) ^ "\n")
+
+let write_prometheus path = write_file path (to_prometheus ())

@@ -1,0 +1,21 @@
+(** Render the registry (and trace tree) for humans and machines.
+
+    All sinks read {!Registry.all}, which is empty while telemetry is
+    disabled — no-op mode can never leak metrics into output. *)
+
+val to_human : unit -> string
+(** Metrics table plus span tree, for terminals. *)
+
+val to_prometheus : unit -> string
+(** Prometheus text exposition format 0.0.4: [# HELP]/[# TYPE] lines,
+    counters/gauges as bare samples, histograms as cumulative
+    [_bucket{le="..."}] samples with [_sum] and [_count]. *)
+
+val snapshot_json : unit -> Json.t
+(** [{"schema": "ptrng-telemetry/1", "metrics": {...}, "spans": [...]}];
+    each histogram carries count/sum/min/max/mean and p50/p90/p99. *)
+
+val write_snapshot : string -> unit
+(** Pretty-printed {!snapshot_json} to a file (with trailing newline). *)
+
+val write_prometheus : string -> unit

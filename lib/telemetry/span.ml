@@ -1,0 +1,96 @@
+type t = {
+  name : string;
+  mutable wall_s : float;
+  mutable alloc_bytes : float;
+  mutable attrs : (string * Json.t) list;
+  mutable children : t list;
+}
+
+(* Innermost-first stack of open spans; completed top-level spans in
+   reverse completion order. *)
+let stack : t list ref = ref []
+let completed : t list ref = ref []
+
+let reset () = completed := []
+
+let roots () = List.rev !completed
+
+let set_attr key value =
+  if !Registry.on then
+    match !stack with
+    | [] -> ()
+    | span :: _ -> span.attrs <- (key, value) :: List.remove_assoc key span.attrs
+
+let depth () = List.length !stack
+
+let close span t0 a0 =
+  span.wall_s <- Clock.now () -. t0;
+  span.alloc_bytes <- Clock.allocated_bytes () -. a0;
+  span.children <- List.rev span.children;
+  (match !stack with
+  | top :: rest when top == span -> stack := rest
+  | _ -> (* unbalanced close: drop everything above us *)
+    stack := []);
+  Event_log.emit ~kind:"span"
+    [
+      ("name", Json.String span.name);
+      ("depth", Json.Int (depth ()));
+      ("wall_s", Json.num span.wall_s);
+      ("alloc_bytes", Json.num span.alloc_bytes);
+    ];
+  match !stack with
+  | parent :: _ -> parent.children <- span :: parent.children
+  | [] -> completed := span :: !completed
+
+let with_ ~name f =
+  if not !Registry.on then f ()
+  else begin
+    let span = { name; wall_s = 0.0; alloc_bytes = 0.0; attrs = []; children = [] } in
+    stack := span :: !stack;
+    let t0 = Clock.now () in
+    let a0 = Clock.allocated_bytes () in
+    Fun.protect ~finally:(fun () -> close span t0 a0) f
+  end
+
+let rec to_json span =
+  let base =
+    [
+      ("name", Json.String span.name);
+      ("wall_s", Json.num span.wall_s);
+      ("alloc_bytes", Json.num span.alloc_bytes);
+    ]
+  in
+  let attrs =
+    match span.attrs with
+    | [] -> []
+    | attrs -> [ ("attrs", Json.Obj (List.rev attrs)) ]
+  in
+  let children =
+    match span.children with
+    | [] -> []
+    | children -> [ ("children", Json.List (List.map to_json children)) ]
+  in
+  Json.Obj (base @ attrs @ children)
+
+let human_bytes b =
+  if Float.abs b >= 1048576.0 then Printf.sprintf "%.1f MiB" (b /. 1048576.0)
+  else if Float.abs b >= 10240.0 then Printf.sprintf "%.1f KiB" (b /. 1024.0)
+  else Printf.sprintf "%.0f B" b
+
+let pp ppf spans =
+  let rec walk indent parent_wall span =
+    let share =
+      if parent_wall > 0.0 then
+        Printf.sprintf " (%4.1f%%)" (100.0 *. span.wall_s /. parent_wall)
+      else ""
+    in
+    Format.fprintf ppf "%s%-*s %9.3f s%s  %s@,"
+      indent
+      (max 1 (36 - String.length indent))
+      span.name span.wall_s share
+      (human_bytes span.alloc_bytes);
+    List.iter (walk (indent ^ "  ") span.wall_s) span.children
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter (walk "" 0.0) spans;
+  Format.fprintf ppf "@]"

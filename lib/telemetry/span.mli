@@ -1,0 +1,32 @@
+(** Nested monotonic spans.
+
+    [with_ ~name f] times [f], records the allocation delta
+    ([Gc.allocated_bytes]) and attaches the span to the enclosing one,
+    building a trace tree per top-level span.  Disabled telemetry makes
+    [with_] a bare call of [f].  Exceptions propagate; the span is
+    still closed and recorded with whatever elapsed. *)
+
+type t = {
+  name : string;
+  mutable wall_s : float;       (** Total wall time, seconds. *)
+  mutable alloc_bytes : float;  (** Heap bytes allocated inside. *)
+  mutable attrs : (string * Json.t) list;  (** Newest first. *)
+  mutable children : t list;    (** In start order. *)
+}
+
+val with_ : name:string -> (unit -> 'a) -> 'a
+
+val set_attr : string -> Json.t -> unit
+(** Attach a key/value to the innermost open span (replacing any
+    previous value for the key); no-op outside a span or disabled. *)
+
+val roots : unit -> t list
+(** Completed top-level spans, in completion order. *)
+
+val reset : unit -> unit
+(** Forget completed spans (open spans are unaffected). *)
+
+val to_json : t -> Json.t
+
+val pp : Format.formatter -> t list -> unit
+(** Indented text tree with wall time, share of parent and allocation. *)

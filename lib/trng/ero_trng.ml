@@ -1,3 +1,17 @@
+module Tm = Ptrng_telemetry.Registry
+
+let bits_total =
+  Tm.Counter.v ~help:"Bits delivered by the eRO-TRNG after post-processing."
+    "ptrng_trng_bits_generated_total"
+
+let periods_simulated_total =
+  Tm.Counter.v ~help:"Oscillator periods simulated to feed the sampler."
+    "ptrng_trng_periods_simulated_total"
+
+let generate_seconds =
+  Tm.Hist.v ~help:"Wall time of one generate call." ~lo:1e-6 ~hi:1e4
+    "ptrng_trng_generate_seconds"
+
 type config = {
   pair : Ptrng_osc.Pair.t;
   divisor : int;
@@ -17,6 +31,7 @@ let generate_raw rng cfg ~bits =
      cycles, with margin for the frequency mismatch. *)
   let cycles = (bits + 2) * cfg.divisor in
   let n = cycles + (cycles / 64) + 16 in
+  Tm.Counter.incr ~by:(2 * n) periods_simulated_total;
   let p1, p2 = Ptrng_osc.Pair.simulate rng cfg.pair ~n in
   let osc1_edges = Ptrng_osc.Oscillator.edges_of_periods p1 in
   let osc2_edges = Ptrng_osc.Oscillator.edges_of_periods p2 in
@@ -26,6 +41,11 @@ let generate_raw rng cfg ~bits =
   else Bitstream.of_bools (Array.sub raw 0 bits)
 
 let generate rng cfg ~bits =
-  let raw = generate_raw rng cfg ~bits in
-  if cfg.xor_factor = 1 then raw
-  else Post_process.xor_decimate ~k:cfg.xor_factor raw
+  Tm.Hist.time generate_seconds (fun () ->
+      let raw = generate_raw rng cfg ~bits in
+      let out =
+        if cfg.xor_factor = 1 then raw
+        else Post_process.xor_decimate ~k:cfg.xor_factor raw
+      in
+      Tm.Counter.incr ~by:(Bitstream.length out) bits_total;
+      out)

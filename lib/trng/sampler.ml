@@ -1,3 +1,9 @@
+module Tm = Ptrng_telemetry.Registry
+
+let samples_total =
+  Tm.Counter.v ~help:"Raw D-flip-flop samples taken of osc1 by the divided osc2."
+    "ptrng_trng_samples_total"
+
 let state_at ~edges t =
   let n = Array.length edges in
   if n < 2 || t < edges.(0) || t >= edges.(n - 1) then
@@ -33,4 +39,6 @@ let sample ~osc1_edges ~osc2_edges ~divisor =
        idx := !idx + divisor
      done
    with Exit -> ());
-  Array.of_list (List.rev !bits)
+  let out = Array.of_list (List.rev !bits) in
+  Tm.Counter.incr ~by:(Array.length out) samples_total;
+  out

@@ -1,0 +1,221 @@
+open Ptrng_telemetry
+
+(* The registry and span stack are process-global; give every test a
+   clean slate so ordering never matters. *)
+let fresh () =
+  Registry.clear ();
+  Registry.disable ();
+  Span.reset ()
+
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  let idx = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+  sorted.(idx)
+
+let histogram_tests =
+  [
+    Testkit.case "bucket bounds form the geometric grid" (fun () ->
+        fresh ();
+        let h = Histogram.create ~lo:1.0 ~hi:1000.0 ~buckets_per_decade:1 () in
+        let bounds = Histogram.bucket_bounds h in
+        Alcotest.(check int) "bound count" 4 (Array.length bounds);
+        Array.iteri
+          (fun i b -> Testkit.check_abs ~tol:1e-9 "bound" (10.0 ** float_of_int i) b)
+          bounds);
+    Testkit.case "observations land in the right buckets" (fun () ->
+        fresh ();
+        let h = Histogram.create ~lo:1.0 ~hi:1000.0 ~buckets_per_decade:1 () in
+        List.iter (Histogram.observe h) [ 0.5; 1.0; 1.5; 10.0; 10.1; 5000.0; nan ];
+        (* nan is dropped; 5000 overflows into the +inf bucket. *)
+        Alcotest.(check int) "count" 6 (Histogram.count h);
+        Alcotest.(check (array int)) "per-bucket"
+          [| 2; 2; 1; 0; 1 |]
+          (Histogram.bucket_counts h));
+    Testkit.case "count/sum/mean/min/max are exact" (fun () ->
+        fresh ();
+        let h = Histogram.create ~lo:1e-3 ~hi:1e3 () in
+        List.iter (Histogram.observe h) [ 3.0; 1.0; 2.0 ];
+        Alcotest.(check int) "count" 3 (Histogram.count h);
+        Testkit.check_abs ~tol:1e-12 "sum" 6.0 (Histogram.sum h);
+        Testkit.check_abs ~tol:1e-12 "mean" 2.0 (Histogram.mean h);
+        Testkit.check_abs ~tol:1e-12 "min" 1.0 (Histogram.min_value h);
+        Testkit.check_abs ~tol:1e-12 "max" 3.0 (Histogram.max_value h));
+    Testkit.case "quantiles match exact within one bucket ratio" (fun () ->
+        fresh ();
+        let bpd = 20 in
+        let h = Histogram.create ~lo:1e-2 ~hi:1e4 ~buckets_per_decade:bpd () in
+        let n = 2000 in
+        (* Deterministic log-spaced sample spanning three decades. *)
+        let values =
+          Array.init n (fun i -> 10.0 ** (3.0 *. float_of_int i /. float_of_int (n - 1)))
+        in
+        Array.iter (Histogram.observe h) values;
+        let sorted = Array.copy values in
+        Array.sort compare sorted;
+        let ratio = 10.0 ** (1.0 /. float_of_int bpd) in
+        List.iter
+          (fun q ->
+            let est = Histogram.quantile h q in
+            let exact = exact_quantile sorted q in
+            Testkit.check_true
+              (Printf.sprintf "q=%.2f est=%g exact=%g" q est exact)
+              (est >= exact /. ratio && est <= exact *. ratio))
+          [ 0.1; 0.5; 0.9; 0.99 ]);
+    Testkit.case "reset empties without changing the grid" (fun () ->
+        fresh ();
+        let h = Histogram.create () in
+        Histogram.observe h 1.0;
+        Histogram.reset h;
+        Alcotest.(check int) "count" 0 (Histogram.count h);
+        Testkit.check_true "mean is nan" (Float.is_nan (Histogram.mean h)));
+  ]
+
+let span_tests =
+  [
+    Testkit.case "nesting builds a tree, children in start order" (fun () ->
+        fresh ();
+        Registry.enable ();
+        Span.with_ ~name:"outer" (fun () ->
+            Span.set_attr "k" (Json.Int 7);
+            Span.with_ ~name:"first" (fun () -> ());
+            Span.with_ ~name:"second" (fun () ->
+                Span.with_ ~name:"inner" (fun () -> ())));
+        (match Span.roots () with
+        | [ root ] ->
+          Alcotest.(check string) "root name" "outer" root.Span.name;
+          Alcotest.(check (list string)) "child order" [ "first"; "second" ]
+            (List.map (fun (c : Span.t) -> c.Span.name) root.Span.children);
+          Testkit.check_true "attr recorded"
+            (List.assoc_opt "k" root.Span.attrs = Some (Json.Int 7));
+          Testkit.check_true "root wall covers children"
+            (root.Span.wall_s
+            >= List.fold_left
+                 (fun a (c : Span.t) -> a +. c.Span.wall_s)
+                 0.0 root.Span.children);
+          (match root.Span.children with
+          | [ _; second ] ->
+            Alcotest.(check (list string)) "grandchild" [ "inner" ]
+              (List.map (fun (c : Span.t) -> c.Span.name) second.Span.children)
+          | _ -> Alcotest.fail "expected two children")
+        | roots -> Alcotest.fail (Printf.sprintf "expected 1 root, got %d" (List.length roots)));
+        Registry.disable ());
+    Testkit.case "roots complete in completion order" (fun () ->
+        fresh ();
+        Registry.enable ();
+        Span.with_ ~name:"a" (fun () -> ());
+        Span.with_ ~name:"b" (fun () -> ());
+        Alcotest.(check (list string)) "order" [ "a"; "b" ]
+          (List.map (fun (s : Span.t) -> s.Span.name) (Span.roots ()));
+        Registry.disable ());
+    Testkit.case "a raising span is still closed and recorded" (fun () ->
+        fresh ();
+        Registry.enable ();
+        (try Span.with_ ~name:"boom" (fun () -> failwith "x") with Failure _ -> ());
+        Alcotest.(check (list string)) "recorded" [ "boom" ]
+          (List.map (fun (s : Span.t) -> s.Span.name) (Span.roots ()));
+        (* The stack must be balanced: a new span is a fresh root. *)
+        Span.with_ ~name:"after" (fun () -> ());
+        Alcotest.(check int) "two roots" 2 (List.length (Span.roots ()));
+        Registry.disable ());
+  ]
+
+let prometheus_golden =
+  String.concat "\n"
+    [
+      "# HELP t_demo_total demo counter";
+      "# TYPE t_demo_total counter";
+      "t_demo_total 3";
+      "# HELP t_demo_ratio demo gauge";
+      "# TYPE t_demo_ratio gauge";
+      "t_demo_ratio 2.5";
+      "# HELP t_demo_size demo histogram";
+      "# TYPE t_demo_size histogram";
+      "t_demo_size_bucket{le=\"1\"} 0";
+      "t_demo_size_bucket{le=\"10\"} 1";
+      "t_demo_size_bucket{le=\"100\"} 2";
+      "t_demo_size_bucket{le=\"+Inf\"} 3";
+      "t_demo_size_sum 555";
+      "t_demo_size_count 3";
+      "";
+    ]
+
+let sink_tests =
+  [
+    Testkit.case "prometheus exposition matches golden" (fun () ->
+        fresh ();
+        Registry.enable ();
+        let c = Registry.Counter.v ~help:"demo counter" "t_demo_total" in
+        let g = Registry.Gauge.v ~help:"demo gauge" "t_demo_ratio" in
+        let h =
+          Registry.Hist.v ~help:"demo histogram" ~lo:1.0 ~hi:100.0
+            ~buckets_per_decade:1 "t_demo_size"
+        in
+        Registry.Counter.incr ~by:3 c;
+        Registry.Gauge.set g 2.5;
+        List.iter (Registry.Hist.observe h) [ 5.0; 50.0; 500.0 ];
+        Alcotest.(check string) "exposition" prometheus_golden (Sink.to_prometheus ());
+        Registry.disable ());
+    Testkit.case "snapshot json round-trips through the parser" (fun () ->
+        fresh ();
+        Registry.enable ();
+        let c = Registry.Counter.v "t_rt_total" in
+        Registry.Counter.incr ~by:42 c;
+        let j = Json.of_string (Json.to_string (Sink.snapshot_json ())) in
+        (match Json.member "schema" j with
+        | Some (Json.String "ptrng-telemetry/1") -> ()
+        | _ -> Alcotest.fail "schema tag lost");
+        let metrics = Option.get (Json.member "metrics" j) in
+        Testkit.check_true "counter survives"
+          (Json.member "t_rt_total" metrics = Some (Json.Int 42));
+        Registry.disable ());
+  ]
+
+let noop_tests =
+  [
+    Testkit.case "disabled instrumentation records nothing" (fun () ->
+        fresh ();
+        let c = Registry.Counter.v "t_off_total" in
+        let h = Registry.Hist.v "t_off_seconds" in
+        Registry.Counter.incr ~by:1000 c;
+        Registry.Hist.observe h 1.0;
+        let r = Registry.Hist.time h (fun () -> 9) in
+        Alcotest.(check int) "time passes result through" 9 r;
+        Span.with_ ~name:"off" (fun () -> ());
+        Alcotest.(check int) "counter untouched" 0 (Registry.Counter.value c);
+        Alcotest.(check int) "histogram untouched" 0
+          (Histogram.count (Registry.Hist.histogram h));
+        Testkit.check_true "no spans" (Span.roots () = []));
+    Testkit.case "no metric leaks into any sink while disabled" (fun () ->
+        fresh ();
+        let c = Registry.Counter.v "t_leak_total" in
+        Registry.Counter.incr c;
+        Testkit.check_true "all is empty" (Registry.all () = []);
+        Alcotest.(check string) "prometheus empty" "" (Sink.to_prometheus ());
+        Alcotest.(check string) "human empty" "" (Sink.to_human ());
+        (match Json.member "metrics" (Sink.snapshot_json ()) with
+        | Some (Json.Obj []) -> ()
+        | _ -> Alcotest.fail "snapshot leaked metrics");
+        (* Flipping telemetry on later must not resurrect dropped events. *)
+        Registry.enable ();
+        Alcotest.(check int) "nothing retroactive" 0 (Registry.Counter.value c);
+        Registry.disable ());
+    Testkit.case "registration is idempotent by name" (fun () ->
+        fresh ();
+        Registry.enable ();
+        let a = Registry.Counter.v "t_same_total" in
+        let b = Registry.Counter.v "t_same_total" in
+        Registry.Counter.incr a;
+        Registry.Counter.incr b;
+        Alcotest.(check int) "shared handle" 2 (Registry.Counter.value a);
+        Alcotest.(check int) "single registration" 1 (List.length (Registry.all ()));
+        Registry.disable ());
+  ]
+
+let () =
+  Alcotest.run "ptrng_telemetry"
+    [
+      ("histogram", histogram_tests);
+      ("span", span_tests);
+      ("sink", sink_tests);
+      ("noop", noop_tests);
+    ]
