@@ -27,9 +27,11 @@ let () =
     try Json.of_string contents with Failure e -> fail "%s does not parse: %s" path e
   in
   (match Json.member "schema" report with
-  | Some (Json.String "ptrng-bench/1") -> ()
+  | Some (Json.String "ptrng-bench/2") -> ()
   | _ -> fail "bad or missing schema tag");
   ignore (number "report" report "total_s");
+  let domains = number "report" report "domains" in
+  if not (domains >= 1.0) then fail "domains must be >= 1";
   let sections =
     match get "report" report "sections" with
     | Json.List l -> l
@@ -61,6 +63,25 @@ let () =
   let extraction = get "extraction" (find_section "extraction") "results" in
   ignore (number "extraction.results" extraction "b_th");
   ignore (number "extraction.results" extraction "sigma_th_ps");
+  (* Parallel sections must report the dual-run timing fields and prove
+     the output did not depend on the domain count. *)
+  List.iter
+    (fun name ->
+      let results = get name (find_section name) "results" in
+      let ctx = name ^ ".results" in
+      if not (number ctx results "wall_1_s" >= 0.0) then
+        fail "%s.wall_1_s negative" name;
+      if not (number ctx results "wall_par_s" >= 0.0) then
+        fail "%s.wall_par_s negative" name;
+      if not (number ctx results "speedup" > 0.0) then
+        fail "%s.speedup not positive" name;
+      if not (number ctx results "domains" >= 1.0) then
+        fail "%s.domains must be >= 1" name;
+      match Json.member "deterministic" results with
+      | Some (Json.Bool true) -> ()
+      | Some (Json.Bool false) -> fail "%s output depends on the domain count" name
+      | _ -> fail "%s.deterministic missing" name)
+    [ "noise_synth"; "variance_curve" ];
   (* The telemetry snapshot must show the accumulation actually ran. *)
   let metrics = get "report" report "metrics" in
   let periods = number "metrics" metrics "ptrng_measure_periods_accumulated_total" in

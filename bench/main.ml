@@ -33,6 +33,21 @@ let out_path =
     Sys.argv;
   !path
 
+(* --domains N overrides PTRNG_DOMAINS / the recommended count for
+   every parallel section (results are bit-identical either way). *)
+let () =
+  Array.iteri
+    (fun i a ->
+      if a = "--domains" && i + 1 < Array.length Sys.argv then
+        match int_of_string_opt Sys.argv.(i + 1) with
+        | Some d -> Ptrng_exec.Pool.set_default (Some d)
+        | None ->
+          Printf.eprintf "bench: --domains expects an integer\n";
+          exit 2)
+    Sys.argv
+
+let pool_domains = Ptrng_exec.Pool.available ()
+
 let mode =
   if smoke then "smoke" else if quick then "quick" else if full then "full" else "default"
 
@@ -316,6 +331,98 @@ let section_restart () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Parallel sections: wall time at 1 domain vs the pool, same seeds    *)
+(* ------------------------------------------------------------------ *)
+
+let timed f =
+  let t = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t)
+
+(* Run [work d] at 1 domain and at [pool_domains] (same seed inside
+   [work], so the outputs must be bit-identical) and report the usual
+   speedup key-values.  [equal] checks the bit-identity claim. *)
+let dual_run ~equal work =
+  let r1, wall_1 = timed (fun () -> work 1) in
+  let rp, wall_par = timed (fun () -> work pool_domains) in
+  let deterministic = equal r1 rp in
+  let speedup = wall_1 /. Float.max 1e-9 wall_par in
+  Printf.printf
+    "1 domain: %.3f s   %d domains: %.3f s   speedup %.2fx   bit-identical: %s\n"
+    wall_1 pool_domains wall_par speedup
+    (if deterministic then "yes" else "NO");
+  ( rp,
+    [
+      ("domains", Tm.Json.Int pool_domains);
+      ("wall_1_s", Tm.Json.num wall_1);
+      ("wall_par_s", Tm.Json.num wall_par);
+      ("speedup", Tm.Json.num speedup);
+      ("deterministic", Tm.Json.Bool deterministic);
+    ] )
+
+let section_noise_synth () =
+  banner
+    (Printf.sprintf "NOISE-SYNTH — bulk 1/f block synthesis (%d domains vs 1)"
+       pool_domains);
+  let n = 1 lsl (if smoke then 13 else if quick then 16 else 17) in
+  let count = if smoke then 8 else 32 in
+  let hm1 = 1e-3 in
+  let psd f = hm1 /. f in
+  let blocks, kv =
+    dual_run ~equal:( = ) (fun d ->
+        let rng = Ptrng_prng.Rng.create ~seed:404L () in
+        Ptrng_noise.Spectral_synth.generate_many ~domains:d rng ~psd ~fs:paper_f0
+          ~count n)
+  in
+  (* Sanity: the synthesized blocks carry the requested flicker level. *)
+  let mean_var =
+    Array.fold_left
+      (fun acc b -> acc +. Ptrng_stats.Descriptive.variance b)
+      0.0 blocks
+    /. float_of_int count
+  in
+  Printf.printf "%d blocks x %d samples, mean block variance %.3e\n" count n mean_var;
+  (("samples", Tm.Json.Int (count * n)) :: kv)
+  @ [ ("mean_block_variance", Tm.Json.num mean_var) ]
+
+let section_variance_curve () =
+  banner
+    (Printf.sprintf "VARIANCE-CURVE — dense sigma_N^2 grid (%d domains vs 1)"
+       pool_domains);
+  let len = 1 lsl (if smoke then 15 else if quick then 19 else 20) in
+  (* A calibrated thermal-only jitter trace, synthesized once through
+     the pool (the generation itself is domain-independent). *)
+  let sigma = sqrt (paper_phase.Ptrng_noise.Psd_model.b_th /. (paper_f0 ** 3.0)) in
+  let rng = Ptrng_prng.Rng.create ~seed:505L () in
+  let jitter =
+    Ptrng_exec.Pool.parallel_init_floats ~rng
+      ~fill:(fun child ~offset ~len out ->
+        let g = Ptrng_prng.Gaussian.create child in
+        for k = offset to offset + len - 1 do
+          out.(k) <- sigma *. Ptrng_prng.Gaussian.draw g
+        done)
+      len
+  in
+  let ns =
+    Ptrng_measure.Variance_curve.log_grid ~n_min:4 ~n_max:(len / 16)
+      ~per_decade:(if smoke then 6 else 10)
+  in
+  let curve, kv =
+    dual_run
+      ~equal:(fun (a : Ptrng_measure.Variance_curve.point array) b -> a = b)
+      (fun d ->
+        Ptrng_measure.Variance_curve.of_jitter ~domains:d ~f0:paper_f0 ~ns jitter)
+  in
+  let fit = Ptrng_measure.Fit.fit ~f0:paper_f0 curve in
+  Printf.printf
+    "%d grid points over %d samples; fitted a = %.4e (thermal-only truth %.4e)\n"
+    (Array.length curve) len fit.a
+    (paper_phase.Ptrng_noise.Psd_model.b_th *. 2.0 /. paper_f0);
+  (("periods", Tm.Json.Int len) :: ("grid_points", Tm.Json.Int (Array.length curve))
+   :: kv)
+  @ [ ("fit_a", Tm.Json.num fit.a); ("fit_b", Tm.Json.num fit.b) ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel kernel benchmarks                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -452,8 +559,9 @@ let write_report ~kernels ~total_s =
   let report =
     Tm.Json.Obj
       [
-        ("schema", Tm.Json.String "ptrng-bench/1");
+        ("schema", Tm.Json.String "ptrng-bench/2");
         ("mode", Tm.Json.String mode);
+        ("domains", Tm.Json.Int pool_domains);
         ("log2_periods", Tm.Json.Int log2_periods);
         ("total_s", Tm.Json.num total_s);
         ("sections", Tm.Json.List sections);
@@ -487,6 +595,8 @@ let () =
   run_section "online" section_online;
   run_section "restart" section_restart;
   run_section "allan" section_allan;
+  run_section "noise_synth" section_noise_synth;
+  run_section "variance_curve" section_variance_curve;
   let kernels = if no_perf then [] else Tm.Span.with_ ~name:"perf" section_perf in
   let total_s = Unix.gettimeofday () -. t0 in
   Printf.printf "\ntotal bench time: %.1f s\n" total_s;

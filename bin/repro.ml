@@ -452,15 +452,27 @@ let with_telemetry opts k =
     Fun.protect ~finally:finish k
   end
 
-(* Wrap a sub-command body (as a thunk term) with the telemetry options
-   so every experiment can emit machine-readable output.  The body runs
-   inside a [repro.<name>] root span. *)
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel sections (default: \
+           $(b,PTRNG_DOMAINS), else the machine's recommended count).  \
+           Results are bit-identical for every value; see \
+           docs/PARALLELISM.md.")
+
+(* Wrap a sub-command body (as a thunk term) with the telemetry and
+   parallelism options so every experiment can emit machine-readable
+   output.  The body runs inside a [repro.<name>] root span. *)
 let instrument name thunk =
-  let spanned opts k =
+  let spanned opts domains k =
+    Ptrng_exec.Pool.set_default domains;
     with_telemetry opts (fun () ->
         Ptrng_telemetry.Span.with_ ~name:("repro." ^ name) k)
   in
-  Term.(const spanned $ telemetry_opts $ thunk)
+  Term.(const spanned $ telemetry_opts $ domains_arg $ thunk)
 
 let seed_arg =
   Arg.(value & opt int 2014 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")

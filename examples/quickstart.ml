@@ -3,47 +3,49 @@
 
      dune exec examples/quickstart.exe
 
-   Walks the whole public API surface in ~30 lines: oscillator pair ->
-   TRNG -> bitstream -> statistical tests -> entropy model. *)
+   Walks the whole public API surface in ~30 lines through the
+   [Ptrng] umbrella namespace (one [(libraries ptrng)] dependency):
+   oscillator pair -> TRNG -> bitstream -> statistical tests ->
+   entropy model. *)
 
 let () =
   (* 1. The entropy source: two 103 MHz rings whose *relative* jitter
      carries the paper's measured coefficients b_th and b_fl. *)
-  let pair = Ptrng_osc.Pair.paper_pair () in
+  let pair = Ptrng.Osc.Pair.paper_pair () in
 
   (* 2. The generator: sample Osc1 with a D flip-flop every 2000 cycles
      of Osc2 (a long accumulation so thermal jitter dominates the
      sampled phase). *)
-  let trng = Ptrng_trng.Ero_trng.config ~divisor:2000 pair in
+  let trng = Ptrng.Trng.Ero_trng.config ~divisor:2000 pair in
 
   (* 3. Generate a few thousand raw bits (event-level simulation of
      every oscillator period). *)
-  let rng = Ptrng_prng.Rng.create ~seed:42L () in
-  let bits = Ptrng_trng.Ero_trng.generate rng trng ~bits:8000 in
-  Printf.printf "generated %d raw bits\n" (Ptrng_trng.Bitstream.length bits);
-  Printf.printf "bias               : %+.4f\n" (Ptrng_trng.Bitstream.bias bits);
+  let rng = Ptrng.Prng.Rng.create ~seed:42L () in
+  let bits = Ptrng.Trng.Ero_trng.generate rng trng ~bits:8000 in
+  Printf.printf "generated %d raw bits\n" (Ptrng.Trng.Bitstream.length bits);
+  Printf.printf "bias               : %+.4f\n" (Ptrng.Trng.Bitstream.bias bits);
   Printf.printf "serial correlation : %+.4f\n"
-    (Ptrng_trng.Bitstream.serial_correlation bits);
+    (Ptrng.Trng.Bitstream.serial_correlation bits);
 
   (* 4. A quick distribution check (AIS31 procedure B's T6). *)
   let t6 =
-    Ptrng_ais31.Procedure_b.t6_uniform ~k:1 ~a:0.025
-      (Ptrng_trng.Bitstream.to_bools bits)
+    Ptrng.Ais31.Procedure_b.t6_uniform ~k:1 ~a:0.025
+      (Ptrng.Trng.Bitstream.to_bools bits)
   in
   Printf.printf "AIS31 T6 uniformity: %s (departure %.4f)\n"
-    (if t6.Ptrng_ais31.Report.pass then "pass" else "FAIL")
-    t6.Ptrng_ais31.Report.statistic;
+    (if t6.Ptrng.Ais31.Report.pass then "pass" else "FAIL")
+    t6.Ptrng.Ais31.Report.statistic;
 
   (* 5. What entropy per bit should we expect?  Only the thermal part
      of the jitter may be credited (the paper's central warning). *)
   let extract =
-    Ptrng_measure.Thermal_extract.of_phase ~f0:Ptrng_osc.Pair.paper_f0
-      Ptrng_osc.Pair.paper_relative
+    Ptrng.Measure.Thermal_extract.of_phase ~f0:Ptrng.Osc.Pair.paper_f0
+      Ptrng.Osc.Pair.paper_relative
   in
   let phase_std =
-    Ptrng_model.Entropy.phase_std_thermal ~sigma_period:extract.sigma_thermal
+    Ptrng.Model.Entropy.phase_std_thermal ~sigma_period:extract.sigma_thermal
       ~k:2000 ~f0:extract.f0
   in
   Printf.printf "thermal phase diffusion over 2000 periods: %.2f rad\n" phase_std;
   Printf.printf "model entropy per raw bit (thermal only) : %.4f\n"
-    (Ptrng_model.Entropy.avg_entropy ~phase_std)
+    (Ptrng.Model.Entropy.avg_entropy ~phase_std)

@@ -1,0 +1,191 @@
+module Tm = Ptrng_telemetry.Registry
+
+let sections_total =
+  Tm.Counter.v ~help:"Fork-join sections executed by the domain pool."
+    "ptrng_exec_sections_total"
+
+let tasks_total =
+  Tm.Counter.v ~help:"Tasks executed by the domain pool (all domains)."
+    "ptrng_exec_tasks_total"
+
+let domains_gauge =
+  Tm.Gauge.v ~help:"Domain count of the most recent fork-join section."
+    "ptrng_exec_domains"
+
+let default_chunk = 8192
+
+let max_domains = 64
+
+(* CLI override (repro --domains / bench --domains), set once on the
+   main domain before any parallel work starts. *)
+let cli_default : int option ref = ref None
+
+let set_default d =
+  (match d with
+  | Some d when d < 1 -> invalid_arg "Pool.set_default: domains < 1"
+  | _ -> ());
+  cli_default := d
+
+let env_domains () =
+  match Sys.getenv_opt "PTRNG_DOMAINS" with
+  | None | Some "" -> None
+  | Some v -> (
+    match int_of_string_opt (String.trim v) with
+    | Some d when d >= 1 -> Some (min d max_domains)
+    | Some _ | None -> None)
+
+let available () =
+  match !cli_default with
+  | Some d -> min d max_domains
+  | None -> (
+    match env_domains () with
+    | Some d -> d
+    | None -> max 1 (min max_domains (Domain.recommended_domain_count ())))
+
+(* Worker domains must not fork nested pools: a parallel map inside a
+   parallel map would oversubscribe the machine and buys nothing.  The
+   flag is domain-local, so independent domains are unaffected. *)
+let inside_pool : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let resolve ?domains () =
+  if Domain.DLS.get inside_pool then 1
+  else
+    match domains with
+    | Some d when d < 1 -> invalid_arg "Pool.resolve: domains < 1"
+    | Some d -> min d max_domains
+    | None -> available ()
+
+(* ------------------------------------------------------------------ *)
+(* Core fork-join runner                                               *)
+(* ------------------------------------------------------------------ *)
+
+exception Worker_failure of exn * Printexc.raw_backtrace
+
+let run_tasks ~domains ~n_tasks task =
+  if n_tasks < 0 then invalid_arg "Pool.run_tasks: n_tasks < 0";
+  if n_tasks > 0 then begin
+    if !Tm.on then begin
+      Tm.Counter.incr sections_total;
+      Tm.Counter.incr ~by:n_tasks tasks_total
+    end;
+    let workers = max 1 (min domains n_tasks) in
+    Tm.Gauge.set domains_gauge (float_of_int workers);
+    if workers = 1 then
+      for i = 0 to n_tasks - 1 do
+        task i
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let failure : (exn * Printexc.raw_backtrace) option Atomic.t =
+        Atomic.make None
+      in
+      let worker () =
+        Domain.DLS.set inside_pool true;
+        let rec loop () =
+          if Atomic.get failure = None then begin
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n_tasks then begin
+              (try task i
+               with e ->
+                 let bt = Printexc.get_raw_backtrace () in
+                 ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+              loop ()
+            end
+          end
+        in
+        loop ()
+      in
+      let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+      (* The calling domain is worker number [workers]. *)
+      let was_inside = Domain.DLS.get inside_pool in
+      worker ();
+      Domain.DLS.set inside_pool was_inside;
+      Array.iter Domain.join spawned;
+      match Atomic.get failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace (Worker_failure (e, bt)) bt
+      | None -> ()
+    end
+  end
+
+(* Re-raise the original exception so callers match on what the task
+   raised, not on a pool wrapper. *)
+let run_tasks ~domains ~n_tasks task =
+  try run_tasks ~domains ~n_tasks task
+  with Worker_failure (e, bt) -> Printexc.raise_with_backtrace e bt
+
+(* ------------------------------------------------------------------ *)
+(* Derived combinators                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_mapi ?domains f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let domains = resolve ?domains () in
+    let out = Array.make n None in
+    run_tasks ~domains ~n_tasks:n (fun i -> out.(i) <- Some (f i xs.(i)));
+    Array.map
+      (function Some v -> v | None -> assert false (* every task ran *))
+      out
+  end
+
+let parallel_map ?domains f xs = parallel_mapi ?domains (fun _ x -> f x) xs
+
+let parallel_iter ?domains f xs =
+  let n = Array.length xs in
+  if n > 0 then
+    run_tasks ~domains:(resolve ?domains ()) ~n_tasks:n (fun i -> f xs.(i))
+
+let parallel_filter_map ?domains f xs =
+  let mapped = parallel_map ?domains f xs in
+  let out = ref [] in
+  for i = Array.length mapped - 1 downto 0 do
+    match mapped.(i) with Some v -> out := v :: !out | None -> ()
+  done;
+  Array.of_list !out
+
+let parallel_reduce ?domains ~map ~combine ~init xs =
+  (* Map in parallel, combine sequentially in index order, so the
+     result is independent of the domain count even for non-commutative
+     [combine]. *)
+  Array.fold_left combine init (parallel_map ?domains map xs)
+
+(* ------------------------------------------------------------------ *)
+(* Chunked float generation with deterministic RNG streams             *)
+(* ------------------------------------------------------------------ *)
+
+module Rng = Ptrng_prng.Rng
+
+let chunk_count ~chunk n =
+  if chunk <= 0 then invalid_arg "Pool: chunk <= 0";
+  (n + chunk - 1) / chunk
+
+let parallel_init_floats ?domains ?(chunk = default_chunk) ~rng ~fill n =
+  if n < 0 then invalid_arg "Pool.parallel_init_floats: n < 0";
+  if n = 0 then [||]
+  else begin
+    let nchunks = chunk_count ~chunk n in
+    (* One root draw, regardless of chunk or domain count: the caller's
+       generator advances identically whether or not the pool runs. *)
+    let root = Rng.bits64 rng in
+    let backend = Rng.backend rng in
+    let out = Array.make n 0.0 in
+    let domains = resolve ?domains () in
+    run_tasks ~domains ~n_tasks:nchunks (fun i ->
+        let offset = i * chunk in
+        let len = min chunk (n - offset) in
+        let child = Rng.child ~backend ~root ~index:i () in
+        fill child ~offset ~len out);
+    out
+  end
+
+let parallel_map_streams ?domains ~rng f n =
+  if n < 0 then invalid_arg "Pool.parallel_map_streams: n < 0";
+  if n = 0 then [||]
+  else begin
+    let root = Rng.bits64 rng in
+    let backend = Rng.backend rng in
+    parallel_mapi ?domains
+      (fun i () -> f i (Rng.child ~backend ~root ~index:i ()))
+      (Array.make n ())
+  end

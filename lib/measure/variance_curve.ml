@@ -45,12 +45,15 @@ let point_of_samples ~f0 ~n ~neff s =
   in
   { n; sigma2; scaled = sigma2 *. f0 *. f0; neff; stderr }
 
-let of_jitter ?(overlapping = true) ~f0 ~ns jitter =
+(* Each accepted N is an independent pass over the series, so the grid
+   is a natural task list for the domain pool: one task per N, results
+   reassembled in grid order (bit-identical for every domain count). *)
+
+let of_jitter ?domains ?(overlapping = true) ~f0 ~ns jitter =
   if f0 <= 0.0 then invalid_arg "Variance_curve.of_jitter: f0 <= 0";
   Tm.Hist.time curve_seconds (fun () ->
       let len = Array.length jitter in
-      let points = ref [] in
-      Array.iter
+      Ptrng_exec.Pool.parallel_filter_map ?domains
         (fun n ->
           if n > 0 && len >= 2 * n then begin
             let stride = if overlapping then 1 else 2 * n in
@@ -59,18 +62,18 @@ let of_jitter ?(overlapping = true) ~f0 ~ns jitter =
             if count >= 2 then begin
               let neff = if overlapping then max 2 (count / (2 * n)) else count in
               Tm.Counter.incr points_total;
-              points := point_of_samples ~f0 ~n ~neff s :: !points
+              Some (point_of_samples ~f0 ~n ~neff s)
             end
-          end)
-        ns;
-      Array.of_list (List.rev !points))
+            else None
+          end
+          else None)
+        ns)
 
-let of_counters ~edges1 ~edges2 ~f0 ~ns =
+let of_counters ?domains ~edges1 ~edges2 ~f0 ~ns () =
   if f0 <= 0.0 then invalid_arg "Variance_curve.of_counters: f0 <= 0";
   Tm.Hist.time curve_seconds (fun () ->
       let cycles2 = Array.length edges2 - 1 in
-      let points = ref [] in
-      Array.iter
+      Ptrng_exec.Pool.parallel_filter_map ?domains
         (fun n ->
           if n > 0 && cycles2 / n >= 3 then begin
             let s = Counter.s_realizations ~edges1 ~edges2 ~f0 ~n in
@@ -79,8 +82,9 @@ let of_counters ~edges1 ~edges2 ~f0 ~ns =
                  a window: halve the count for the error estimate. *)
               let neff = max 2 (Array.length s / 2) in
               Tm.Counter.incr points_total;
-              points := point_of_samples ~f0 ~n ~neff s :: !points
+              Some (point_of_samples ~f0 ~n ~neff s)
             end
-          end)
-        ns;
-      Array.of_list (List.rev !points))
+            else None
+          end
+          else None)
+        ns)

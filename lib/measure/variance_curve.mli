@@ -20,18 +20,23 @@ val log_grid : n_min:int -> n_max:int -> per_decade:int -> int array
     increasing). *)
 
 val of_jitter :
+  ?domains:int ->
   ?overlapping:bool -> f0:float -> ns:int array -> float array -> point array
 (** Ideal (quantization-free) estimator from a relative-jitter series.
     Overlapping (default) uses every starting point and divides the
     sample count by 2N for the error estimate; non-overlapping uses
     disjoint realizations.  Grid entries with fewer than 2 realizations
-    are skipped. *)
+    are skipped.  Each grid entry is an independent task on a
+    {!Ptrng_exec.Pool}; the result is bit-identical for every
+    [?domains] value. *)
 
 val of_counters :
+  ?domains:int ->
   edges1:float array ->
   edges2:float array ->
   f0:float ->
   ns:int array ->
+  unit ->
   point array
 (** Counter-based estimator (paper eq. 12), including real quantization
-    effects. *)
+    effects.  Parallelised over the grid like {!of_jitter}. *)

@@ -14,7 +14,7 @@ let nominal_f0 (pair : Ptrng_osc.Pair.t) =
 
 module Span = Ptrng_telemetry.Span
 
-let characterize ?(n_periods = 1 lsl 20) ?n_grid ~rng pair =
+let characterize ?domains ?(n_periods = 1 lsl 20) ?n_grid ~rng pair =
   if n_periods < 1024 then invalid_arg "Multilevel.characterize: n_periods < 1024";
   Span.with_ ~name:"model.characterize" @@ fun () ->
   Span.set_attr "n_periods" (Ptrng_telemetry.Json.Int n_periods);
@@ -25,18 +25,19 @@ let characterize ?(n_periods = 1 lsl 20) ?n_grid ~rng pair =
     | None -> Ptrng_measure.Variance_curve.log2_grid ~n_min:4 ~n_max:(n_periods / 32)
   in
   let p1, p2 =
-    Span.with_ ~name:"simulate" (fun () -> Ptrng_osc.Pair.simulate rng pair ~n:n_periods)
+    Span.with_ ~name:"simulate" (fun () ->
+        Ptrng_osc.Pair.simulate ?domains rng pair ~n:n_periods)
   in
   let jitter = Ptrng_measure.S_process.relative_jitter ~periods1:p1 ~periods2:p2 in
   let ideal_curve =
     Span.with_ ~name:"variance_curve.jitter" (fun () ->
-        Ptrng_measure.Variance_curve.of_jitter ~f0 ~ns jitter)
+        Ptrng_measure.Variance_curve.of_jitter ?domains ~f0 ~ns jitter)
   in
   let edges1 = Ptrng_osc.Oscillator.edges_of_periods p1 in
   let edges2 = Ptrng_osc.Oscillator.edges_of_periods p2 in
   let counter_curve =
     Span.with_ ~name:"variance_curve.counter" (fun () ->
-        Ptrng_measure.Variance_curve.of_counters ~edges1 ~edges2 ~f0 ~ns)
+        Ptrng_measure.Variance_curve.of_counters ?domains ~edges1 ~edges2 ~f0 ~ns ())
   in
   let fit =
     Span.with_ ~name:"fit" (fun () -> Ptrng_measure.Fit.fit ~f0 ideal_curve)
@@ -72,3 +73,15 @@ let characterize ?(n_periods = 1 lsl 20) ?n_grid ~rng pair =
 
 let predicted_curve phase ~f0 ~ns =
   Array.map (fun n -> (n, Spectral.scaled phase ~f0 ~n)) ns
+
+(* Replicates are fully independent pipelines, so the Monte-Carlo sweep
+   parallelises at the replicate level: one child stream per replicate
+   (the inner stages then see a busy pool and run sequentially), making
+   the ensemble bit-identical for every domain count. *)
+let monte_carlo ?domains ?n_periods ?n_grid ~rng ~replicates pair =
+  if replicates <= 0 then invalid_arg "Multilevel.monte_carlo: replicates <= 0";
+  Span.with_ ~name:"model.monte_carlo" @@ fun () ->
+  Span.set_attr "replicates" (Ptrng_telemetry.Json.Int replicates);
+  Ptrng_exec.Pool.parallel_map_streams ?domains ~rng
+    (fun _ child -> characterize ?n_periods ?n_grid ~rng:child pair)
+    replicates

@@ -26,14 +26,32 @@ type analysis = {
 }
 
 val characterize :
+  ?domains:int ->
   ?n_periods:int ->
   ?n_grid:int array ->
   rng:Ptrng_prng.Rng.t ->
   Ptrng_osc.Pair.t ->
   analysis
 (** Run the full pipeline.  Defaults: [n_periods = 2^20] simulated
-    periods, octave N grid from 4 to [n_periods / 32].
+    periods, octave N grid from 4 to [n_periods / 32].  Simulation and
+    curve estimation run over a {!Ptrng_exec.Pool}; results are
+    bit-identical for every [?domains] value.
     @raise Invalid_argument if [n_periods < 1024]. *)
+
+val monte_carlo :
+  ?domains:int ->
+  ?n_periods:int ->
+  ?n_grid:int array ->
+  rng:Ptrng_prng.Rng.t ->
+  replicates:int ->
+  Ptrng_osc.Pair.t ->
+  analysis array
+(** [monte_carlo ~rng ~replicates pair] repeats {!characterize}
+    [replicates] times with independent child streams derived from
+    [rng], distributing replicates over a {!Ptrng_exec.Pool} — e.g. to
+    bootstrap the spread of the fitted (a, b).  The ensemble is
+    bit-identical for every [?domains] value.
+    @raise Invalid_argument if [replicates <= 0]. *)
 
 val predicted_curve :
   Ptrng_noise.Psd_model.phase -> f0:float -> ns:int array ->

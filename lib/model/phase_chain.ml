@@ -106,3 +106,10 @@ let simulate rng t ~bits =
   Array.init bits (fun _ ->
       state := (!state + step ()) mod t.bins;
       t.high.(!state))
+
+(* Monte-Carlo sweep: independent chains, one child stream per run. *)
+let simulate_many ?domains rng t ~runs ~bits =
+  if runs <= 0 then invalid_arg "Phase_chain.simulate_many: runs <= 0";
+  Ptrng_exec.Pool.parallel_map_streams ?domains ~rng
+    (fun _ child -> simulate child t ~bits)
+    runs

@@ -42,3 +42,12 @@ val simulate : Ptrng_prng.Rng.t -> t -> bits:int -> bool array
 (** Draw a bit sequence from the chain itself (not the event-level
     oscillator) — used to cross-check the chain against its own
     predictions. *)
+
+val simulate_many :
+  ?domains:int ->
+  Ptrng_prng.Rng.t -> t -> runs:int -> bits:int -> bool array array
+(** [simulate_many rng t ~runs ~bits] draws [runs] independent bit
+    sequences, one child stream per run, distributed over a
+    {!Ptrng_exec.Pool} — the Monte-Carlo companion of {!simulate}.
+    The ensemble is bit-identical for every [?domains] value.
+    @raise Invalid_argument on non-positive [runs] or [bits]. *)

@@ -579,7 +579,7 @@ let test_seconds =
   Tm.Hist.v ~help:"Wall time of one SP 800-22 test." ~lo:1e-6 ~hi:1e3
     "ptrng_nist22_test_seconds"
 
-let run_all bits =
+let run_all ?domains bits =
   Ptrng_telemetry.Span.with_ ~name:"nist22.run_all" @@ fun () ->
   let n = Array.length bits in
   let tests =
@@ -615,20 +615,24 @@ let run_all bits =
           worst (random_excursions bits) @ worst (random_excursions_variant bits) );
     ]
   in
-  List.concat_map
-    (fun (minimum, f) ->
-      if n >= minimum then begin
-        let results = Tm.Hist.time test_seconds f in
-        if !Tm.on then
-          List.iter
-            (fun (r : result) ->
-              Tm.Counter.incr tests_total;
-              if not r.pass then Tm.Counter.incr failures_total)
-            results;
-        results
-      end
-      else [])
-    tests
+  (* One pool task per test; results are reassembled in battery order,
+     so the report is identical to the sequential one.  The wall-time
+     histogram is observed inside workers (domain-safe); the pass/fail
+     counters are tallied after the join. *)
+  let per_test =
+    Ptrng_exec.Pool.parallel_map ?domains
+      (fun (minimum, f) ->
+        if n >= minimum then Tm.Hist.time test_seconds f else [])
+      (Array.of_list tests)
+  in
+  let results = List.concat (Array.to_list per_test) in
+  if !Tm.on then
+    List.iter
+      (fun (r : result) ->
+        Tm.Counter.incr tests_total;
+        if not r.pass then Tm.Counter.incr failures_total)
+      results;
+  results
 
 let pp_results ppf results =
   Format.fprintf ppf "@[<v>";

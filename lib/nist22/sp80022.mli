@@ -85,8 +85,11 @@ val random_excursions_variant : bool array -> result list
 (** Total-visit variant for the 18 states -9..9 (same cycle-count
     gating as {!random_excursions}). *)
 
-val run_all : bool array -> result list
+val run_all : ?domains:int -> bool array -> result list
 (** Every test that has enough data, basic battery first, then the
-    heavyweight tests (excursions contribute their worst state). *)
+    heavyweight tests (excursions contribute their worst state).
+    Tests run as independent tasks on a {!Ptrng_exec.Pool} (the input
+    is read-only shared data); the result list is identical for every
+    [?domains] value. *)
 
 val pp_results : Format.formatter -> result list -> unit

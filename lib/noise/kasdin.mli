@@ -18,13 +18,20 @@ val coefficients : alpha:float -> int -> float array
     @raise Invalid_argument if [n <= 0]. *)
 
 val generate_block :
-  Ptrng_prng.Gaussian.t -> alpha:float -> sigma_w:float -> int -> float array
+  ?domains:int ->
+  Ptrng_prng.Rng.t ->
+  alpha:float ->
+  sigma_w:float ->
+  int ->
+  float array
 (** Exact MA filtering of [n] white samples with a full-length
     coefficient array (FFT convolution): the highest-fidelity spectrum
-    down to the lowest representable frequency. *)
+    down to the lowest representable frequency.  Takes the [Rng.t]
+    explicitly (no hidden generator state); the white input is chunked
+    over a {!Ptrng_exec.Pool}, bit-identical for every [?domains]. *)
 
 val flicker_fm_block :
-  Ptrng_prng.Gaussian.t -> hm1:float -> fs:float -> int -> float array
+  ?domains:int -> Ptrng_prng.Rng.t -> hm1:float -> fs:float -> int -> float array
 (** Flicker (alpha = 1) block calibrated to one-sided level [hm1]. *)
 
 type stream

@@ -1,29 +1,49 @@
+module Pool = Ptrng_exec.Pool
+module Rng = Ptrng_prng.Rng
+
 let samples_total =
   Ptrng_telemetry.Registry.Counter.v
     ~help:"Noise samples synthesized by frequency-domain shaping."
     "ptrng_noise_spectral_samples_total"
 
-let generate rng ~psd ~fs n =
+(* Spectrum bins are filled in fixed-size chunks, each from a child
+   generator derived from one root draw, so the synthesized block is
+   bit-identical for every domain count (see docs/PARALLELISM.md). *)
+let bin_chunk = 4096
+
+let generate ?domains rng ~psd ~fs n =
   if not (Ptrng_signal.Fft.is_pow2 n) then
     invalid_arg "Spectral_synth.generate: n must be a power of two";
   if fs <= 0.0 then invalid_arg "Spectral_synth.generate: fs <= 0";
   Ptrng_telemetry.Registry.Counter.incr ~by:n samples_total;
-  let g = Ptrng_prng.Gaussian.create rng in
   let re = Array.make n 0.0 and im = Array.make n 0.0 in
   let half = n / 2 in
+  let root = Rng.bits64 rng in
+  let backend = Rng.backend rng in
   (* E[|X_k|^2] = S(f_k) fs n / 2 for interior bins of an unscaled DFT. *)
-  for k = 1 to half - 1 do
-    let f = float_of_int k *. fs /. float_of_int n in
-    let amp = sqrt (psd f *. fs *. float_of_int n /. 4.0) in
-    let a = amp *. Ptrng_prng.Gaussian.draw g in
-    let b = amp *. Ptrng_prng.Gaussian.draw g in
-    re.(k) <- a;
-    im.(k) <- b;
-    re.(n - k) <- a;
-    im.(n - k) <- -.b
-  done;
-  (* Nyquist bin is real with the full expected power. *)
+  let nbins = half - 1 in
+  let nchunks = (nbins + bin_chunk - 1) / bin_chunk in
+  if nbins > 0 then
+    Pool.run_tasks ~domains:(Pool.resolve ?domains ()) ~n_tasks:nchunks (fun ci ->
+        let child = Rng.child ~backend ~root ~index:ci () in
+        let g = Ptrng_prng.Gaussian.create child in
+        let k_lo = 1 + (ci * bin_chunk) in
+        let k_hi = min (half - 1) (k_lo + bin_chunk - 1) in
+        for k = k_lo to k_hi do
+          let f = float_of_int k *. fs /. float_of_int n in
+          let amp = sqrt (psd f *. fs *. float_of_int n /. 4.0) in
+          let a = amp *. Ptrng_prng.Gaussian.draw g in
+          let b = amp *. Ptrng_prng.Gaussian.draw g in
+          re.(k) <- a;
+          im.(k) <- b;
+          re.(n - k) <- a;
+          im.(n - k) <- -.b
+        done);
+  (* Nyquist bin is real with the full expected power; its draw comes
+     from a dedicated child stream beyond the interior chunk indices. *)
   if half >= 1 && half < n then begin
+    let child = Rng.child ~backend ~root ~index:(nchunks + 1) () in
+    let g = Ptrng_prng.Gaussian.create child in
     let f = fs /. 2.0 in
     re.(half) <- sqrt (psd f *. fs *. float_of_int n /. 2.0) *. Ptrng_prng.Gaussian.draw g
   end;
@@ -32,21 +52,32 @@ let generate rng ~psd ~fs n =
   Ptrng_signal.Fft.inverse_pow2 ~re ~im;
   re
 
-let generate_frac_freq rng ~model ~fs n =
+let generate_frac_freq ?domains rng ~model ~fs n =
   let open Psd_model in
-  let y = Array.make n 0.0 in
-  if model.h0 > 0.0 then begin
-    let g = Ptrng_prng.Gaussian.create rng in
-    let sigma = sqrt (White.variance_of_level ~level:model.h0 ~fs) in
-    for i = 0 to n - 1 do
-      y.(i) <- sigma *. Ptrng_prng.Gaussian.draw g
-    done
-  end;
+  let y =
+    if model.h0 > 0.0 then begin
+      let sigma = sqrt (White.variance_of_level ~level:model.h0 ~fs) in
+      Pool.parallel_init_floats ?domains ~rng
+        ~fill:(fun child ~offset ~len out ->
+          let g = Ptrng_prng.Gaussian.create child in
+          for i = offset to offset + len - 1 do
+            out.(i) <- sigma *. Ptrng_prng.Gaussian.draw g
+          done)
+        n
+    end
+    else Array.make n 0.0
+  in
   if model.hm1 > 0.0 || model.hm2 > 0.0 then begin
     let colored_psd f = (model.hm1 /. f) +. (model.hm2 /. (f *. f)) in
-    let colored = generate rng ~psd:colored_psd ~fs n in
+    let colored = generate ?domains rng ~psd:colored_psd ~fs n in
     for i = 0 to n - 1 do
       y.(i) <- y.(i) +. colored.(i)
     done
   end;
   y
+
+let generate_many ?domains rng ~psd ~fs ~count n =
+  if count < 0 then invalid_arg "Spectral_synth.generate_many: count < 0";
+  Pool.parallel_map_streams ?domains ~rng
+    (fun _ child -> generate child ~psd ~fs n)
+    count

@@ -9,18 +9,46 @@
     ~n/8 samples feel the periodicity, so callers should generate
     blocks comfortably longer than the longest correlation they study.
     This is the fast block generator behind the oscillator simulator;
-    {!Kasdin} and {!Voss} cross-validate it. *)
+    {!Kasdin} and {!Voss} cross-validate it.
+
+    Bin filling is chunked over a {!Ptrng_exec.Pool} with one child
+    generator per fixed-size chunk, so for a given seed the output is
+    bit-identical for every [?domains] value (including 1). *)
 
 val generate :
-  Ptrng_prng.Rng.t -> psd:(float -> float) -> fs:float -> int -> float array
+  ?domains:int ->
+  Ptrng_prng.Rng.t ->
+  psd:(float -> float) ->
+  fs:float ->
+  int ->
+  float array
 (** [generate rng ~psd ~fs n] returns [n] samples ([n] a power of two)
     whose one-sided PSD matches [psd] (evaluated at [k fs / n],
     k = 1 .. n/2; the DC bin is forced to zero, so the output has zero
-    mean over the block). @raise Invalid_argument if [n] is not a power
-    of two or [fs <= 0]. *)
+    mean over the block).  [rng] advances by exactly one root draw
+    regardless of [?domains].  @raise Invalid_argument if [n] is not a
+    power of two or [fs <= 0]. *)
 
 val generate_frac_freq :
-  Ptrng_prng.Rng.t -> model:Psd_model.frac_freq -> fs:float -> int -> float array
+  ?domains:int ->
+  Ptrng_prng.Rng.t ->
+  model:Psd_model.frac_freq ->
+  fs:float ->
+  int ->
+  float array
 (** Fractional-frequency noise for an oscillator: white FM is added in
     the time domain (exactly white, no circularity), flicker and
     random-walk FM come from {!generate}. *)
+
+val generate_many :
+  ?domains:int ->
+  Ptrng_prng.Rng.t ->
+  psd:(float -> float) ->
+  fs:float ->
+  count:int ->
+  int ->
+  float array array
+(** [generate_many rng ~psd ~fs ~count n] synthesizes [count]
+    independent blocks, one derived generator per block, blocks
+    distributed over the pool — the Monte-Carlo bulk-synthesis path.
+    @raise Invalid_argument if [count < 0] (and as {!generate}). *)

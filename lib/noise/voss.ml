@@ -10,8 +10,9 @@ type t = {
   mutable counter : int;
 }
 
-let create g ~octaves =
+let create rng ~octaves =
   if octaves < 1 || octaves > 62 then invalid_arg "Voss.create: octaves outside [1,62]";
+  let g = Ptrng_prng.Gaussian.create rng in
   let sources = Array.init octaves (fun _ -> Ptrng_prng.Gaussian.draw g) in
   { g; sources; counter = 0 }
 
@@ -27,5 +28,14 @@ let next t =
   Array.fold_left ( +. ) 0.0 t.sources
 
 let generate t n = Array.init n (fun _ -> next t)
+
+let generate_blocks ?domains rng ~octaves ~blocks n =
+  if blocks < 0 then invalid_arg "Voss.generate_blocks: blocks < 0";
+  (* The octave ladder is a sequential recurrence, so parallelism lives
+     at the block level: one independent generator (own child stream)
+     per block. *)
+  Ptrng_exec.Pool.parallel_map_streams ?domains ~rng
+    (fun _ child -> generate (create child ~octaves) n)
+    blocks
 
 let level_hm1 ~sigma = sigma *. sigma /. log 2.0

@@ -9,13 +9,26 @@
 
 type t
 
-val create : Ptrng_prng.Gaussian.t -> octaves:int -> t
-(** @raise Invalid_argument unless [1 <= octaves <= 62]. *)
+val create : Ptrng_prng.Rng.t -> octaves:int -> t
+(** [create rng ~octaves] builds the ladder on an explicit generator.
+    @raise Invalid_argument unless [1 <= octaves <= 62]. *)
 
 val next : t -> float
 (** Next sample; the sum of the current source values. *)
 
 val generate : t -> int -> float array
+
+val generate_blocks :
+  ?domains:int ->
+  Ptrng_prng.Rng.t ->
+  octaves:int ->
+  blocks:int ->
+  int ->
+  float array array
+(** [generate_blocks rng ~octaves ~blocks n] produces [blocks]
+    independent pink blocks of [n] samples, one child stream per block,
+    distributed over a {!Ptrng_exec.Pool}; bit-identical for every
+    [?domains].  @raise Invalid_argument if [blocks < 0]. *)
 
 val level_hm1 : sigma:float -> float
 (** Log-averaged one-sided flicker level of the generator when each

@@ -17,7 +17,7 @@ let thermal_sigma cfg =
 
 (* Flicker fractional-frequency samples at rate f0 with one-sided level
    h_{-1} = 2 b_fl / f0^2, produced by the selected generator. *)
-let flicker_samples rng cfg n =
+let flicker_samples ?domains rng cfg n =
   let hm1 = 2.0 *. cfg.phase.Ptrng_noise.Psd_model.b_fl /. (cfg.f0 *. cfg.f0) in
   if hm1 = 0.0 then None
   else
@@ -26,11 +26,12 @@ let flicker_samples rng cfg n =
     | `Spectral ->
       let m = Ptrng_signal.Fft.next_pow2 n in
       let model = { Ptrng_noise.Psd_model.h0 = 0.0; hm1; hm2 = 0.0 } in
-      let y = Ptrng_noise.Spectral_synth.generate_frac_freq rng ~model ~fs:cfg.f0 m in
+      let y =
+        Ptrng_noise.Spectral_synth.generate_frac_freq ?domains rng ~model ~fs:cfg.f0 m
+      in
       Some (if m = n then y else Array.sub y 0 n)
     | `Kasdin ->
-      let g = Ptrng_prng.Gaussian.create rng in
-      Some (Ptrng_noise.Kasdin.flicker_fm_block g ~hm1 ~fs:cfg.f0 n)
+      Some (Ptrng_noise.Kasdin.flicker_fm_block ?domains rng ~hm1 ~fs:cfg.f0 n)
     | `Voss ->
       (* Per-source sigma inverts Voss.level_hm1 (= sigma^2 / ln 2);
          octaves are chosen so the slowest source spans the block. *)
@@ -39,22 +40,27 @@ let flicker_samples rng cfg n =
         let rec count o span = if span >= n || o >= 40 then o else count (o + 1) (span * 2) in
         count 1 1
       in
-      let g = Ptrng_prng.Gaussian.create rng in
-      let v = Ptrng_noise.Voss.create g ~octaves in
+      let v = Ptrng_noise.Voss.create rng ~octaves in
       Some (Array.map (fun s -> sigma *. s) (Ptrng_noise.Voss.generate v n))
 
-let periods rng cfg ~n =
+let periods ?domains rng cfg ~n =
   if n <= 0 then invalid_arg "Oscillator.periods: n <= 0";
   let t0 = 1.0 /. cfg.f0 in
   let sigma_th = thermal_sigma cfg in
-  let out = Array.make n t0 in
-  if sigma_th > 0.0 then begin
-    let g = Ptrng_prng.Gaussian.create rng in
-    for k = 0 to n - 1 do
-      out.(k) <- out.(k) +. (sigma_th *. Ptrng_prng.Gaussian.draw g)
-    done
-  end;
-  (match flicker_samples rng cfg n with
+  let out =
+    if sigma_th > 0.0 then
+      (* Thermal jitter is white: chunked child streams, so the trace
+         is bit-identical for every domain count. *)
+      Ptrng_exec.Pool.parallel_init_floats ?domains ~rng
+        ~fill:(fun child ~offset ~len out ->
+          let g = Ptrng_prng.Gaussian.create child in
+          for k = offset to offset + len - 1 do
+            out.(k) <- t0 +. (sigma_th *. Ptrng_prng.Gaussian.draw g)
+          done)
+        n
+    else Array.make n t0
+  in
+  (match flicker_samples ?domains rng cfg n with
   | None -> ()
   | Some y ->
     for k = 0 to n - 1 do

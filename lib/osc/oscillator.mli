@@ -46,9 +46,11 @@ val config :
 val thermal_sigma : config -> float
 (** Per-period thermal jitter sigma = sqrt (b_th / f0^3), seconds. *)
 
-val periods : Ptrng_prng.Rng.t -> config -> n:int -> float array
+val periods : ?domains:int -> Ptrng_prng.Rng.t -> config -> n:int -> float array
 (** [periods rng cfg ~n] simulates [n] consecutive oscillation periods
-    (seconds). *)
+    (seconds).  Thermal jitter and spectral flicker synthesis run over
+    a {!Ptrng_exec.Pool}; the trace is bit-identical for every
+    [?domains] value. *)
 
 val edges_of_periods : ?t0:float -> float array -> float array
 (** Cumulative rising-edge times: [n+1] instants starting at [t0]

@@ -23,9 +23,9 @@ let paper_relative =
 
 let paper_pair () = of_relative ~f0:paper_f0 ~relative:paper_relative ()
 
-let simulate rng pair ~n =
+let simulate ?domains rng pair ~n =
   let rng1 = Ptrng_prng.Rng.split rng in
   let rng2 = Ptrng_prng.Rng.split rng in
-  let p1 = Oscillator.periods rng1 pair.osc1 ~n in
-  let p2 = Oscillator.periods rng2 pair.osc2 ~n in
+  let p1 = Oscillator.periods ?domains rng1 pair.osc1 ~n in
+  let p2 = Oscillator.periods ?domains rng2 pair.osc2 ~n in
   (p1, p2)

@@ -39,6 +39,8 @@ val paper_f0 : float
 (** 103 MHz. *)
 
 val simulate :
-  Ptrng_prng.Rng.t -> t -> n:int -> float array * float array
+  ?domains:int -> Ptrng_prng.Rng.t -> t -> n:int -> float array * float array
 (** [simulate rng pair ~n] returns [n] simulated periods of each
-    oscillator, drawn from independent substreams of [rng]. *)
+    oscillator, drawn from independent substreams of [rng].  Each
+    oscillator's thermal and flicker synthesis runs over a
+    {!Ptrng_exec.Pool}; traces are bit-identical for every [?domains]. *)

@@ -1,4 +1,4 @@
-let ensemble rng cfg ~restarts ~n =
+let ensemble ?domains rng cfg ~restarts ~n =
   if restarts <= 0 then invalid_arg "Restart.ensemble: restarts <= 0";
   if n <= 0 then invalid_arg "Restart.ensemble: n <= 0";
   (* The reproducible flicker transient: one trajectory, drawn once. *)
@@ -10,14 +10,17 @@ let ensemble rng cfg ~restarts ~n =
   in
   let transient =
     if cfg.Oscillator.phase.Ptrng_noise.Psd_model.b_fl > 0.0 then
-      Oscillator.periods (Ptrng_prng.Rng.split rng) flicker_cfg ~n
+      Oscillator.periods ?domains (Ptrng_prng.Rng.split rng) flicker_cfg ~n
     else Array.make n (1.0 /. cfg.Oscillator.f0)
   in
   let sigma_th = Oscillator.thermal_sigma cfg in
-  let g = Ptrng_prng.Gaussian.create rng in
-  Array.init restarts (fun _ ->
-      Array.init n (fun k ->
-          transient.(k) +. (sigma_th *. Ptrng_prng.Gaussian.draw g)))
+  (* Thermal jitter is fresh on every restart: one child stream per
+     restart, so the ensemble is independent of the domain count. *)
+  Ptrng_exec.Pool.parallel_map_streams ?domains ~rng
+    (fun _ child ->
+      let g = Ptrng_prng.Gaussian.create child in
+      Array.init n (fun k -> transient.(k) +. (sigma_th *. Ptrng_prng.Gaussian.draw g)))
+    restarts
 
 let accumulated_variance runs ~n =
   let restarts = Array.length runs in

@@ -16,10 +16,13 @@
     each time. *)
 
 val ensemble :
+  ?domains:int ->
   Ptrng_prng.Rng.t -> Oscillator.config -> restarts:int -> n:int ->
   float array array
 (** [ensemble rng cfg ~restarts ~n] simulates [restarts] restarts of
     [n] periods each; element [(r, k)] is period k after restart r.
+    Restarts are distributed over a {!Ptrng_exec.Pool}, one child
+    stream per restart — bit-identical for every [?domains].
     @raise Invalid_argument on non-positive sizes. *)
 
 val accumulated_variance : float array array -> n:int -> float

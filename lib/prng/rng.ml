@@ -54,15 +54,32 @@ let int_below t n =
 
 let bool t = Int64.logand (bits64 t) 1L = 1L
 
+let backend t =
+  match t.state with
+  | S_xoshiro _ -> Xoshiro
+  | S_pcg _ -> Pcg
+  | S_splitmix _ -> Splitmix
+
 let split t =
   let seed = bits64 t in
-  let backend =
-    match t.state with
-    | S_xoshiro _ -> Xoshiro
-    | S_pcg _ -> Pcg
-    | S_splitmix _ -> Splitmix
+  create ~backend:(backend t) ~seed ()
+
+let derive_seed root index =
+  if index < 0 then invalid_arg "Rng.derive_seed: negative index";
+  (* Two SplitMix64 outputs of a state perturbed by the stream index:
+     a stateless, well-scrambled child seed, so chunk [index] of a
+     parallel computation gets the same stream no matter which domain
+     (or how many domains) runs it. *)
+  let golden = 0x9E3779B97F4A7C15L in
+  let s =
+    Splitmix64.create
+      (Int64.logxor root (Int64.mul golden (Int64.of_int (index + 1))))
   in
-  create ~backend ~seed ()
+  let _ = Splitmix64.next s in
+  Splitmix64.next s
+
+let child ?(backend = Xoshiro) ~root ~index () =
+  create ~backend ~seed:(derive_seed root index) ()
 
 let fill_floats t a =
   for i = 0 to Array.length a - 1 do

@@ -35,9 +35,23 @@ val int_below : t -> int -> int
 val bool : t -> bool
 (** A fair coin flip. *)
 
+val backend : t -> backend
+(** The backend [t] was created with. *)
+
 val split : t -> t
 (** [split t] returns a generator seeded from [t]'s stream, for
     independent substreams (e.g. one per simulated oscillator). *)
+
+val derive_seed : int64 -> int -> int64
+(** [derive_seed root index] is a stateless, scrambled child seed for
+    substream [index] of the root seed — the basis of deterministic
+    parallel RNG streams: chunk [index] receives the same stream
+    regardless of which domain (or how many domains) runs it.
+    @raise Invalid_argument on negative [index]. *)
+
+val child : ?backend:backend -> root:int64 -> index:int -> unit -> t
+(** [child ~root ~index ()] is [create ~seed:(derive_seed root index)]:
+    the generator for substream [index] of [root]. *)
 
 val fill_floats : t -> float array -> unit
 (** [fill_floats t a] overwrites [a] with uniform [0,1) samples. *)

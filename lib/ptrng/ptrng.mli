@@ -1,0 +1,53 @@
+(** Umbrella namespace for the whole library.
+
+    Depending on the [ptrng] dune library brings every subsystem in
+    under one root — [Ptrng.Noise.Kasdin], [Ptrng.Measure.Fit],
+    [Ptrng.Model.Multilevel], ... — so applications need a single
+    [(libraries ptrng)] stanza instead of enumerating sub-libraries.
+    Each alias below is the corresponding [ptrng_*] library, which can
+    still be depended on individually for a narrower link. *)
+
+module Prng = Ptrng_prng
+(** Deterministic PRNGs ([Rng], [Gaussian], stream splitting). *)
+
+module Exec = Ptrng_exec
+(** Domain-based fork-join pool with deterministic RNG streams. *)
+
+module Signal = Ptrng_signal
+(** FFT, windows, PSD estimation. *)
+
+module Stats = Ptrng_stats
+(** Descriptive statistics, regression, special functions. *)
+
+module Noise = Ptrng_noise
+(** 1/f synthesis (Kasdin, spectral, Voss) and PSD models. *)
+
+module Device = Ptrng_device
+(** Transistor-level phase-noise provenance (ISF, inverter, MOSFET). *)
+
+module Osc = Ptrng_osc
+(** Event-level ring-oscillator simulation, pairs, restarts. *)
+
+module Trng = Ptrng_trng
+(** Elementary RO-TRNG sampling chain. *)
+
+module Measure = Ptrng_measure
+(** Variance-curve estimation, fitting, thermal extraction. *)
+
+module Model = Ptrng_model
+(** Stochastic models: multilevel pipeline, Markov chains, entropy. *)
+
+module Ais31 = Ptrng_ais31
+(** AIS 31 procedures A and B. *)
+
+module Sp90b = Ptrng_sp90b
+(** SP 800-90B min-entropy estimators. *)
+
+module Nist22 = Ptrng_nist22
+(** SP 800-22 statistical test battery. *)
+
+module Report = Ptrng_report
+(** Machine-readable report emission. *)
+
+module Telemetry = Ptrng_telemetry
+(** Metrics registry, span tracing, event log. *)

@@ -152,17 +152,21 @@ let estimator_seconds =
   Tm.Hist.v ~help:"Wall time of one SP 800-90B estimator." ~lo:1e-6 ~hi:1e3
     "ptrng_sp90b_estimator_seconds"
 
-let run_all bits =
+let run_all ?domains bits =
   Ptrng_telemetry.Span.with_ ~name:"sp90b.run_all" @@ fun () ->
-  let timed f =
-    let e = Tm.Hist.time estimator_seconds (fun () -> f bits) in
-    Tm.Counter.incr estimates_total;
-    e
+  (* One pool task per estimator (shared read-only input); estimates
+     come back in battery order, counters are tallied after the join. *)
+  let estimators =
+    [| most_common_value; collision; (fun bits -> markov bits);
+       (fun bits -> t_tuple bits) |]
   in
   let estimates =
-    [ timed most_common_value; timed collision; timed markov;
-      timed (fun bits -> t_tuple bits) ]
+    Array.to_list
+      (Ptrng_exec.Pool.parallel_map ?domains
+         (fun f -> Tm.Hist.time estimator_seconds (fun () -> f bits))
+         estimators)
   in
+  List.iter (fun _ -> Tm.Counter.incr estimates_total) estimates;
   let aggregate =
     List.fold_left (fun acc e -> Float.min acc e.min_entropy) 1.0 estimates
   in

@@ -3,9 +3,20 @@ let enable () = on := true
 let disable () = on := false
 let enabled () = !on
 
-type counter_cell = { c_name : string; c_help : string; mutable c_value : int }
+(* Counters are atomics and histograms carry their own lock, so metric
+   updates from worker domains (Ptrng_exec pools) are safe and no
+   increment is lost.  Gauges stay plain word-sized stores: concurrent
+   [set] is last-write-wins, which is the right semantic for a gauge. *)
+
+type counter_cell = { c_name : string; c_help : string; c_value : int Atomic.t }
 type gauge_cell = { g_name : string; g_help : string; mutable g_value : float }
-type hist_cell = { h_name : string; h_help : string; h_hist : Histogram.t }
+
+type hist_cell = {
+  h_name : string;
+  h_help : string;
+  h_hist : Histogram.t;
+  h_mu : Mutex.t;
+}
 
 type cell =
   | C of counter_cell
@@ -16,40 +27,43 @@ type cell =
    guarantees one cell per name. *)
 let table : (string, cell) Hashtbl.t = Hashtbl.create 64
 let order : cell list ref = ref []
+let table_mu = Mutex.create ()
 
 let register name cell =
-  match Hashtbl.find_opt table name with
-  | Some existing -> existing
-  | None ->
-    Hashtbl.add table name cell;
-    order := cell :: !order;
-    cell
+  Mutex.protect table_mu (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some existing -> existing
+      | None ->
+        Hashtbl.add table name cell;
+        order := cell :: !order;
+        cell)
 
 let reset () =
   List.iter
     (function
-      | C c -> c.c_value <- 0
+      | C c -> Atomic.set c.c_value 0
       | G g -> g.g_value <- 0.0
-      | H h -> Histogram.reset h.h_hist)
+      | H h -> Mutex.protect h.h_mu (fun () -> Histogram.reset h.h_hist))
     !order
 
 let clear () =
-  Hashtbl.reset table;
-  order := []
+  Mutex.protect table_mu (fun () ->
+      Hashtbl.reset table;
+      order := [])
 
 module Counter = struct
   type t = counter_cell
 
   let v ?(help = "") name =
-    match register name (C { c_name = name; c_help = help; c_value = 0 }) with
+    match register name (C { c_name = name; c_help = help; c_value = Atomic.make 0 }) with
     | C c -> c
     | _ -> invalid_arg (Printf.sprintf "Registry: %s is not a counter" name)
 
   let incr ?(by = 1) c =
     if by < 0 then invalid_arg "Counter.incr: negative increment";
-    if !on then c.c_value <- c.c_value + by
+    if !on then ignore (Atomic.fetch_and_add c.c_value by)
 
-  let value c = c.c_value
+  let value c = Atomic.get c.c_value
 end
 
 module Gauge = struct
@@ -69,18 +83,25 @@ module Hist = struct
 
   let v ?(help = "") ?lo ?hi ?buckets_per_decade name =
     let cell =
-      H { h_name = name; h_help = help; h_hist = Histogram.create ?lo ?hi ?buckets_per_decade () }
+      H
+        {
+          h_name = name;
+          h_help = help;
+          h_hist = Histogram.create ?lo ?hi ?buckets_per_decade ();
+          h_mu = Mutex.create ();
+        }
     in
     match register name cell with
     | H h -> h
     | _ -> invalid_arg (Printf.sprintf "Registry: %s is not a histogram" name)
 
-  let observe h value = if !on then Histogram.observe h.h_hist value
+  let observe h value =
+    if !on then Mutex.protect h.h_mu (fun () -> Histogram.observe h.h_hist value)
 
   let time h f =
     if !on then begin
       let t0 = Clock.now () in
-      let finally () = Histogram.observe h.h_hist (Clock.now () -. t0) in
+      let finally () = observe h (Clock.now () -. t0) in
       Fun.protect ~finally f
     end
     else f ()
@@ -98,7 +119,7 @@ let all () =
   else
     List.rev_map
       (function
-        | C c -> Counter (c.c_name, c.c_help, c.c_value)
+        | C c -> Counter (c.c_name, c.c_help, Atomic.get c.c_value)
         | G g -> Gauge (g.g_name, g.g_help, g.g_value)
         | H h -> Histogram (h.h_name, h.h_help, h.h_hist))
       !order

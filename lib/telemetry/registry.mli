@@ -5,7 +5,13 @@
     sinks see an empty registry.  Naming scheme: [ptrng_<lib>_<name>],
     with Prometheus-style [_total] suffix for counters and base-unit
     suffixes ([_seconds], [_bytes]) for histograms — see
-    docs/OBSERVABILITY.md. *)
+    docs/OBSERVABILITY.md.
+
+    Metric updates are domain-safe: counters are atomic, histogram
+    observations are serialized per histogram, and gauge stores are
+    word-sized last-write-wins — instrumented code may run inside
+    [Ptrng_exec] worker domains without losing events (see
+    docs/PARALLELISM.md). *)
 
 val on : bool ref
 (** Fast-path flag.  Mutate only through {!enable}/{!disable}. *)

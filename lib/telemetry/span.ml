@@ -6,9 +6,14 @@ type t = {
   mutable children : t list;
 }
 
-(* Innermost-first stack of open spans; completed top-level spans in
-   reverse completion order. *)
-let stack : t list ref = ref []
+(* Innermost-first stack of open spans, one per domain so spans opened
+   inside Ptrng_exec worker domains nest correctly without racing the
+   main trace.  Completed top-level spans (reverse completion order)
+   are only collected on the main domain: worker-domain root spans are
+   timed but dropped — the pool's fork-join section is what the main
+   trace accounts for (see docs/PARALLELISM.md). *)
+let stack_key : t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+let stack () = Domain.DLS.get stack_key
 let completed : t list ref = ref []
 
 let reset () = completed := []
@@ -17,13 +22,12 @@ let roots () = List.rev !completed
 
 let set_attr key value =
   if !Registry.on then
-    match !stack with
+    match !(stack ()) with
     | [] -> ()
     | span :: _ -> span.attrs <- (key, value) :: List.remove_assoc key span.attrs
 
-let depth () = List.length !stack
-
 let close span t0 a0 =
+  let stack = stack () in
   span.wall_s <- Clock.now () -. t0;
   span.alloc_bytes <- Clock.allocated_bytes () -. a0;
   span.children <- List.rev span.children;
@@ -34,17 +38,18 @@ let close span t0 a0 =
   Event_log.emit ~kind:"span"
     [
       ("name", Json.String span.name);
-      ("depth", Json.Int (depth ()));
+      ("depth", Json.Int (List.length !stack));
       ("wall_s", Json.num span.wall_s);
       ("alloc_bytes", Json.num span.alloc_bytes);
     ];
   match !stack with
   | parent :: _ -> parent.children <- span :: parent.children
-  | [] -> completed := span :: !completed
+  | [] -> if Domain.is_main_domain () then completed := span :: !completed
 
 let with_ ~name f =
   if not !Registry.on then f ()
   else begin
+    let stack = stack () in
     let span = { name; wall_s = 0.0; alloc_bytes = 0.0; attrs = []; children = [] } in
     stack := span :: !stack;
     let t0 = Clock.now () in

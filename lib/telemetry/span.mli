@@ -4,7 +4,14 @@
     ([Gc.allocated_bytes]) and attaches the span to the enclosing one,
     building a trace tree per top-level span.  Disabled telemetry makes
     [with_] a bare call of [f].  Exceptions propagate; the span is
-    still closed and recorded with whatever elapsed. *)
+    still closed and recorded with whatever elapsed.
+
+    The open-span stack is domain-local: spans opened inside
+    [Ptrng_exec] worker domains nest and time correctly within that
+    domain, but worker-domain {e root} spans are dropped rather than
+    merged — the trace tree collected by {!roots} belongs to the main
+    domain, whose enclosing span accounts for the whole fork-join
+    section (see docs/PARALLELISM.md). *)
 
 type t = {
   name : string;

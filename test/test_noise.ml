@@ -64,9 +64,9 @@ let kasdin_tests =
         let h = Kasdin.coefficients ~alpha:2.0 4 in
         Alcotest.(check (array (float 1e-12))) "ones" [| 1.0; 1.0; 1.0; 1.0 |] h);
     Testkit.case "flicker block PSD has slope -1 and level h-1" (fun () ->
-        let g = Ptrng_prng.Gaussian.create (Testkit.rng ()) in
+        let rng = Testkit.rng () in
         let hm1 = 3e-5 and fs = 1.0 in
-        let x = Kasdin.flicker_fm_block g ~hm1 ~fs (1 lsl 16) in
+        let x = Kasdin.flicker_fm_block rng ~hm1 ~fs (1 lsl 16) in
         let s = Ptrng_signal.Psd.welch ~seg_len:4096 ~fs x in
         let slope, _ = Slope.log_log_slope s ~f_lo:(4.0 /. 4096.0) ~f_hi:0.05 in
         Testkit.check_abs ~tol:0.15 "slope" (-1.0) slope;
@@ -84,9 +84,9 @@ let kasdin_tests =
         let slope, _ = Slope.log_log_slope s ~f_lo:(8.0 /. 1024.0) ~f_hi:0.05 in
         Testkit.check_abs ~tol:0.2 "slope" (-1.0) slope);
     Testkit.case "allan variance of flicker block is flat" (fun () ->
-        let g = Ptrng_prng.Gaussian.create (Testkit.rng ~seed:99L ()) in
+        let rng = Testkit.rng ~seed:99L () in
         let hm1 = 1e-6 in
-        let y = Kasdin.flicker_fm_block g ~hm1 ~fs:1.0 (1 lsl 16) in
+        let y = Kasdin.flicker_fm_block rng ~hm1 ~fs:1.0 (1 lsl 16) in
         let reference = Ptrng_stats.Allan.avar_flicker_fm ~hm1 in
         List.iter
           (fun m ->
@@ -101,24 +101,22 @@ let kasdin_tests =
 let voss_tests =
   [
     Testkit.case "spectrum slope is about -1" (fun () ->
-        let g = Ptrng_prng.Gaussian.create (Testkit.rng ()) in
-        let v = Voss.create g ~octaves:16 in
+        let v = Voss.create (Testkit.rng ()) ~octaves:16 in
         let x = Voss.generate v (1 lsl 16) in
         let s = Ptrng_signal.Psd.welch ~seg_len:4096 ~fs:1.0 x in
         let slope, _ = Slope.log_log_slope s ~f_lo:2e-3 ~f_hi:0.1 in
         Testkit.check_abs ~tol:0.2 "slope" (-1.0) slope);
     Testkit.case "level matches sigma^2/ln2 within the staircase ripple" (fun () ->
-        let g = Ptrng_prng.Gaussian.create (Testkit.rng ()) in
-        let v = Voss.create g ~octaves:16 in
+        let v = Voss.create (Testkit.rng ()) ~octaves:16 in
         let x = Voss.generate v (1 lsl 16) in
         let s = Ptrng_signal.Psd.welch ~seg_len:4096 ~fs:1.0 x in
         let f_ref = 0.01 in
         let level = Ptrng_signal.Psd.band_mean s ~f_lo:(f_ref /. 2.0) ~f_hi:(f_ref *. 2.0) in
         Testkit.check_rel ~tol:0.35 "level" (Voss.level_hm1 ~sigma:1.0 /. f_ref) level);
     Testkit.case "rejects octave overflow" (fun () ->
-        let g = Ptrng_prng.Gaussian.create (Testkit.rng ()) in
+        let rng = Testkit.rng () in
         Alcotest.check_raises "63" (Invalid_argument "Voss.create: octaves outside [1,62]")
-          (fun () -> ignore (Voss.create g ~octaves:63)));
+          (fun () -> ignore (Voss.create rng ~octaves:63)));
   ]
 
 let spectral_synth_tests =
@@ -183,14 +181,12 @@ let cross_generator_tests =
         let hm1 = 1e-6 in
         let n = 1 lsl 16 in
         let reference = Ptrng_stats.Allan.avar_flicker_fm ~hm1 in
-        let g = Ptrng_prng.Gaussian.create (Testkit.rng ~seed:1L ()) in
-        let kasdin = Kasdin.flicker_fm_block g ~hm1 ~fs:1.0 n in
+        let kasdin = Kasdin.flicker_fm_block (Testkit.rng ~seed:1L ()) ~hm1 ~fs:1.0 n in
         let rng2 = Testkit.rng ~seed:2L () in
         let spectral =
           Spectral_synth.generate rng2 ~psd:(fun f -> hm1 /. f) ~fs:1.0 n
         in
-        let g3 = Ptrng_prng.Gaussian.create (Testkit.rng ~seed:3L ()) in
-        let voss_gen = Voss.create g3 ~octaves:16 in
+        let voss_gen = Voss.create (Testkit.rng ~seed:3L ()) ~octaves:16 in
         let sigma = sqrt (hm1 *. log 2.0) in
         let voss = Array.map (fun v -> sigma *. v) (Voss.generate voss_gen n) in
         List.iter
