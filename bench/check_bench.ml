@@ -1,9 +1,25 @@
-(* Smoke check for the bench harness: parse the JSON report and assert
-   the fields the perf-trajectory tooling relies on, so `dune runtest`
-   fails loudly if BENCH_1.json ever stops being produced or loses its
-   schema (see docs/OBSERVABILITY.md). *)
+(* Gate for the bench harness and its perf trajectory.
+
+     check_bench [REPORT] [--history FILE] [--baseline FILE]
+                 [--max-regression PCT] [--warn-only]
+
+   Always: parse REPORT (default BENCH_1.json) and assert the fields
+   the perf-trajectory tooling relies on, so `dune runtest` fails
+   loudly if the report ever stops being produced or loses its schema.
+
+   --history FILE        also validate a bench-history JSONL file
+                         (schema ptrng-bench-history/1, >= 1 record).
+   --baseline FILE       also compare REPORT's section wall times
+                         against FILE (a bench report or a history
+                         record); exit 1 if any section regressed by
+                         more than --max-regression PCT (default 25).
+   --warn-only           print regressions but exit 0 (soft gate for
+                         noisy 1-core CI runners).
+
+   See docs/OBSERVABILITY.md and docs/PROFILING.md. *)
 
 module Json = Ptrng_telemetry.Json
+module History = Bench_history.History
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("check_bench: " ^ m); exit 1) fmt
 
@@ -17,15 +33,64 @@ let number path j key =
   | Some v -> v
   | None -> fail "field %s.%s is not numeric" path key
 
-let () =
-  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_1.json" in
+(* ---------------- argument parsing ---------------- *)
+
+type opts = {
+  report : string;
+  history : string option;
+  baseline : string option;
+  max_regression_pct : float;
+  warn_only : bool;
+}
+
+let parse_args () =
+  let opts =
+    ref
+      {
+        report = "BENCH_1.json";
+        history = None;
+        baseline = None;
+        max_regression_pct = 25.0;
+        warn_only = false;
+      }
+  in
+  let rec go = function
+    | [] -> ()
+    | "--history" :: path :: rest ->
+      opts := { !opts with history = Some path };
+      go rest
+    | "--baseline" :: path :: rest ->
+      opts := { !opts with baseline = Some path };
+      go rest
+    | "--max-regression" :: pct :: rest ->
+      (match float_of_string_opt pct with
+      | Some p when p >= 0.0 -> opts := { !opts with max_regression_pct = p }
+      | _ -> fail "--max-regression expects a non-negative number, got %S" pct);
+      go rest
+    | "--warn-only" :: rest ->
+      opts := { !opts with warn_only = true };
+      go rest
+    | ("--history" | "--baseline" | "--max-regression") :: [] ->
+      fail "missing argument for the last flag"
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
+      fail "unknown flag %s" arg
+    | path :: rest ->
+      opts := { !opts with report = path };
+      go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  !opts
+
+let read_json path =
   let contents =
     try In_channel.with_open_text path In_channel.input_all
     with Sys_error e -> fail "cannot read %s: %s" path e
   in
-  let report =
-    try Json.of_string contents with Failure e -> fail "%s does not parse: %s" path e
-  in
+  try Json.of_string contents with Failure e -> fail "%s does not parse: %s" path e
+
+(* ---------------- report schema validation ---------------- *)
+
+let validate_report path report =
   (match Json.member "schema" report with
   | Some (Json.String "ptrng-bench/2") -> ()
   | _ -> fail "bad or missing schema tag");
@@ -88,3 +153,62 @@ let () =
   if not (periods > 0.0) then fail "ptrng_measure_periods_accumulated_total is zero";
   Printf.printf "check_bench: %s ok (%d sections, %.3e periods/s)\n" path
     (List.length sections) pps
+
+(* ---------------- history validation ---------------- *)
+
+let validate_history path =
+  match History.load ~path with
+  | Error e -> fail "history %s: %s" path e
+  | Ok [] -> fail "history %s has no records" path
+  | Ok records ->
+    List.iteri
+      (fun i r ->
+        match History.validate_record r with
+        | Ok () -> ()
+        | Error e -> fail "history %s record %d: %s" path (i + 1) e)
+      records;
+    Printf.printf "check_bench: %s ok (%d history records)\n" path
+      (List.length records)
+
+(* ---------------- regression gate ---------------- *)
+
+let check_baseline ~warn_only ~max_regression_pct ~baseline_path ~report =
+  let baseline = read_json baseline_path in
+  match History.compare_sections ~baseline ~current:report () with
+  | Error e -> fail "cannot compare against %s: %s" baseline_path e
+  | Ok [] -> fail "no comparable sections against %s" baseline_path
+  | Ok compared ->
+    List.iter
+      (fun (c : History.comparison) ->
+        Printf.printf "check_bench:   %-16s %9.3f s -> %9.3f s  (%+.1f%%)\n"
+          c.History.section c.History.base_wall_s c.History.wall_s
+          c.History.change_pct)
+      compared;
+    let regressed = History.regressions ~max_regression_pct compared in
+    if regressed = [] then
+      Printf.printf
+        "check_bench: no regression beyond %.0f%% against %s (%d sections)\n"
+        max_regression_pct baseline_path (List.length compared)
+    else begin
+      List.iter
+        (fun (c : History.comparison) ->
+          Printf.eprintf
+            "check_bench: %s: section %s regressed %.1f%% (%.3f s -> %.3f s, \
+             tolerance %.0f%%)\n"
+            (if warn_only then "warning" else "FAIL")
+            c.History.section c.History.change_pct c.History.base_wall_s
+            c.History.wall_s max_regression_pct)
+        regressed;
+      if not warn_only then exit 1
+    end
+
+let () =
+  let opts = parse_args () in
+  let report = read_json opts.report in
+  validate_report opts.report report;
+  Option.iter validate_history opts.history;
+  match opts.baseline with
+  | None -> ()
+  | Some baseline_path ->
+    check_baseline ~warn_only:opts.warn_only
+      ~max_regression_pct:opts.max_regression_pct ~baseline_path ~report

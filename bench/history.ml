@@ -1,0 +1,195 @@
+(* Bench-history records and regression comparison.
+
+   Every bench run appends one summarized JSONL record (schema
+   ptrng-bench-history/1) — git sha, mode, domain count, total wall
+   time and per-section wall times — so the perf trajectory of the
+   repo is a committed, machine-readable time series.  check_bench
+   compares two reports' section walls against a tolerance and
+   bench --history-table prints the trend.  See docs/PROFILING.md. *)
+
+module Json = Ptrng_telemetry.Json
+
+let schema = "ptrng-bench-history/1"
+
+type section = { name : string; wall_s : float }
+
+(* Extract (name, wall_s) pairs from anything carrying a bench-shaped
+   "sections" list — a full ptrng-bench/2 report or a history record. *)
+let sections_of j =
+  match Json.member "sections" j with
+  | Some (Json.List l) ->
+    Ok
+      (List.filter_map
+         (fun s ->
+           match (Json.member "name" s, Json.member "wall_s" s) with
+           | Some (Json.String name), Some w ->
+             Option.map (fun wall_s -> { name; wall_s }) (Json.to_float w)
+           | _ -> None)
+         l)
+  | _ -> Error "no sections list"
+
+let str_field j key =
+  match Json.member key j with Some (Json.String s) -> Some s | _ -> None
+
+let num_field j key = Option.bind (Json.member key j) Json.to_float
+
+let record_of_report ?(sha = "unknown") ?(time_unix = 0.0) report =
+  match sections_of report with
+  | Error e -> Error e
+  | Ok sections ->
+    let mode = Option.value ~default:"unknown" (str_field report "mode") in
+    let domains =
+      match num_field report "domains" with Some d -> int_of_float d | None -> 1
+    in
+    let total_s = Option.value ~default:0.0 (num_field report "total_s") in
+    Ok
+      (Json.Obj
+         [
+           ("schema", Json.String schema);
+           ("sha", Json.String sha);
+           ("time_unix", Json.num time_unix);
+           ("mode", Json.String mode);
+           ("domains", Json.Int domains);
+           ("total_s", Json.num total_s);
+           ( "sections",
+             Json.List
+               (List.map
+                  (fun s ->
+                    Json.Obj
+                      [
+                        ("name", Json.String s.name);
+                        ("wall_s", Json.num s.wall_s);
+                      ])
+                  sections) );
+         ])
+
+let validate_record j =
+  match Json.member "schema" j with
+  | Some (Json.String s) when s = schema -> (
+    match (str_field j "sha", str_field j "mode", num_field j "total_s") with
+    | Some _, Some _, Some _ -> (
+      match sections_of j with
+      | Ok (_ :: _) -> Ok ()
+      | Ok [] -> Error "history record has no sections"
+      | Error e -> Error e)
+    | _ -> Error "history record missing sha/mode/total_s")
+  | _ -> Error (Printf.sprintf "history record schema is not %s" schema)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL persistence                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let append ~path record =
+  try
+    let dir = Filename.dirname path in
+    if dir <> "." && not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    let oc =
+      open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Json.to_string record);
+        output_char oc '\n');
+    Ok ()
+  with Sys_error e | Unix.Unix_error (_, _, e) -> Error e
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents ->
+    let lines =
+      List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' contents)
+    in
+    let rec parse acc i = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest -> (
+        match Json.of_string line with
+        | j -> parse (j :: acc) (i + 1) rest
+        | exception Failure e ->
+          Error (Printf.sprintf "line %d does not parse: %s" i e))
+    in
+    parse [] 1 lines
+
+(* ------------------------------------------------------------------ *)
+(* Regression comparison                                               *)
+(* ------------------------------------------------------------------ *)
+
+type comparison = {
+  section : string;
+  base_wall_s : float;
+  wall_s : float;
+  change_pct : float;  (* +100.0 = twice as slow *)
+}
+
+let default_min_wall_s = 0.01
+
+(* Sections faster than [min_wall_s] in the baseline are skipped: at
+   millisecond scale the scheduler noise dwarfs any real regression. *)
+let compare_sections ?(min_wall_s = default_min_wall_s) ~baseline ~current () =
+  match (sections_of baseline, sections_of current) with
+  | Error e, _ -> Error ("baseline: " ^ e)
+  | _, Error e -> Error ("current: " ^ e)
+  | Ok base, Ok cur ->
+    Ok
+      (List.filter_map
+         (fun (b : section) ->
+           if b.wall_s < min_wall_s then None
+           else
+             List.find_opt (fun (c : section) -> c.name = b.name) cur
+             |> Option.map (fun (c : section) ->
+                    {
+                      section = b.name;
+                      base_wall_s = b.wall_s;
+                      wall_s = c.wall_s;
+                      change_pct = 100.0 *. ((c.wall_s /. b.wall_s) -. 1.0);
+                    }))
+         base)
+
+let regressions ~max_regression_pct compared =
+  List.filter (fun c -> c.change_pct > max_regression_pct) compared
+
+(* ------------------------------------------------------------------ *)
+(* Trend table                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let short_sha s = if String.length s > 9 then String.sub s 0 9 else s
+
+let pp_table ppf records =
+  match records with
+  | [] -> Format.fprintf ppf "(no history records)@."
+  | _ ->
+    (* Column per section of the newest record, rows oldest first. *)
+    let newest = List.nth records (List.length records - 1) in
+    let columns =
+      match sections_of newest with
+      | Ok s -> List.map (fun { name; _ } -> name) s
+      | Error _ -> []
+    in
+    Format.fprintf ppf "%-10s %-8s %7s %9s" "sha" "mode" "domains" "total_s";
+    List.iter (fun c -> Format.fprintf ppf " %12s" c) columns;
+    Format.fprintf ppf "@.";
+    List.iter
+      (fun r ->
+        let sha = Option.value ~default:"?" (str_field r "sha") in
+        let mode = Option.value ~default:"?" (str_field r "mode") in
+        let domains =
+          match num_field r "domains" with
+          | Some d -> string_of_int (int_of_float d)
+          | None -> "?"
+        in
+        let total =
+          match num_field r "total_s" with
+          | Some t -> Printf.sprintf "%9.2f" t
+          | None -> "        ?"
+        in
+        Format.fprintf ppf "%-10s %-8s %7s %s" (short_sha sha) mode domains total;
+        let sections = match sections_of r with Ok s -> s | Error _ -> [] in
+        List.iter
+          (fun c ->
+            match List.find_opt (fun s -> s.name = c) sections with
+            | Some s -> Format.fprintf ppf " %12.3f" s.wall_s
+            | None -> Format.fprintf ppf " %12s" "-")
+          columns;
+        Format.fprintf ppf "@.")
+      records

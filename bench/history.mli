@@ -1,0 +1,56 @@
+(** Bench-history records (schema [ptrng-bench-history/1]) and
+    section-wall regression comparison.  Each bench run appends one
+    JSONL record to [bench/history.jsonl]; [check_bench --baseline]
+    compares two reports; [bench --history-table] prints the trend.
+    See docs/PROFILING.md. *)
+
+module Json = Ptrng_telemetry.Json
+
+val schema : string
+(** ["ptrng-bench-history/1"]. *)
+
+type section = { name : string; wall_s : float }
+
+val sections_of : Json.t -> (section list, string) result
+(** The [(name, wall_s)] pairs of anything with a bench-shaped
+    [sections] list — a [ptrng-bench/2] report or a history record. *)
+
+val record_of_report :
+  ?sha:string -> ?time_unix:float -> Json.t -> (Json.t, string) result
+(** Summarize a bench report into one history record ([sha] defaults
+    to ["unknown"]). *)
+
+val validate_record : Json.t -> (unit, string) result
+
+val append : path:string -> Json.t -> (unit, string) result
+(** Append one record as a JSONL line, creating the file (and its
+    parent directory) if needed. *)
+
+val load : path:string -> (Json.t list, string) result
+(** All records of a JSONL history file, oldest first. *)
+
+type comparison = {
+  section : string;
+  base_wall_s : float;
+  wall_s : float;
+  change_pct : float;  (** +100.0 = twice as slow. *)
+}
+
+val default_min_wall_s : float
+
+val compare_sections :
+  ?min_wall_s:float ->
+  baseline:Json.t ->
+  current:Json.t ->
+  unit ->
+  (comparison list, string) result
+(** Wall-time change of every section present in both documents;
+    baseline sections faster than [min_wall_s] (default
+    {!default_min_wall_s}) are skipped as noise. *)
+
+val regressions : max_regression_pct:float -> comparison list -> comparison list
+(** The comparisons slower than the tolerance. *)
+
+val pp_table : Format.formatter -> Json.t list -> unit
+(** Trend table, oldest first; columns follow the newest record's
+    sections. *)

@@ -6,6 +6,10 @@
      dune exec bench/main.exe -- --smoke   (seconds; for dune runtest)
      dune exec bench/main.exe -- --no-perf (skip Bechamel timings)
      dune exec bench/main.exe -- --out F   (write the JSON report to F)
+     dune exec bench/main.exe -- --perfetto-out F  (Perfetto trace)
+     dune exec bench/main.exe -- --sha REV (stamp the history record)
+     dune exec bench/main.exe -- --history F       (history JSONL path)
+     dune exec bench/main.exe -- --history-table   (print trend, no run)
 
    One section per experiment of EXPERIMENTS.md (the paper's Fig. 7 and
    the numeric results of Sections III-E/IV-B, plus the three
@@ -16,22 +20,34 @@
    default): per-section wall time and allocation from the telemetry
    span tree, key numeric results (fitted a/b, sigma_th, growth
    exponents), per-section throughput, kernel timings and the full
-   metrics snapshot.  docs/OBSERVABILITY.md describes the format; the
-   @bench-smoke alias checks it never rots. *)
+   metrics snapshot — and appends one ptrng-bench-history/1 record to
+   the history file (bench/history.jsonl by default).
+   docs/OBSERVABILITY.md describes the report format, docs/PROFILING.md
+   the trace and history tooling; the @bench-smoke alias checks none of
+   it rots. *)
 
 module Tm = Ptrng_telemetry
+module History = Bench_history.History
 
 let smoke = Array.exists (( = ) "--smoke") Sys.argv
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let full = Array.exists (( = ) "--full") Sys.argv
 let no_perf = Array.exists (( = ) "--no-perf") Sys.argv || smoke
+let history_table = Array.exists (( = ) "--history-table") Sys.argv
 
-let out_path =
-  let path = ref "BENCH_1.json" in
+let flag_value name default =
+  let v = ref default in
   Array.iteri
-    (fun i a -> if a = "--out" && i + 1 < Array.length Sys.argv then path := Sys.argv.(i + 1))
+    (fun i a -> if a = name && i + 1 < Array.length Sys.argv then v := Sys.argv.(i + 1))
     Sys.argv;
-  !path
+  !v
+
+let out_path = flag_value "--out" "BENCH_1.json"
+let history_path = flag_value "--history" "bench/history.jsonl"
+let sha = flag_value "--sha" "unknown"
+
+let perfetto_out =
+  match flag_value "--perfetto-out" "" with "" -> None | path -> Some path
 
 (* --domains N overrides PTRNG_DOMAINS / the recommended count for
    every parallel section (results are bit-identical either way). *)
@@ -561,6 +577,7 @@ let write_report ~kernels ~total_s =
       [
         ("schema", Tm.Json.String "ptrng-bench/2");
         ("mode", Tm.Json.String mode);
+        ("sha", Tm.Json.String sha);
         ("domains", Tm.Json.Int pool_domains);
         ("log2_periods", Tm.Json.Int log2_periods);
         ("total_s", Tm.Json.num total_s);
@@ -577,10 +594,34 @@ let write_report ~kernels ~total_s =
    with Sys_error e ->
      Printf.eprintf "bench: cannot write report: %s\n" e;
      exit 1);
-  Printf.printf "\nwrote %s\n" out_path
+  Printf.printf "\nwrote %s\n" out_path;
+  report
+
+(* One history record per bench invocation, appended after the report
+   is on disk.  Unwritable history is a warning, not a failed bench. *)
+let append_history report =
+  match History.record_of_report ~sha ~time_unix:(Unix.time ()) report with
+  | Error e -> Printf.eprintf "bench: cannot summarize report for history: %s\n" e
+  | Ok record -> (
+    match History.append ~path:history_path record with
+    | Ok () -> Printf.printf "appended history record to %s\n" history_path
+    | Error e ->
+      Printf.eprintf "bench: cannot append history %s: %s\n" history_path e)
+
+let print_history_table () =
+  match History.load ~path:history_path with
+  | Error e ->
+    Printf.eprintf "bench: cannot read history %s: %s\n" history_path e;
+    exit 1
+  | Ok records -> Format.printf "%a" History.pp_table records
 
 let () =
+  if history_table then begin
+    print_history_table ();
+    exit 0
+  end;
   Tm.Registry.enable ();
+  if perfetto_out <> None then Tm.Runtime_profile.start ();
   let t0 = Unix.gettimeofday () in
   let analysis = ref None in
   run_section "fig7" (fun () ->
@@ -600,4 +641,13 @@ let () =
   let kernels = if no_perf then [] else Tm.Span.with_ ~name:"perf" section_perf in
   let total_s = Unix.gettimeofday () -. t0 in
   Printf.printf "\ntotal bench time: %.1f s\n" total_s;
-  write_report ~kernels ~total_s
+  Tm.Runtime_profile.stop ();
+  (match perfetto_out with
+  | None -> ()
+  | Some path -> (
+    try
+      Tm.Trace_export.write path;
+      Printf.printf "wrote perfetto trace %s\n" path
+    with Sys_error e -> Printf.eprintf "bench: cannot write trace: %s\n" e));
+  let report = write_report ~kernels ~total_s in
+  append_history report

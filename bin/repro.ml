@@ -370,6 +370,7 @@ type telemetry_opts = {
   trace : bool;
   events : string option;
   prometheus_out : string option;
+  perfetto_out : string option;
 }
 
 let telemetry_opts =
@@ -406,16 +407,26 @@ let telemetry_opts =
             "Enable telemetry and write the Prometheus text exposition to \
              $(docv) on exit.")
   in
+  let perfetto_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto-out" ] ~docv:"FILE"
+          ~doc:
+            "Enable telemetry, run the GC/domain runtime profiler, and write a \
+             Chrome/Perfetto trace_event JSON to $(docv) on exit (open it at \
+             ui.perfetto.dev).  See docs/PROFILING.md.")
+  in
   Term.(
-    const (fun metrics_out trace events prometheus_out ->
-        { metrics_out; trace; events; prometheus_out })
-    $ metrics_out $ trace $ events $ prometheus_out)
+    const (fun metrics_out trace events prometheus_out perfetto_out ->
+        { metrics_out; trace; events; prometheus_out; perfetto_out })
+    $ metrics_out $ trace $ events $ prometheus_out $ perfetto_out)
 
 let with_telemetry opts k =
   let module Tm = Ptrng_telemetry in
   let active =
     opts.metrics_out <> None || opts.trace || opts.events <> None
-    || opts.prometheus_out <> None
+    || opts.prometheus_out <> None || opts.perfetto_out <> None
   in
   if not active then k ()
   else begin
@@ -427,6 +438,9 @@ let with_telemetry opts k =
         Printf.eprintf "repro: cannot open event log: %s\n" e;
         exit 1)
     | None -> ());
+    (* The runtime profiler only runs for perfetto exports: its GC and
+       pool counter series are what fill the trace's counter tracks. *)
+    if opts.perfetto_out <> None then Tm.Runtime_profile.start ();
     let write what writer path =
       try
         writer path;
@@ -436,11 +450,15 @@ let with_telemetry opts k =
         exit 1
     in
     let finish () =
+      Tm.Runtime_profile.stop ();
       (match opts.metrics_out with
       | Some path -> write "metrics snapshot" Tm.Sink.write_snapshot path
       | None -> ());
       (match opts.prometheus_out with
       | Some path -> write "prometheus exposition" Tm.Sink.write_prometheus path
+      | None -> ());
+      (match opts.perfetto_out with
+      | Some path -> write "perfetto trace" Tm.Trace_export.write path
       | None -> ());
       if opts.trace then begin
         print_newline ();

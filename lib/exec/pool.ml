@@ -16,6 +16,19 @@ let default_chunk = 8192
 
 let max_domains = 64
 
+(* Cumulative tasks started per worker slot (spawned workers are slots
+   0 .. workers-2, the calling domain is the last slot), for the
+   runtime profiler's per-domain counter tracks.  Only bumped while
+   telemetry is on. *)
+let slot_tasks = Array.init max_domains (fun _ -> Atomic.make 0)
+
+let worker_tasks () =
+  let hi = ref 0 in
+  Array.iteri (fun i c -> if Atomic.get c > 0 then hi := i + 1) slot_tasks;
+  Array.init !hi (fun i -> Atomic.get slot_tasks.(i))
+
+let () = Ptrng_telemetry.Runtime_profile.set_pool_source worker_tasks
+
 (* CLI override (repro --domains / bench --domains), set once on the
    main domain before any parallel work starts. *)
 let cli_default : int option ref = ref None
@@ -72,6 +85,7 @@ let run_tasks ~domains ~n_tasks task =
     Tm.Gauge.set domains_gauge (float_of_int workers);
     if workers = 1 then
       for i = 0 to n_tasks - 1 do
+        if !Tm.on then ignore (Atomic.fetch_and_add slot_tasks.(0) 1);
         task i
       done
     else begin
@@ -79,12 +93,13 @@ let run_tasks ~domains ~n_tasks task =
       let failure : (exn * Printexc.raw_backtrace) option Atomic.t =
         Atomic.make None
       in
-      let worker () =
+      let worker slot () =
         Domain.DLS.set inside_pool true;
         let rec loop () =
           if Atomic.get failure = None then begin
             let i = Atomic.fetch_and_add next 1 in
             if i < n_tasks then begin
+              if !Tm.on then ignore (Atomic.fetch_and_add slot_tasks.(slot) 1);
               (try task i
                with e ->
                  let bt = Printexc.get_raw_backtrace () in
@@ -95,10 +110,10 @@ let run_tasks ~domains ~n_tasks task =
         in
         loop ()
       in
-      let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+      let spawned = Array.init (workers - 1) (fun s -> Domain.spawn (worker s)) in
       (* The calling domain is worker number [workers]. *)
       let was_inside = Domain.DLS.get inside_pool in
-      worker ();
+      worker (workers - 1) ();
       Domain.DLS.set inside_pool was_inside;
       Array.iter Domain.join spawned;
       match Atomic.get failure with

@@ -46,6 +46,15 @@ val resolve : ?domains:int -> unit -> int
     ([1] inside a worker domain).
     @raise Invalid_argument if [domains < 1]. *)
 
+val worker_tasks : unit -> int array
+(** Cumulative tasks started per worker slot across all sections so
+    far (spawned workers are slots [0 .. workers-2], the calling
+    domain the last slot), trimmed to the highest active slot.  Only
+    counted while telemetry is enabled; the runtime profiler
+    ({!Ptrng_telemetry.Runtime_profile}) samples this into
+    [ptrng_exec_worker<i>_tasks] gauges and Perfetto counter
+    tracks. *)
+
 val run_tasks : domains:int -> n_tasks:int -> (int -> unit) -> unit
 (** [run_tasks ~domains ~n_tasks task] runs [task 0 .. task (n_tasks-1)]
     on [min domains n_tasks] domains.  The building block under the

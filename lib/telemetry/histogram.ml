@@ -62,6 +62,8 @@ let mean h = if h.total = 0 then Float.nan else h.sum /. float_of_int h.total
 let quantile h q =
   if not (q >= 0.0 && q <= 1.0) then invalid_arg "Histogram.quantile: q outside [0,1]";
   if h.total = 0 then Float.nan
+  else if q = 0.0 then h.min_v
+  else if q = 1.0 then h.max_v
   else begin
     let rank = q *. float_of_int h.total in
     let n = Array.length h.bounds in

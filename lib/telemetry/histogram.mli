@@ -31,7 +31,9 @@ val mean : t -> float
 (** [nan] while empty. *)
 
 val quantile : t -> float -> float
-(** [quantile h q] for [q] in [0,1]; [nan] while empty.
+(** [quantile h q] for [q] in [0,1]; [nan] while empty.  The extremes
+    are exact: [q = 0.0] returns {!min_value} and [q = 1.0] returns
+    {!max_value} (no in-bucket interpolation).
     @raise Invalid_argument on [q] outside [0,1]. *)
 
 val bucket_bounds : t -> float array

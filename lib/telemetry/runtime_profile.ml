@@ -1,0 +1,138 @@
+type sample = {
+  t_s : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  heap_words : int;
+  minor_words : float;
+  promoted_words : float;
+  pool_tasks : int array;
+}
+
+let word_bytes = float_of_int (Sys.word_size / 8)
+
+(* The pool lives above telemetry in the dependency order, so it hands
+   its per-worker task counts down through a hook instead of being
+   called directly. *)
+let pool_source : (unit -> int array) ref = ref (fun () -> [||])
+let set_pool_source f = pool_source := f
+
+let mu = Mutex.create ()
+let recorded : sample list ref = ref []
+
+let minor_collections_g =
+  Registry.Gauge.v ~help:"Minor GC collections so far (sampled)."
+    "ptrng_runtime_minor_collections"
+
+let major_collections_g =
+  Registry.Gauge.v ~help:"Major GC collections so far (sampled)."
+    "ptrng_runtime_major_collections"
+
+let heap_bytes_g =
+  Registry.Gauge.v ~help:"Major heap size in bytes (sampled)."
+    "ptrng_runtime_heap_bytes"
+
+let minor_words_g =
+  Registry.Gauge.v ~help:"Words allocated in the minor heap so far (sampled)."
+    "ptrng_runtime_minor_words"
+
+let promoted_words_g =
+  Registry.Gauge.v ~help:"Words promoted minor->major so far (sampled)."
+    "ptrng_runtime_promoted_words"
+
+let samples_total =
+  Registry.Counter.v ~help:"Runtime-profiler samples taken."
+    "ptrng_runtime_samples_total"
+
+(* One gauge per pool worker slot, registered lazily the first time
+   that slot reports a task (the slot count is small and stable). *)
+let worker_gauges : (int, Registry.Gauge.t) Hashtbl.t = Hashtbl.create 8
+
+let worker_gauge slot =
+  match Hashtbl.find_opt worker_gauges slot with
+  | Some g -> g
+  | None ->
+    let g =
+      Registry.Gauge.v
+        ~help:(Printf.sprintf "Tasks executed by pool worker slot %d (sampled)." slot)
+        (Printf.sprintf "ptrng_exec_worker%d_tasks" slot)
+    in
+    Hashtbl.add worker_gauges slot g;
+    g
+
+let sample_now () =
+  if !Registry.on then begin
+    let st = Gc.quick_stat () in
+    let pool_tasks = !pool_source () in
+    let s =
+      {
+        t_s = Clock.now ();
+        minor_collections = st.Gc.minor_collections;
+        major_collections = st.Gc.major_collections;
+        compactions = st.Gc.compactions;
+        heap_words = st.Gc.heap_words;
+        minor_words = st.Gc.minor_words;
+        promoted_words = st.Gc.promoted_words;
+        pool_tasks;
+      }
+    in
+    Mutex.protect mu (fun () -> recorded := s :: !recorded);
+    Registry.Counter.incr samples_total;
+    Registry.Gauge.set minor_collections_g (float_of_int s.minor_collections);
+    Registry.Gauge.set major_collections_g (float_of_int s.major_collections);
+    Registry.Gauge.set heap_bytes_g (float_of_int s.heap_words *. word_bytes);
+    Registry.Gauge.set minor_words_g s.minor_words;
+    Registry.Gauge.set promoted_words_g s.promoted_words;
+    Array.iteri
+      (fun slot n -> Registry.Gauge.set (worker_gauge slot) (float_of_int n))
+      pool_tasks;
+    Event_log.emit ~kind:"runtime"
+      [
+        ("minor_collections", Json.Int s.minor_collections);
+        ("major_collections", Json.Int s.major_collections);
+        ("heap_bytes", Json.num (float_of_int s.heap_words *. word_bytes));
+        ("promoted_words", Json.num s.promoted_words);
+        ( "pool_tasks",
+          Json.Int (Array.fold_left ( + ) 0 pool_tasks) );
+      ]
+  end
+
+let samples () = Mutex.protect mu (fun () -> List.rev !recorded)
+
+let reset () = Mutex.protect mu (fun () -> recorded := [])
+
+(* ------------------------------------------------------------------ *)
+(* Background sampler                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let stop_flag = Atomic.make false
+let sampler : unit Domain.t option ref = ref None
+
+let running () = !sampler <> None
+
+let default_interval_s = 0.005
+
+let start ?(interval_s = default_interval_s) () =
+  if interval_s <= 0.0 then invalid_arg "Runtime_profile.start: interval <= 0";
+  if !sampler = None then begin
+    Atomic.set stop_flag false;
+    sample_now ();
+    sampler :=
+      Some
+        (Domain.spawn (fun () ->
+             while not (Atomic.get stop_flag) do
+               Unix.sleepf interval_s;
+               sample_now ()
+             done))
+  end
+
+let stop () =
+  match !sampler with
+  | None -> ()
+  | Some d ->
+    Atomic.set stop_flag true;
+    Domain.join d;
+    sampler := None;
+    (* Closing sample so the exported counter tracks reach the end of
+       the run even for intervals longer than the workload. *)
+    sample_now ()

@@ -1,0 +1,49 @@
+(** GC/domain runtime profiler.
+
+    Periodically samples [Gc.quick_stat] and the pool's per-worker task
+    counts, and fans each sample out three ways: registry gauges
+    ([ptrng_runtime_*], [ptrng_exec_worker<i>_tasks]), one [runtime]
+    event-log line, and an in-memory series that {!Trace_export} turns
+    into Perfetto counter tracks.
+
+    The sampler is one dedicated domain waking every [interval_s]; it
+    does not run work through [Ptrng_exec] and never blocks the
+    workload.  Everything is a no-op while telemetry is disabled.  See
+    docs/PROFILING.md. *)
+
+type sample = {
+  t_s : float;                (** {!Clock.now} at the sample. *)
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  heap_words : int;           (** Major heap size, words. *)
+  minor_words : float;        (** Cumulative minor allocation, words. *)
+  promoted_words : float;     (** Cumulative promotion, words. *)
+  pool_tasks : int array;     (** Cumulative tasks per pool worker slot. *)
+}
+
+val set_pool_source : (unit -> int array) -> unit
+(** Install the provider of per-worker-slot task counts.  Called once
+    by [Ptrng_exec.Pool] at load time; the default source returns
+    [[||]] so the profiler works without the pool linked in. *)
+
+val sample_now : unit -> unit
+(** Take one sample synchronously (record, gauges, event line).  No-op
+    while telemetry is disabled. *)
+
+val start : ?interval_s:float -> unit -> unit
+(** Spawn the background sampler (idempotent while running).  Takes an
+    immediate first sample.  Default interval: 5 ms.
+    @raise Invalid_argument if [interval_s <= 0]. *)
+
+val stop : unit -> unit
+(** Stop and join the sampler, then take one closing sample so counter
+    tracks extend to the end of the run.  No-op if not running. *)
+
+val running : unit -> bool
+
+val samples : unit -> sample list
+(** Recorded samples in chronological order. *)
+
+val reset : unit -> unit
+(** Drop recorded samples (gauges and counters are untouched). *)

@@ -1,5 +1,7 @@
 type t = {
   name : string;
+  tid : int;
+  mutable start_s : float;
   mutable wall_s : float;
   mutable alloc_bytes : float;
   mutable attrs : (string * Json.t) list;
@@ -8,17 +10,24 @@ type t = {
 
 (* Innermost-first stack of open spans, one per domain so spans opened
    inside Ptrng_exec worker domains nest correctly without racing the
-   main trace.  Completed top-level spans (reverse completion order)
-   are only collected on the main domain: worker-domain root spans are
-   timed but dropped — the pool's fork-join section is what the main
-   trace accounts for (see docs/PARALLELISM.md). *)
+   main trace.  Completed main-domain top-level spans form the trace
+   tree; worker-domain root spans are kept on a separate mutexed side
+   list (they carry their own tid) so the Perfetto exporter can draw
+   one track per domain — they are never spliced into the main tree
+   (see docs/PARALLELISM.md and docs/PROFILING.md). *)
 let stack_key : t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
 let stack () = Domain.DLS.get stack_key
 let completed : t list ref = ref []
+let worker_mu = Mutex.create ()
+let worker_completed : t list ref = ref []
 
-let reset () = completed := []
+let reset () =
+  completed := [];
+  Mutex.protect worker_mu (fun () -> worker_completed := [])
 
 let roots () = List.rev !completed
+
+let worker_roots () = Mutex.protect worker_mu (fun () -> List.rev !worker_completed)
 
 let set_attr key value =
   if !Registry.on then
@@ -38,21 +47,36 @@ let close span t0 a0 =
   Event_log.emit ~kind:"span"
     [
       ("name", Json.String span.name);
+      ("tid", Json.Int span.tid);
       ("depth", Json.Int (List.length !stack));
       ("wall_s", Json.num span.wall_s);
       ("alloc_bytes", Json.num span.alloc_bytes);
     ];
   match !stack with
   | parent :: _ -> parent.children <- span :: parent.children
-  | [] -> if Domain.is_main_domain () then completed := span :: !completed
+  | [] ->
+    if Domain.is_main_domain () then completed := span :: !completed
+    else
+      Mutex.protect worker_mu (fun () -> worker_completed := span :: !worker_completed)
 
 let with_ ~name f =
   if not !Registry.on then f ()
   else begin
     let stack = stack () in
-    let span = { name; wall_s = 0.0; alloc_bytes = 0.0; attrs = []; children = [] } in
+    let span =
+      {
+        name;
+        tid = (Domain.self () :> int);
+        start_s = 0.0;
+        wall_s = 0.0;
+        alloc_bytes = 0.0;
+        attrs = [];
+        children = [];
+      }
+    in
     stack := span :: !stack;
     let t0 = Clock.now () in
+    span.start_s <- t0;
     let a0 = Clock.allocated_bytes () in
     Fun.protect ~finally:(fun () -> close span t0 a0) f
   end

@@ -6,15 +6,20 @@
     [with_] a bare call of [f].  Exceptions propagate; the span is
     still closed and recorded with whatever elapsed.
 
-    The open-span stack is domain-local: spans opened inside
-    [Ptrng_exec] worker domains nest and time correctly within that
-    domain, but worker-domain {e root} spans are dropped rather than
-    merged — the trace tree collected by {!roots} belongs to the main
-    domain, whose enclosing span accounts for the whole fork-join
-    section (see docs/PARALLELISM.md). *)
+    Every span records its start time ({!Clock.now}) and the id of the
+    domain it was opened on, so the tree can be replayed on a timeline
+    ({!Trace_export}).  The open-span stack is domain-local: spans
+    opened inside [Ptrng_exec] worker domains nest and time correctly
+    within that domain.  Worker-domain {e root} spans are kept on a
+    separate list ({!worker_roots}) rather than spliced into the main
+    tree — the tree collected by {!roots} belongs to the main domain,
+    whose enclosing span accounts for the whole fork-join section (see
+    docs/PARALLELISM.md). *)
 
 type t = {
   name : string;
+  tid : int;                    (** Id of the domain the span ran on. *)
+  mutable start_s : float;      (** {!Clock.now} at open. *)
   mutable wall_s : float;       (** Total wall time, seconds. *)
   mutable alloc_bytes : float;  (** Heap bytes allocated inside. *)
   mutable attrs : (string * Json.t) list;  (** Newest first. *)
@@ -28,10 +33,15 @@ val set_attr : string -> Json.t -> unit
     previous value for the key); no-op outside a span or disabled. *)
 
 val roots : unit -> t list
-(** Completed top-level spans, in completion order. *)
+(** Completed main-domain top-level spans, in completion order. *)
+
+val worker_roots : unit -> t list
+(** Completed top-level spans of {e worker} domains, in completion
+    order across all domains.  Never part of {!roots}; each carries
+    the worker's [tid]. *)
 
 val reset : unit -> unit
-(** Forget completed spans (open spans are unaffected). *)
+(** Forget completed spans, main and worker (open spans unaffected). *)
 
 val to_json : t -> Json.t
 

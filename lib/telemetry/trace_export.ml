@@ -1,0 +1,169 @@
+(* Chrome/Perfetto "trace_event" (catapult JSON) exporter.
+
+   The span trees (main + worker-domain roots) become complete "X"
+   events — one track per domain, tid = domain id — and the runtime
+   profiler's sample series plus the registry gauges become "C"
+   counter events.  The output loads directly in ui.perfetto.dev and
+   chrome://tracing; see docs/PROFILING.md. *)
+
+let usec s = s *. 1e6
+
+let word_mib = float_of_int (Sys.word_size / 8) /. 1048576.0
+
+(* Earliest timestamp across spans and samples: the trace origin, so
+   ts values start near zero instead of at the wall-clock epoch. *)
+let origin_of ~spans ~samples =
+  let t = ref infinity in
+  let rec walk (s : Span.t) =
+    if s.Span.start_s < !t then t := s.Span.start_s;
+    List.iter walk s.Span.children
+  in
+  List.iter walk spans;
+  List.iter
+    (fun (s : Runtime_profile.sample) ->
+      if s.Runtime_profile.t_s < !t then t := s.Runtime_profile.t_s)
+    samples;
+  if Float.is_finite !t then !t else 0.0
+
+let span_events ~pid ~origin spans =
+  let rec walk acc (s : Span.t) =
+    let args =
+      [
+        ("wall_s", Json.num s.Span.wall_s);
+        ("alloc_bytes", Json.num s.Span.alloc_bytes);
+      ]
+      @ List.rev s.Span.attrs
+    in
+    let ev =
+      Json.Obj
+        [
+          ("name", Json.String s.Span.name);
+          ("cat", Json.String "span");
+          ("ph", Json.String "X");
+          ("ts", Json.num (usec (s.Span.start_s -. origin)));
+          ("dur", Json.num (usec s.Span.wall_s));
+          ("pid", Json.Int pid);
+          ("tid", Json.Int s.Span.tid);
+          ("args", Json.Obj args);
+        ]
+    in
+    List.fold_left walk (ev :: acc) s.Span.children
+  in
+  List.rev (List.fold_left walk [] spans)
+
+let counter ~pid ~ts name args =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("cat", Json.String "counter");
+      ("ph", Json.String "C");
+      ("ts", Json.num (usec ts));
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj args);
+    ]
+
+let sample_events ~pid ~origin samples =
+  List.concat_map
+    (fun (s : Runtime_profile.sample) ->
+      let ts = s.Runtime_profile.t_s -. origin in
+      let gc =
+        [
+          counter ~pid ~ts "gc minor collections"
+            [ ("value", Json.Int s.Runtime_profile.minor_collections) ];
+          counter ~pid ~ts "gc major collections"
+            [ ("value", Json.Int s.Runtime_profile.major_collections) ];
+          counter ~pid ~ts "gc heap MiB"
+            [
+              ( "value",
+                Json.num (float_of_int s.Runtime_profile.heap_words *. word_mib) );
+            ];
+          counter ~pid ~ts "gc promoted MiB"
+            [ ("value", Json.num (s.Runtime_profile.promoted_words *. word_mib)) ];
+        ]
+      in
+      let pool =
+        if Array.length s.Runtime_profile.pool_tasks = 0 then []
+        else
+          [
+            counter ~pid ~ts "pool tasks"
+              (Array.to_list
+                 (Array.mapi
+                    (fun slot n -> (Printf.sprintf "w%d" slot, Json.Int n))
+                    s.Runtime_profile.pool_tasks));
+          ]
+      in
+      gc @ pool)
+    samples
+
+(* Every registry gauge as a (single-point) counter track at the end
+   of the trace, so values that are only set once still show up. *)
+let gauge_events ~pid ~ts =
+  List.filter_map
+    (function
+      | Registry.Gauge (name, _, v) ->
+        Some (counter ~pid ~ts name [ ("value", Json.num v) ])
+      | Registry.Counter _ | Registry.Histogram _ -> None)
+    (Registry.all ())
+
+let metadata ~pid ~tids =
+  let meta name tid args =
+    Json.Obj
+      ([
+         ("name", Json.String name);
+         ("ph", Json.String "M");
+         ("pid", Json.Int pid);
+       ]
+      @ (match tid with None -> [] | Some t -> [ ("tid", Json.Int t) ])
+      @ [ ("args", Json.Obj args) ])
+  in
+  meta "process_name" None [ ("name", Json.String "ptrng") ]
+  :: List.concat_map
+       (fun tid ->
+         let label = if tid = 0 then "domain 0 (main)" else Printf.sprintf "domain %d" tid in
+         [
+           meta "thread_name" (Some tid) [ ("name", Json.String label) ];
+           meta "thread_sort_index" (Some tid) [ ("sort_index", Json.Int tid) ];
+         ])
+       tids
+
+let to_json () =
+  let pid = Unix.getpid () in
+  let spans = Span.roots () @ Span.worker_roots () in
+  let samples = Runtime_profile.samples () in
+  let origin = origin_of ~spans ~samples in
+  let tids =
+    let rec collect acc (s : Span.t) =
+      List.fold_left collect (s.Span.tid :: acc) s.Span.children
+    in
+    List.sort_uniq compare (List.fold_left collect [] spans)
+  in
+  let end_ts =
+    let span_end (s : Span.t) = s.Span.start_s -. origin +. s.Span.wall_s in
+    List.fold_left (fun acc s -> Float.max acc (span_end s)) 0.0 spans
+  in
+  let events =
+    metadata ~pid ~tids
+    @ span_events ~pid ~origin spans
+    @ sample_events ~pid ~origin samples
+    @ gauge_events ~pid ~ts:end_ts
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List events);
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("schema", Json.String "ptrng-trace/1");
+            ("generator", Json.String "ptrng_telemetry.trace_export");
+          ] );
+    ]
+
+let write path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json ()));
+      output_char oc '\n')

@@ -1,0 +1,26 @@
+(** Chrome/Perfetto [trace_event] (catapult JSON) export.
+
+    Converts the collected span trees into a timeline that loads in
+    {{:https://ui.perfetto.dev}Perfetto} and [chrome://tracing]:
+
+    - every span ({!Span.roots} and {!Span.worker_roots}) becomes a
+      complete ["X"] event with [ts]/[dur] in microseconds relative to
+      the earliest recorded timestamp, [pid] = process id and
+      [tid] = the domain the span ran on — one track per domain;
+    - every {!Runtime_profile} sample becomes ["C"] counter events
+      (GC collections, heap/promoted MiB, per-worker pool tasks);
+    - every registry gauge is emitted as a final single-point counter
+      track;
+    - ["M"] metadata events name the process and the domain tracks.
+
+    Wired to the [--perfetto-out FILE] flag of [bin/repro.exe] and
+    [bench/main.exe]; see docs/PROFILING.md for how to read the
+    result. *)
+
+val to_json : unit -> Json.t
+(** The whole trace as
+    [{"traceEvents": [...], "displayTimeUnit": "ms", "otherData": {...}}]. *)
+
+val write : string -> unit
+(** Compact {!to_json} to [path] (trailing newline).
+    @raise Sys_error if the file cannot be written. *)

@@ -1,0 +1,155 @@
+(* Bench-history records: schema validation, JSONL persistence and the
+   regression comparison used by check_bench --baseline. *)
+
+module History = Bench_history.History
+module Json = Ptrng_telemetry.Json
+
+let report ~sha ~scale =
+  Json.Obj
+    [
+      ("schema", Json.String "ptrng-bench/2");
+      ("mode", Json.String "smoke");
+      ("sha", Json.String sha);
+      ("domains", Json.Int 2);
+      ("total_s", Json.num (scale *. 3.0));
+      ( "sections",
+        Json.List
+          (List.map
+             (fun (name, wall_s) ->
+               Json.Obj
+                 [
+                   ("name", Json.String name);
+                   ("wall_s", Json.num (scale *. wall_s));
+                 ])
+             [ ("fig7", 1.0); ("extraction", 0.5); ("tiny", 0.001) ]) );
+    ]
+
+let record_tests =
+  [
+    Testkit.case "record_of_report produces a valid history record" (fun () ->
+        let r =
+          match
+            History.record_of_report ~sha:"abc123" ~time_unix:1e9
+              (report ~sha:"abc123" ~scale:1.0)
+          with
+          | Ok r -> r
+          | Error e -> Alcotest.fail e
+        in
+        (match History.validate_record r with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        (match Json.member "schema" r with
+        | Some (Json.String s) ->
+          Alcotest.(check string) "schema" History.schema s
+        | _ -> Alcotest.fail "no schema");
+        match History.sections_of r with
+        | Ok s -> Alcotest.(check int) "sections carried over" 3 (List.length s)
+        | Error e -> Alcotest.fail e);
+    Testkit.case "validate_record rejects wrong schema and missing fields"
+      (fun () ->
+        Testkit.check_true "wrong schema rejected"
+          (Result.is_error
+             (History.validate_record
+                (Json.Obj [ ("schema", Json.String "something-else/9") ])));
+        Testkit.check_true "bare report rejected"
+          (Result.is_error (History.validate_record (report ~sha:"x" ~scale:1.0))));
+  ]
+
+let persistence_tests =
+  [
+    Testkit.case "append then load round-trips, oldest first" (fun () ->
+        let path = Filename.temp_file "ptrng_hist" ".jsonl" in
+        Sys.remove path;
+        let add sha =
+          match
+            History.record_of_report ~sha ~time_unix:1e9 (report ~sha ~scale:1.0)
+          with
+          | Ok r -> (
+            match History.append ~path r with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail e)
+          | Error e -> Alcotest.fail e
+        in
+        add "first";
+        add "second";
+        let records =
+          match History.load ~path with
+          | Ok r -> r
+          | Error e -> Alcotest.fail e
+        in
+        Sys.remove path;
+        Alcotest.(check int) "two records" 2 (List.length records);
+        let shas =
+          List.map
+            (fun r ->
+              match Json.member "sha" r with
+              | Some (Json.String s) -> s
+              | _ -> "?")
+            records
+        in
+        Alcotest.(check (list string)) "order" [ "first"; "second" ] shas);
+    Testkit.case "load reports a malformed line with its number" (fun () ->
+        let path = Filename.temp_file "ptrng_hist" ".jsonl" in
+        let oc = open_out path in
+        output_string oc "{\"schema\":\"x\"}\nnot json at all\n";
+        close_out oc;
+        (match History.load ~path with
+        | Error e -> Testkit.check_true "line number named" (Testkit.contains ~needle:"line 2" e)
+        | Ok _ -> Alcotest.fail "malformed history accepted");
+        Sys.remove path);
+  ]
+
+let comparison_tests =
+  [
+    Testkit.case "identical reports show no regression" (fun () ->
+        let base = report ~sha:"a" ~scale:1.0 in
+        let compared =
+          match History.compare_sections ~baseline:base ~current:base () with
+          | Ok c -> c
+          | Error e -> Alcotest.fail e
+        in
+        (* The 1 ms section sits below default_min_wall_s and is skipped. *)
+        Alcotest.(check int) "comparable sections" 2 (List.length compared);
+        List.iter
+          (fun (c : History.comparison) ->
+            Testkit.check_abs ~tol:1e-12 "no change" 0.0 c.History.change_pct)
+          compared;
+        Alcotest.(check int) "no regressions" 0
+          (List.length (History.regressions ~max_regression_pct:25.0 compared)));
+    Testkit.case "a 2x slowdown is flagged, a speedup is not" (fun () ->
+        let base = report ~sha:"a" ~scale:1.0 in
+        let slow = report ~sha:"b" ~scale:2.0 in
+        let compared =
+          match History.compare_sections ~baseline:base ~current:slow () with
+          | Ok c -> c
+          | Error e -> Alcotest.fail e
+        in
+        let regs = History.regressions ~max_regression_pct:50.0 compared in
+        Alcotest.(check int) "both real sections regress" 2 (List.length regs);
+        List.iter
+          (fun (c : History.comparison) ->
+            Testkit.check_abs ~tol:1e-9 "+100%" 100.0 c.History.change_pct)
+          regs;
+        let back =
+          match History.compare_sections ~baseline:slow ~current:base () with
+          | Ok c -> History.regressions ~max_regression_pct:50.0 c
+          | Error e -> Alcotest.fail e
+        in
+        Alcotest.(check int) "speedup is not a regression" 0 (List.length back));
+    Testkit.case "min_wall_s filter is adjustable" (fun () ->
+        let base = report ~sha:"a" ~scale:1.0 in
+        match
+          History.compare_sections ~min_wall_s:0.0 ~baseline:base ~current:base
+            ()
+        with
+        | Ok c -> Alcotest.(check int) "tiny section included" 3 (List.length c)
+        | Error e -> Alcotest.fail e);
+  ]
+
+let () =
+  Alcotest.run "bench_history"
+    [
+      ("records", record_tests);
+      ("persistence", persistence_tests);
+      ("comparison", comparison_tests);
+    ]

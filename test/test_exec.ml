@@ -249,10 +249,131 @@ let workload_tests =
               chain ~runs:6 ~bits:500));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry under the pool: spans must stay per-domain                *)
+(* ------------------------------------------------------------------ *)
+
+module Tm = Ptrng_telemetry
+
+(* Every in-tree parent/child edge must stay on one domain: worker
+   spans are collected as separate worker roots, never spliced across
+   domains. *)
+let rec check_edges_same_tid (s : Tm.Span.t) =
+  List.iter
+    (fun (c : Tm.Span.t) ->
+      Alcotest.(check int)
+        (Printf.sprintf "edge %s->%s stays on one domain" s.Tm.Span.name
+           c.Tm.Span.name)
+        s.Tm.Span.tid c.Tm.Span.tid;
+      check_edges_same_tid c)
+    s.Tm.Span.children
+
+let rec count_named name (s : Tm.Span.t) =
+  (if s.Tm.Span.name = name then 1 else 0)
+  + List.fold_left (fun a c -> a + count_named name c) 0 s.Tm.Span.children
+
+(* For each tid, the X events must form a proper nesting: any two
+   intervals are either disjoint or one contains the other. *)
+let check_tid_nesting events =
+  let field key e = Option.bind (Tm.Json.member key e) Tm.Json.to_float in
+  let spans =
+    List.filter_map
+      (fun e ->
+        match (field "tid" e, field "ts" e, field "dur" e) with
+        | Some tid, Some ts, Some dur -> Some (int_of_float tid, ts, dur)
+        | _ -> None)
+      events
+  in
+  let tids = List.sort_uniq compare (List.map (fun (t, _, _) -> t) spans) in
+  List.iter
+    (fun tid ->
+      let mine = List.filter (fun (t, _, _) -> t = tid) spans in
+      List.iter
+        (fun (_, ts_a, dur_a) ->
+          List.iter
+            (fun (_, ts_b, dur_b) ->
+              let ea = ts_a +. dur_a and eb = ts_b +. dur_b in
+              let eps = 1e-3 (* us *) in
+              let disjoint = ea <= ts_b +. eps || eb <= ts_a +. eps in
+              let a_in_b = ts_a >= ts_b -. eps && ea <= eb +. eps in
+              let b_in_a = ts_b >= ts_a -. eps && eb <= ea +. eps in
+              Testkit.check_true
+                (Printf.sprintf "tid %d intervals nest" tid)
+                (disjoint || a_in_b || b_in_a))
+            mine)
+        mine)
+    tids
+
+let telemetry_tests =
+  [
+    Testkit.case "spans under Pool.run nest per domain, no cross-domain edges"
+      (fun () ->
+        Tm.Registry.clear ();
+        Tm.Span.reset ();
+        Tm.Runtime_profile.reset ();
+        Tm.Registry.enable ();
+        Fun.protect
+          ~finally:(fun () -> Tm.Registry.disable ())
+          (fun () ->
+            let xs = Array.init 64 (fun i -> i) in
+            let result = ref [||] in
+            Tm.Span.with_ ~name:"section" (fun () ->
+                result :=
+                  Pool.parallel_map ~domains:4
+                    (fun x -> Tm.Span.with_ ~name:"task" (fun () -> x * 2))
+                    xs);
+            Alcotest.(check (array int)) "payload unchanged"
+              (Array.map (fun x -> x * 2) xs)
+              !result;
+            let roots = Tm.Span.roots () in
+            let workers = Tm.Span.worker_roots () in
+            (match roots with
+            | [ root ] ->
+              Alcotest.(check string) "main root" "section" root.Tm.Span.name;
+              let main_tid = root.Tm.Span.tid in
+              List.iter
+                (fun (w : Tm.Span.t) ->
+                  Testkit.check_true "worker root is on another domain"
+                    (w.Tm.Span.tid <> main_tid))
+                workers
+            | l ->
+              Alcotest.fail
+                (Printf.sprintf "expected 1 main root, got %d" (List.length l)));
+            List.iter check_edges_same_tid roots;
+            List.iter check_edges_same_tid workers;
+            let tasks =
+              List.fold_left (fun a s -> a + count_named "task" s) 0 roots
+              + List.fold_left (fun a s -> a + count_named "task" s) 0 workers
+            in
+            Alcotest.(check int) "every task span recorded" 64 tasks;
+            (* The exported trace must be valid JSON whose per-domain
+               tracks are properly nested. *)
+            let path = Filename.temp_file "ptrng_pool_trace" ".json" in
+            Tm.Trace_export.write path;
+            let j =
+              Tm.Json.of_string
+                (In_channel.with_open_text path In_channel.input_all)
+            in
+            Sys.remove path;
+            match Tm.Json.member "traceEvents" j with
+            | Some (Tm.Json.List evs) ->
+              let xs_events =
+                List.filter
+                  (fun e ->
+                    Tm.Json.member "ph" e = Some (Tm.Json.String "X"))
+                  evs
+              in
+              Alcotest.(check int) "one X event per span" 65
+                (List.length xs_events);
+              check_tid_nesting xs_events
+            | _ -> Alcotest.fail "exported trace lacks traceEvents"));
+  ]
+
 let () =
   Alcotest.run "ptrng_exec"
     [
       ("pool", pool_tests);
       ("rng-streams", rng_stream_tests);
       ("workloads", workload_tests);
+      ("telemetry", telemetry_tests);
     ]

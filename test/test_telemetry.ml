@@ -5,7 +5,8 @@ open Ptrng_telemetry
 let fresh () =
   Registry.clear ();
   Registry.disable ();
-  Span.reset ()
+  Span.reset ();
+  Runtime_profile.reset ()
 
 let exact_quantile sorted q =
   let n = Array.length sorted in
@@ -61,6 +62,25 @@ let histogram_tests =
               (Printf.sprintf "q=%.2f est=%g exact=%g" q est exact)
               (est >= exact /. ratio && est <= exact *. ratio))
           [ 0.1; 0.5; 0.9; 0.99 ]);
+    Testkit.case "quantile extremes return the exact min and max" (fun () ->
+        fresh ();
+        let h = Histogram.create ~lo:1.0 ~hi:1000.0 () in
+        List.iter (Histogram.observe h) [ 3.7; 42.0; 512.5 ];
+        (* Not bucket midpoints: q=0 and q=1 must be the observed extremes. *)
+        Testkit.check_abs ~tol:0.0 "q=0 is min" 3.7 (Histogram.quantile h 0.0);
+        Testkit.check_abs ~tol:0.0 "q=1 is max" 512.5 (Histogram.quantile h 1.0);
+        Histogram.observe h 0.001;
+        Histogram.observe h 123456.0;
+        (* Even out-of-range observations (underflow/overflow buckets). *)
+        Testkit.check_abs ~tol:0.0 "q=0 tracks underflow" 0.001
+          (Histogram.quantile h 0.0);
+        Testkit.check_abs ~tol:0.0 "q=1 tracks overflow" 123456.0
+          (Histogram.quantile h 1.0);
+        let empty = Histogram.create () in
+        Testkit.check_true "empty q=0 is nan"
+          (Float.is_nan (Histogram.quantile empty 0.0));
+        Testkit.check_true "empty q=1 is nan"
+          (Float.is_nan (Histogram.quantile empty 1.0)));
     Testkit.case "reset empties without changing the grid" (fun () ->
         fresh ();
         let h = Histogram.create () in
@@ -119,6 +139,66 @@ let span_tests =
         Registry.disable ());
   ]
 
+(* Serialization is lossy in exactly one way: non-finite floats become
+   JSON null (the format has no NaN/Infinity).  Everything else — raw
+   byte strings, control characters, extreme exponents, deep nesting —
+   must survive a to_string/of_string round trip bit-exactly. *)
+let rec json_normalize = function
+  | Json.Float f when not (Float.is_finite f) -> Json.Null
+  | Json.List l -> Json.List (List.map json_normalize l)
+  | Json.Obj kvs -> Json.Obj (List.map (fun (k, v) -> (k, json_normalize v)) kvs)
+  | j -> j
+
+let json_gen =
+  let open QCheck2.Gen in
+  let str =
+    oneof
+      [
+        small_string ~gen:printable;
+        small_string ~gen:char;
+        oneofl [ ""; "\xce\xbb \xe2\x88\x9e \xc2\xb5s"; "tab\there\nand \"quotes\"" ];
+      ]
+  in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) int;
+        map (fun f -> Json.Float f) float;
+        map
+          (fun f -> Json.Float f)
+          (oneofl
+             [ Float.nan; Float.infinity; Float.neg_infinity; -0.0; 1e308; 5.36e-6 ]);
+        map (fun s -> Json.String s) str;
+      ]
+  in
+  let tree =
+    fix
+      (fun self n ->
+        if n = 0 then scalar
+        else
+          frequency
+            [
+              (3, scalar);
+              (1, map (fun l -> Json.List l) (list_size (0 -- 4) (self (n / 2))));
+              ( 1,
+                map
+                  (fun kvs -> Json.Obj kvs)
+                  (list_size (0 -- 4) (pair str (self (n / 2)))) );
+            ])
+      3
+  in
+  tree
+
+let json_props =
+  [
+    Testkit.qcheck "compact serialization round-trips" json_gen (fun j ->
+        Json.of_string (Json.to_string j) = json_normalize j);
+    Testkit.qcheck "pretty serialization round-trips" json_gen (fun j ->
+        Json.of_string (Json.to_string_pretty j) = json_normalize j);
+  ]
+
 let prometheus_golden =
   String.concat "\n"
     [
@@ -170,6 +250,110 @@ let sink_tests =
         Registry.disable ());
   ]
 
+(* Helpers over the exported trace. *)
+let trace_events j =
+  match Json.member "traceEvents" j with
+  | Some (Json.List l) -> l
+  | _ -> Alcotest.fail "no traceEvents list"
+
+let events_with_ph ph evs =
+  List.filter (fun e -> Json.member "ph" e = Some (Json.String ph)) evs
+
+let event_name e =
+  match Json.member "name" e with Some (Json.String s) -> s | _ -> "?"
+
+let float_field key e =
+  match Option.bind (Json.member key e) Json.to_float with
+  | Some f -> f
+  | None -> Alcotest.fail (Printf.sprintf "event lacks numeric %s" key)
+
+let trace_tests =
+  [
+    Testkit.case "perfetto export is parseable and structurally sound" (fun () ->
+        fresh ();
+        Registry.enable ();
+        Span.with_ ~name:"outer" (fun () ->
+            Runtime_profile.sample_now ();
+            Span.with_ ~name:"inner" (fun () ->
+                ignore (Sys.opaque_identity (Array.make 4096 0.0)));
+            Runtime_profile.sample_now ());
+        let g = Registry.Gauge.v ~help:"trace test gauge" "t_trace_gauge" in
+        Registry.Gauge.set g 3.25;
+        let path = Filename.temp_file "ptrng_trace" ".json" in
+        Trace_export.write path;
+        let j =
+          Json.of_string (In_channel.with_open_text path In_channel.input_all)
+        in
+        Sys.remove path;
+        (match Json.member "displayTimeUnit" j with
+        | Some (Json.String "ms") -> ()
+        | _ -> Alcotest.fail "displayTimeUnit is not ms");
+        (match Option.bind (Json.member "otherData" j) (Json.member "schema") with
+        | Some (Json.String "ptrng-trace/1") -> ()
+        | _ -> Alcotest.fail "schema tag missing");
+        let evs = trace_events j in
+        let xs = events_with_ph "X" evs in
+        Alcotest.(check (list string)) "span events in tree order"
+          [ "outer"; "inner" ] (List.map event_name xs);
+        (match xs with
+        | [ outer; inner ] ->
+          let ts e = float_field "ts" e and dur e = float_field "dur" e in
+          Testkit.check_true "ts starts near origin" (ts outer >= 0.0);
+          Testkit.check_true "inner starts inside outer" (ts inner >= ts outer);
+          Testkit.check_true "inner ends inside outer"
+            (ts inner +. dur inner <= ts outer +. dur outer +. 1e-3);
+          Alcotest.(check int) "same domain track"
+            (int_of_float (float_field "tid" outer))
+            (int_of_float (float_field "tid" inner));
+          Testkit.check_true "alloc recorded in args"
+            (match
+               Option.bind (Json.member "args" inner)
+                 (Json.member "alloc_bytes")
+             with
+            | Some a -> Option.get (Json.to_float a) > 0.0
+            | None -> false)
+        | _ -> Alcotest.fail "expected exactly two X events");
+        let cs = events_with_ph "C" evs in
+        let track name =
+          List.filter (fun e -> event_name e = name) cs |> List.length
+        in
+        Alcotest.(check int) "two gc minor samples" 2 (track "gc minor collections");
+        Alcotest.(check int) "two gc heap samples" 2 (track "gc heap MiB");
+        Alcotest.(check int) "gauge emitted once" 1 (track "t_trace_gauge");
+        let ms = events_with_ph "M" evs in
+        Testkit.check_true "process_name metadata"
+          (List.exists (fun e -> event_name e = "process_name") ms);
+        Testkit.check_true "thread_name metadata"
+          (List.exists (fun e -> event_name e = "thread_name") ms);
+        Registry.disable ());
+    Testkit.case "runtime profiler background sampler records a series" (fun () ->
+        fresh ();
+        Registry.enable ();
+        Runtime_profile.start ~interval_s:0.001 ();
+        Testkit.check_true "running" (Runtime_profile.running ());
+        (* Idempotent: a second start must not spawn a second sampler. *)
+        Runtime_profile.start ~interval_s:0.001 ();
+        Unix.sleepf 0.02;
+        Runtime_profile.stop ();
+        Testkit.check_false "stopped" (Runtime_profile.running ());
+        let samples = Runtime_profile.samples () in
+        Testkit.check_true "at least start+closing samples"
+          (List.length samples >= 2);
+        let rec chronological = function
+          | (a : Runtime_profile.sample) :: (b :: _ as rest) ->
+            a.Runtime_profile.t_s <= b.Runtime_profile.t_s && chronological rest
+          | _ -> true
+        in
+        Testkit.check_true "samples are chronological" (chronological samples);
+        List.iter
+          (fun (s : Runtime_profile.sample) ->
+            Testkit.check_true "gc counters sane"
+              (s.Runtime_profile.minor_collections >= 0
+              && s.Runtime_profile.heap_words > 0))
+          samples;
+        Registry.disable ());
+  ]
+
 let noop_tests =
   [
     Testkit.case "disabled instrumentation records nothing" (fun () ->
@@ -181,6 +365,8 @@ let noop_tests =
         let r = Registry.Hist.time h (fun () -> 9) in
         Alcotest.(check int) "time passes result through" 9 r;
         Span.with_ ~name:"off" (fun () -> ());
+        Runtime_profile.sample_now ();
+        Testkit.check_true "no runtime samples" (Runtime_profile.samples () = []);
         Alcotest.(check int) "counter untouched" 0 (Registry.Counter.value c);
         Alcotest.(check int) "histogram untouched" 0
           (Histogram.count (Registry.Hist.histogram h));
@@ -216,6 +402,8 @@ let () =
     [
       ("histogram", histogram_tests);
       ("span", span_tests);
+      ("json", json_props);
       ("sink", sink_tests);
+      ("trace", trace_tests);
       ("noop", noop_tests);
     ]
