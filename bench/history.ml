@@ -33,7 +33,7 @@ let str_field j key =
 
 let num_field j key = Option.bind (Json.member key j) Json.to_float
 
-let record_of_report ?(sha = "unknown") ?(time_unix = 0.0) report =
+let record_of_report ?(sha = "unknown") ?(time_unix = 0.0) ?lint report =
   match sections_of report with
   | Error e -> Error e
   | Ok sections ->
@@ -42,26 +42,32 @@ let record_of_report ?(sha = "unknown") ?(time_unix = 0.0) report =
       match num_field report "domains" with Some d -> int_of_float d | None -> 1
     in
     let total_s = Option.value ~default:0.0 (num_field report "total_s") in
+    let lint_field =
+      match lint with Some l -> [ ("lint", Json.String l) ] | None -> []
+    in
     Ok
       (Json.Obj
-         [
+         ([
            ("schema", Json.String schema);
            ("sha", Json.String sha);
            ("time_unix", Json.num time_unix);
            ("mode", Json.String mode);
            ("domains", Json.Int domains);
            ("total_s", Json.num total_s);
-           ( "sections",
-             Json.List
-               (List.map
-                  (fun s ->
-                    Json.Obj
-                      [
-                        ("name", Json.String s.name);
-                        ("wall_s", Json.num s.wall_s);
-                      ])
-                  sections) );
-         ])
+         ]
+         @ lint_field
+         @ [
+             ( "sections",
+               Json.List
+                 (List.map
+                    (fun s ->
+                      Json.Obj
+                        [
+                          ("name", Json.String s.name);
+                          ("wall_s", Json.num s.wall_s);
+                        ])
+                    sections) );
+           ]))
 
 let validate_record j =
   match Json.member "schema" j with

@@ -16,11 +16,20 @@ val sections_of : Json.t -> (section list, string) result
     [sections] list — a [ptrng-bench/2] report or a history record. *)
 
 val record_of_report :
-  ?sha:string -> ?time_unix:float -> Json.t -> (Json.t, string) result
+  ?sha:string ->
+  ?time_unix:float ->
+  ?lint:string ->
+  Json.t ->
+  (Json.t, string) result
 (** Summarize a bench report into one history record ([sha] defaults
-    to ["unknown"]). *)
+    to ["unknown"]).  [lint], when given, is carried verbatim as the
+    record's ["lint"] field — the {!Ptrng_analysis.Report.summary_line}
+    of the lint run that accompanied the bench (absent otherwise, and
+    optional for {!validate_record}). *)
 
 val validate_record : Json.t -> (unit, string) result
+(** Check that a document has the history-record shape before it is
+    appended or compared. *)
 
 val append : path:string -> Json.t -> (unit, string) result
 (** Append one record as a JSONL line, creating the file (and its
@@ -37,6 +46,8 @@ type comparison = {
 }
 
 val default_min_wall_s : float
+(** Sections faster than this (seconds) are skipped by
+    {!compare_sections} as timing noise. *)
 
 val compare_sections :
   ?min_wall_s:float ->

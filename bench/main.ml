@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- --sha REV (stamp the history record)
      dune exec bench/main.exe -- --history F       (history JSONL path)
      dune exec bench/main.exe -- --history-table   (print trend, no run)
+     dune exec bench/main.exe -- --lint-summary S  (stamp history with S)
 
    One section per experiment of EXPERIMENTS.md (the paper's Fig. 7 and
    the numeric results of Sections III-E/IV-B, plus the three
@@ -46,6 +47,12 @@ let out_path = flag_value "--out" "BENCH_1.json"
 let history_path = flag_value "--history" "bench/history.jsonl"
 let sha = flag_value "--sha" "unknown"
 
+(* --lint-summary "ptrng-lint: ..." stamps the history record with the
+   lint state of the tree that was benched (CI passes the @lint
+   summary line through). *)
+let lint_summary =
+  match flag_value "--lint-summary" "" with "" -> None | s -> Some s
+
 let perfetto_out =
   match flag_value "--perfetto-out" "" with "" -> None | path -> Some path
 
@@ -78,12 +85,18 @@ let banner title =
   Printf.printf "\n%s\n== %s\n%s\n%!" line title line
 
 (* Section results, newest first: (section, key-value list). *)
-let section_results : (string * (string * Tm.Json.t) list) list ref = ref []
+let section_results : (string * (string * Tm.Json.t) list) list Atomic.t =
+  Atomic.make []
 
 let run_section name f =
   Tm.Span.with_ ~name (fun () ->
       let kv = f () in
-      section_results := (name, kv) :: !section_results)
+      let rec push () =
+        let old = Atomic.get section_results in
+        if not (Atomic.compare_and_set section_results old ((name, kv) :: old))
+        then push ()
+      in
+      push ())
 
 (* ------------------------------------------------------------------ *)
 (* FIG7 + RN + THERMAL: the central experiment                        *)
@@ -540,7 +553,10 @@ let section_perf () =
 (* ------------------------------------------------------------------ *)
 
 let section_json (span : Tm.Span.t) =
-  let kv = try List.assoc span.name !section_results with Not_found -> [] in
+  let kv =
+    try List.assoc span.name (Atomic.get section_results)
+    with Not_found -> []
+  in
   let throughput =
     List.filter_map
       (fun (key, v) ->
@@ -600,7 +616,10 @@ let write_report ~kernels ~total_s =
 (* One history record per bench invocation, appended after the report
    is on disk.  Unwritable history is a warning, not a failed bench. *)
 let append_history report =
-  match History.record_of_report ~sha ~time_unix:(Unix.time ()) report with
+  match
+    History.record_of_report ~sha ~time_unix:(Unix.time ()) ?lint:lint_summary
+      report
+  with
   | Error e -> Printf.eprintf "bench: cannot summarize report for history: %s\n" e
   | Ok record -> (
     match History.append ~path:history_path record with

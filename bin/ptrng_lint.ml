@@ -1,0 +1,127 @@
+(* ptrng-lint: rule-driven static analyzer over dune's .cmt/.cmti
+   artifacts.  See docs/STATIC_ANALYSIS.md.
+
+   Usage:
+     ptrng-lint [--root DIR] [--baseline FILE] [--update-baseline]
+                [--rules R1,R3] [--json-out FILE] [--gate] [--summary]
+                [--quiet] [--list]
+
+   --root defaults to "." and falls back to _build/default when the
+   tree under "." holds no annotation artifacts, so both `dune exec`
+   from the repo root and the @lint dune action (cwd _build/default)
+   work unadorned.  Exit code: 1 on any non-baselined finding when
+   --gate is given (and on usage/IO errors), 0 otherwise. *)
+
+module A = Ptrng_analysis
+
+let usage () =
+  prerr_endline
+    "usage: ptrng-lint [--root DIR] [--baseline FILE] [--update-baseline]\n\
+    \                  [--rules R1,R3|all] [--json-out FILE] [--gate]\n\
+    \                  [--summary] [--quiet] [--list]";
+  exit 1
+
+let () =
+  let root = ref "." in
+  let baseline_path = ref None in
+  let update_baseline = ref false in
+  let rules_spec = ref "all" in
+  let json_out = ref None in
+  let gate = ref false in
+  let summary_only = ref false in
+  let quiet = ref false in
+  let list_rules = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--root" :: v :: rest -> root := v; parse rest
+    | "--baseline" :: v :: rest -> baseline_path := Some v; parse rest
+    | "--update-baseline" :: rest -> update_baseline := true; parse rest
+    | "--rules" :: v :: rest -> rules_spec := v; parse rest
+    | "--json-out" :: v :: rest -> json_out := Some v; parse rest
+    | "--gate" :: rest -> gate := true; parse rest
+    | "--summary" :: rest -> summary_only := true; parse rest
+    | "--quiet" :: rest -> quiet := true; parse rest
+    | "--list" :: rest -> list_rules := true; parse rest
+    | arg :: _ ->
+      Printf.eprintf "ptrng-lint: unknown argument %s\n" arg;
+      usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+
+  if !list_rules then begin
+    List.iter
+      (fun (r : A.Rule.t) ->
+        Printf.printf "%s  %-18s %-7s  %s\n" r.id r.name
+          (A.Finding.severity_name r.severity)
+          r.doc)
+      A.Rules.all;
+    exit 0
+  end;
+
+  let rules =
+    match A.Rules.select !rules_spec with
+    | Ok rules -> rules
+    | Error e ->
+      Printf.eprintf "ptrng-lint: %s\n" e;
+      exit 1
+  in
+
+  let scan_dirs = [ "lib"; "bin"; "bench" ] in
+  let loader =
+    let l = A.Loader.load_dirs ~root:!root scan_dirs in
+    if l.units <> [] then l
+    else
+      (* From the repo root the artifacts live under _build/default. *)
+      let fallback = Filename.concat !root "_build/default" in
+      A.Loader.load_dirs ~root:fallback scan_dirs
+  in
+  if loader.units = [] then begin
+    Printf.eprintf
+      "ptrng-lint: no .cmt/.cmti artifacts under %s — run `dune build @check` \
+       first\n"
+      !root;
+    exit 1
+  end;
+
+  let baseline =
+    match !baseline_path with
+    | None -> A.Baseline.empty
+    | Some path -> (
+      match A.Baseline.load ~path with
+      | Ok b -> b
+      | Error e ->
+        Printf.eprintf "ptrng-lint: cannot load baseline %s: %s\n" path e;
+        exit 1)
+  in
+
+  let report, all = A.Engine.lint ~rules ~baseline loader in
+
+  if !update_baseline then begin
+    match !baseline_path with
+    | None ->
+      prerr_endline "ptrng-lint: --update-baseline needs --baseline FILE";
+      exit 1
+    | Some path -> (
+      let next = A.Baseline.of_findings ~prev:baseline all in
+      match A.Baseline.save ~path next with
+      | Ok () ->
+        Printf.printf "ptrng-lint: baseline %s now absorbs %d finding(s)\n"
+          path (A.Baseline.count next);
+        exit 0
+      | Error e ->
+        Printf.eprintf "ptrng-lint: cannot write baseline %s: %s\n" path e;
+        exit 1)
+  end;
+
+  (match !json_out with
+  | None -> ()
+  | Some path ->
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc
+          (Ptrng_telemetry.Json.to_string_pretty (A.Report.to_json report));
+        Out_channel.output_char oc '\n'));
+
+  if !summary_only then print_endline (A.Report.summary_line report)
+  else if not !quiet then Format.printf "%a" A.Report.pp report;
+
+  if !gate && report.findings <> [] then exit 1

@@ -61,12 +61,14 @@ let t7_homogeneity ~k bits =
     ~detail:(Printf.sprintf "chi2 df=%g p=%.5f" df p)
 
 (* Harmonic-number weights of Coron's estimator, memoised up to the
-   largest distance seen. *)
-let harmonic_cache = ref [| 0.0 |]
+   largest distance seen.  Published arrays are never mutated, so a
+   reader always sees a fully-initialised prefix; a lost CAS between
+   racing growers only costs a recomputation. *)
+let harmonic_cache = Atomic.make [| 0.0 |]
 
 let coron_g i =
   if i < 1 then invalid_arg "Procedure_b.coron_g: i < 1";
-  let cache = !harmonic_cache in
+  let cache = Atomic.get harmonic_cache in
   if i <= Array.length cache then cache.(i - 1) /. log 2.0
   else begin
     let old_len = Array.length cache in
@@ -76,7 +78,7 @@ let coron_g i =
       (* grown.(j) = H_j = sum_{m=1}^{j} 1/m; g(i) uses H_{i-1}. *)
       grown.(j) <- grown.(j - 1) +. (1.0 /. float_of_int j)
     done;
-    harmonic_cache := grown;
+    ignore (Atomic.compare_and_set harmonic_cache cache grown);
     grown.(i - 1) /. log 2.0
   end
 

@@ -27,6 +27,7 @@ val coron_g : int -> float
     (g(1) = 0); exposed for testing. *)
 
 val required_bits_t8 : q:int -> k:int -> int
+(** Bits T8 consumes for the given parameters: [8 * (q + k)]. *)
 
 val run : Ptrng_trng.Bitstream.t -> Report.summary
 (** T6 (k = 1 and 2), T7 (k = 4) and T8 with default parameters on the

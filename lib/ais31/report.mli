@@ -15,6 +15,7 @@ type summary = {
 }
 
 val make : name:string -> statistic:float -> pass:bool -> detail:string -> test_result
+(** Record constructor; keeps test modules free of record syntax. *)
 
 val summarize : ?allowed_failures:int -> test_result list -> summary
 (** AIS31 allows a single failed test to be repeated once; we model

@@ -1,0 +1,108 @@
+(* Suppression baseline: fingerprint -> (allowed count, optional note).
+   Serialized sorted by fingerprint so regeneration diffs cleanly. *)
+
+module Json = Ptrng_telemetry.Json
+
+let schema = "ptrng-lint-baseline/1"
+
+type entry = { count : int; note : string option }
+
+type t = (string * entry) list (* sorted by fingerprint *)
+
+let empty = []
+
+let count t = List.fold_left (fun acc (_, e) -> acc + e.count) 0 t
+
+let of_findings ?(prev = empty) findings =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let fp = Finding.fingerprint f in
+      Hashtbl.replace tbl fp (1 + Option.value ~default:0 (Hashtbl.find_opt tbl fp)))
+    findings;
+  (* Iterate the sorted fingerprints, not the table: serialization
+     order must not depend on hashing (our own R1). *)
+  let fingerprints =
+    List.sort_uniq compare (List.map Finding.fingerprint findings)
+  in
+  List.map
+    (fun fp ->
+      let note = Option.bind (List.assoc_opt fp prev) (fun e -> e.note) in
+      (fp, { count = Option.value ~default:1 (Hashtbl.find_opt tbl fp); note }))
+    fingerprints
+
+let apply t findings =
+  let remaining = Hashtbl.create 64 in
+  List.iter (fun (fp, e) -> Hashtbl.replace remaining fp e.count) t;
+  List.partition_map
+    (fun f ->
+      let fp = Finding.fingerprint f in
+      match Hashtbl.find_opt remaining fp with
+      | Some n when n > 0 ->
+        Hashtbl.replace remaining fp (n - 1);
+        Right f
+      | _ -> Left f)
+    (List.sort Finding.compare findings)
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ( "entries",
+        Json.List
+          (List.map
+             (fun (fp, e) ->
+               Json.Obj
+                 (("fingerprint", Json.String fp)
+                  :: ("count", Json.Int e.count)
+                  ::
+                  (match e.note with
+                  | Some n -> [ ("note", Json.String n) ]
+                  | None -> [])))
+             t) );
+    ]
+
+let of_json j =
+  match Json.member "schema" j with
+  | Some (Json.String s) when s = schema -> (
+    match Json.member "entries" j with
+    | Some (Json.List entries) ->
+      let parse e =
+        match (Json.member "fingerprint" e, Json.member "count" e) with
+        | Some (Json.String fp), Some (Json.Int n) when n > 0 ->
+          let note =
+            match Json.member "note" e with
+            | Some (Json.String s) -> Some s
+            | _ -> None
+          in
+          Ok (fp, { count = n; note })
+        | _ -> Error "baseline entry missing fingerprint/positive count"
+      in
+      List.fold_left
+        (fun acc e ->
+          match (acc, parse e) with
+          | Error _, _ -> acc
+          | _, Error e -> Error e
+          | Ok l, Ok entry -> Ok (entry :: l))
+        (Ok []) entries
+      |> Result.map (List.sort (fun (a, _) (b, _) -> compare a b))
+    | _ -> Error "baseline has no entries list")
+  | _ -> Error (Printf.sprintf "baseline schema is not %s" schema)
+
+let load ~path =
+  if not (Sys.file_exists path) then Ok empty
+  else
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error e -> Error e
+    | contents -> (
+      match Json.of_string contents with
+      | exception Failure e -> Error (path ^ ": " ^ e)
+      | j -> of_json j)
+
+let save ~path t =
+  try
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Json.to_string_pretty (to_json t));
+        Out_channel.output_char oc '\n');
+    Ok ()
+  with Sys_error e -> Error e

@@ -1,0 +1,41 @@
+(** The committed suppression baseline (schema
+    [ptrng-lint-baseline/1]).
+
+    A baseline entry is a finding {!Finding.fingerprint} plus the
+    number of occurrences it absorbs — line-number-free, so the file
+    only churns when violations are added or removed.  The workflow:
+    [ptrng-lint --update-baseline] regenerates the file from the
+    current findings (preserving any [note] fields of entries that
+    survive), the file is committed, and the [@lint] gate fails on
+    anything the baseline does not absorb.  See
+    docs/STATIC_ANALYSIS.md. *)
+
+type t
+
+val empty : t
+(** The baseline that absorbs nothing. *)
+
+val count : t -> int
+(** Total occurrences the baseline absorbs. *)
+
+val of_findings : ?prev:t -> Finding.t list -> t
+(** Baseline absorbing exactly the given findings; notes of [prev]
+    entries whose fingerprint survives are carried over. *)
+
+val apply : t -> Finding.t list -> Finding.t list * Finding.t list
+(** [(fresh, suppressed)]: per fingerprint, the first [count]
+    occurrences (in report order) are suppressed, the rest are
+    fresh. *)
+
+val load : path:string -> (t, string) result
+(** A missing file is {e not} an error — it is the empty baseline. *)
+
+val save : path:string -> t -> (unit, string) result
+(** Write the baseline as pretty-printed JSON, sorted by fingerprint
+    so the committed file diffs cleanly. *)
+
+val to_json : t -> Ptrng_telemetry.Json.t
+(** The [ptrng-lint-baseline/1] document. *)
+
+val of_json : Ptrng_telemetry.Json.t -> (t, string) result
+(** Inverse of {!to_json}; rejects other schemas. *)

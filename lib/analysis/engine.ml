@@ -1,0 +1,11 @@
+let run ~rules loader =
+  List.concat_map (fun (r : Rule.t) -> r.check loader) rules
+  |> List.sort Finding.compare
+
+let lint ~rules ~baseline loader =
+  let all = run ~rules loader in
+  let fresh, suppressed = Baseline.apply baseline all in
+  ( Report.make ~rules
+      ~units:(List.length loader.Loader.units)
+      ~suppressed:(List.length suppressed) fresh,
+    all )

@@ -1,0 +1,13 @@
+(** Orchestration: run a rule set over loaded units and fold the
+    result through a baseline into a {!Report.t}. *)
+
+val run : rules:Rule.t list -> Loader.t -> Finding.t list
+(** Every selected rule over every unit, sorted in report order. *)
+
+val lint :
+  rules:Rule.t list ->
+  baseline:Baseline.t ->
+  Loader.t ->
+  Report.t * Finding.t list
+(** [(report of fresh findings, all findings pre-baseline)] — the
+    second component is what [--update-baseline] snapshots. *)

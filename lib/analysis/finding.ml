@@ -1,0 +1,90 @@
+(* Lint diagnostics.  The fingerprint deliberately omits line/column:
+   baselined findings must survive edits elsewhere in the file. *)
+
+module Json = Ptrng_telemetry.Json
+
+type severity = Error | Warning | Info
+
+let severity_name (s : severity) =
+  match s with
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_name s : severity option =
+  match s with
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+type t = {
+  rule : string;
+  rule_name : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  symbol : string;
+  detail : string;
+  message : string;
+}
+
+let fingerprint t =
+  String.concat ":" [ t.rule; t.file; t.symbol; t.detail ]
+
+let compare a b =
+  match Stdlib.compare a.file b.file with
+  | 0 -> (
+    match Stdlib.compare (a.line, a.col) (b.line, b.col) with
+    | 0 -> Stdlib.compare a.rule b.rule
+    | c -> c)
+  | c -> c
+
+let to_json t =
+  Json.Obj
+    [
+      ("rule", Json.String t.rule);
+      ("rule_name", Json.String t.rule_name);
+      ("severity", Json.String (severity_name t.severity));
+      ("file", Json.String t.file);
+      ("line", Json.Int t.line);
+      ("col", Json.Int t.col);
+      ("symbol", Json.String t.symbol);
+      ("detail", Json.String t.detail);
+      ("message", Json.String t.message);
+      ("fingerprint", Json.String (fingerprint t));
+    ]
+
+let str j key =
+  match Json.member key j with Some (Json.String s) -> Some s | _ -> None
+
+let int_field j key =
+  match Json.member key j with Some (Json.Int i) -> Some i | _ -> None
+
+let of_json j =
+  match
+    ( str j "rule",
+      str j "rule_name",
+      Option.bind (str j "severity") severity_of_name,
+      str j "file" )
+  with
+  | Some rule, Some rule_name, Some severity, Some file ->
+    Ok
+      {
+        rule;
+        rule_name;
+        severity;
+        file;
+        line = Option.value ~default:0 (int_field j "line");
+        col = Option.value ~default:0 (int_field j "col");
+        symbol = Option.value ~default:"" (str j "symbol");
+        detail = Option.value ~default:"" (str j "detail");
+        message = Option.value ~default:"" (str j "message");
+      }
+  | _ -> Error "finding: missing rule/rule_name/severity/file"
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%d:%d: [%s/%s] %s" t.file t.line t.col t.rule
+    (severity_name t.severity) t.message;
+  if t.symbol <> "" then Format.fprintf ppf " (in %s)" t.symbol

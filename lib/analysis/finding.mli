@@ -1,0 +1,42 @@
+(** A single diagnostic produced by a lint rule.
+
+    Findings are identified across runs by their {!fingerprint} — a
+    location-free key built from the rule, the source file, the
+    enclosing top-level symbol and the offending detail — so a
+    committed suppression baseline survives unrelated edits that only
+    shift line numbers.  See docs/STATIC_ANALYSIS.md. *)
+
+type severity = Error | Warning | Info
+
+val severity_name : severity -> string
+(** ["error"], ["warning"] or ["info"]. *)
+
+val severity_of_name : string -> severity option
+(** Inverse of {!severity_name}. *)
+
+type t = {
+  rule : string;       (** Rule id, e.g. ["R1"]. *)
+  rule_name : string;  (** Short rule slug, e.g. ["determinism"]. *)
+  severity : severity;
+  file : string;       (** Source path as recorded in the cmt, e.g. ["lib/measure/fit.ml"]. *)
+  line : int;          (** 1-based; [0] for whole-file findings. *)
+  col : int;           (** 0-based column. *)
+  symbol : string;     (** Enclosing top-level value, or [""]. *)
+  detail : string;     (** Offending ident or short classifier, e.g. ["Stdlib.Random.int"]. *)
+  message : string;    (** Human-readable explanation. *)
+}
+
+val fingerprint : t -> string
+(** [rule:file:symbol:detail] — stable under line-number drift. *)
+
+val compare : t -> t -> int
+(** Order by file, line, column, rule — the report order. *)
+
+val to_json : t -> Ptrng_telemetry.Json.t
+(** The finding as one object of a [ptrng-lint/1] document. *)
+
+val of_json : Ptrng_telemetry.Json.t -> (t, string) result
+(** Inverse of {!to_json}; used by the report round-trip tests. *)
+
+val pp : Format.formatter -> t -> unit
+(** [file:line:col: [R1/error] message (symbol)]. *)

@@ -1,0 +1,88 @@
+module Json = Ptrng_telemetry.Json
+
+let schema = "ptrng-lint/1"
+
+type t = {
+  findings : Finding.t list;
+  suppressed : int;
+  units : int;
+  rules : string list;
+}
+
+let make ~rules ~units ~suppressed findings =
+  {
+    findings = List.sort Finding.compare findings;
+    suppressed;
+    units;
+    rules = List.map (fun (r : Rule.t) -> r.id) rules;
+  }
+
+let count_severity sev t =
+  List.length (List.filter (fun (f : Finding.t) -> f.severity = sev) t.findings)
+
+let errors t = count_severity Finding.Error t
+let warnings t = count_severity Finding.Warning t
+let infos t = count_severity Finding.Info t
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("units", Json.Int t.units);
+      ("rules", Json.List (List.map (fun r -> Json.String r) t.rules));
+      ( "counts",
+        Json.Obj
+          [
+            ("error", Json.Int (errors t));
+            ("warning", Json.Int (warnings t));
+            ("info", Json.Int (infos t));
+            ("suppressed", Json.Int t.suppressed);
+          ] );
+      ("findings", Json.List (List.map Finding.to_json t.findings));
+    ]
+
+let validate j =
+  match Json.member "schema" j with
+  | Some (Json.String s) when s = schema -> (
+    match (Json.member "units" j, Json.member "findings" j) with
+    | Some (Json.Int units), Some (Json.List findings) ->
+      let rules =
+        match Json.member "rules" j with
+        | Some (Json.List l) ->
+          List.filter_map
+            (function Json.String s -> Some s | _ -> None)
+            l
+        | _ -> []
+      in
+      let suppressed =
+        match Option.bind (Json.member "counts" j) (Json.member "suppressed") with
+        | Some (Json.Int n) -> n
+        | _ -> 0
+      in
+      List.fold_left
+        (fun acc f ->
+          match (acc, Finding.of_json f) with
+          | Error _, _ -> acc
+          | _, Error e -> Error e
+          | Ok l, Ok finding -> Ok (finding :: l))
+        (Ok []) findings
+      |> Result.map (fun parsed ->
+             {
+               findings = List.rev parsed;
+               suppressed;
+               units;
+               rules;
+             })
+    | _ -> Error "lint report missing units/findings")
+  | _ -> Error (Printf.sprintf "lint report schema is not %s" schema)
+
+let summary_line t =
+  Printf.sprintf
+    "ptrng-lint: %d errors, %d warnings, %d info (%d baselined) over %d \
+     units, rules %s"
+    (errors t) (warnings t) (infos t) t.suppressed t.units
+    (String.concat "," t.rules)
+
+let pp ppf t =
+  List.iter (fun f -> Format.fprintf ppf "%a@." Finding.pp f) t.findings;
+  Format.fprintf ppf "%s@." (summary_line t)

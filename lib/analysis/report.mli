@@ -1,0 +1,42 @@
+(** Lint run results: human-readable text and machine-readable JSON
+    (schema [ptrng-lint/1], built on {!Ptrng_telemetry.Json} like the
+    bench and trace schemas). *)
+
+val schema : string
+(** ["ptrng-lint/1"]. *)
+
+type t = {
+  findings : Finding.t list;  (** Fresh (non-baselined), in report order. *)
+  suppressed : int;           (** Findings absorbed by the baseline. *)
+  units : int;                (** Compilation units scanned. *)
+  rules : string list;        (** Ids of the rules that ran. *)
+}
+
+val make :
+  rules:Rule.t list -> units:int -> suppressed:int -> Finding.t list -> t
+(** Sort the findings into report order and record which rules ran. *)
+
+val errors : t -> int
+(** Fresh findings with severity [Error]. *)
+
+val warnings : t -> int
+(** Fresh findings with severity [Warning]. *)
+
+val infos : t -> int
+(** Fresh findings with severity [Info]. *)
+
+val to_json : t -> Ptrng_telemetry.Json.t
+(** The [ptrng-lint/1] document: schema, per-severity counts and the
+    findings list. *)
+
+val validate : Ptrng_telemetry.Json.t -> (t, string) result
+(** Parse a [ptrng-lint/1] document back; the JSON round-trip pin for
+    test/test_lint.ml. *)
+
+val summary_line : t -> string
+(** One line, e.g. ["ptrng-lint: 0 errors, 0 warnings, 0 info (12
+    baselined) over 104 units, rules R1,R2,R3,R4,R5"] — the string
+    the bench history record carries. *)
+
+val pp : Format.formatter -> t -> unit
+(** Findings one per line, then the summary line. *)

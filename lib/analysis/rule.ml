@@ -1,0 +1,22 @@
+type t = {
+  id : string;
+  name : string;
+  severity : Finding.severity;
+  doc : string;
+  check : Loader.t -> Finding.t list;
+}
+
+let make_finding ~rule ?severity ~(unit : Loader.unit_info) ~loc ~symbol
+    ~detail message =
+  let line, col = Tast_util.line_col loc in
+  {
+    Finding.rule = rule.id;
+    rule_name = rule.name;
+    severity = Option.value ~default:rule.severity severity;
+    file = unit.source;
+    line;
+    col;
+    symbol;
+    detail;
+    message;
+  }

@@ -1,0 +1,29 @@
+(** The interface every lint rule implements.
+
+    A rule sees the whole loaded project at once — cross-unit rules
+    (pool reachability, interface hygiene) need the global view — and
+    returns its findings; scoping to directories is the rule's own
+    business, except in fixture mode ([Loader.scope_all]) where every
+    rule must consider every unit.  To add a rule: create a
+    [rule_<slug>.ml] exporting a [val rule : Rule.t] and append it to
+    {!Rules.all}.  See docs/STATIC_ANALYSIS.md. *)
+
+type t = {
+  id : string;       (** Stable id used in baselines and [--rules], e.g. ["R1"]. *)
+  name : string;     (** Short slug, e.g. ["determinism"]. *)
+  severity : Finding.severity;  (** Default severity of this rule's findings. *)
+  doc : string;      (** One-line description for [--list] and reports. *)
+  check : Loader.t -> Finding.t list;
+}
+
+val make_finding :
+  rule:t ->
+  ?severity:Finding.severity ->
+  unit:Loader.unit_info ->
+  loc:Location.t ->
+  symbol:string ->
+  detail:string ->
+  string ->
+  Finding.t
+(** Finding constructor filling in the rule id/name and the unit's
+    source path; [?severity] overrides the rule default. *)

@@ -1,0 +1,69 @@
+(* R1: no ambient nondeterminism.  The typed tree gives us resolved
+   paths, so "Random.int" is seen as "Stdlib.Random.int" whatever was
+   opened or aliased at the use site. *)
+
+let allowlist = [ "lib/exec"; "lib/telemetry" ]
+
+let forbidden_exact =
+  [
+    ("Stdlib.Sys.time", "process-time clock");
+    ("Sys.time", "process-time clock");
+    ("Unix.gettimeofday", "wall clock");
+    ("Unix.time", "wall clock");
+    ("Stdlib.Hashtbl.hash", "hash of arbitrary values");
+    ("Hashtbl.hash", "hash of arbitrary values");
+    ("Stdlib.Hashtbl.iter", "hash-order iteration");
+    ("Stdlib.Hashtbl.fold", "hash-order iteration");
+    ("Stdlib.Domain.self", "domain-id-dependent value");
+    ("Domain.self", "domain-id-dependent value");
+  ]
+
+let forbidden_prefixes =
+  [ ("Stdlib.Random.", "ambient global RNG"); ("Random.", "ambient global RNG") ]
+
+let classify name =
+  match List.assoc_opt name forbidden_exact with
+  | Some why -> Some why
+  | None ->
+    List.find_map
+      (fun (prefix, why) ->
+        if Tast_util.has_prefix ~prefix name then Some why else None)
+      forbidden_prefixes
+
+let check_unit ~rule (unit : Loader.unit_info) =
+  match unit.impl with
+  | None -> []
+  | Some str ->
+    let acc = ref [] in
+    Tast_util.iter_structure_expressions str (fun ~symbol e ->
+        match Tast_util.ident_name e with
+        | Some name -> (
+          match classify name with
+          | Some why ->
+            acc :=
+              Rule.make_finding ~rule ~unit ~loc:e.exp_loc ~symbol ~detail:name
+                (Printf.sprintf
+                   "nondeterministic primitive %s (%s); use Ptrng_prng.Rng \
+                    streams or Ptrng_telemetry.Clock instead"
+                   name why)
+              :: !acc
+          | None -> ())
+        | None -> ());
+    !acc
+
+let rec rule =
+  {
+    Rule.id = "R1";
+    name = "determinism";
+    severity = Finding.Error;
+    doc =
+      "forbid Stdlib.Random, Sys.time, Unix.gettimeofday, Hashtbl hashing \
+       and Domain.self outside lib/exec and lib/telemetry";
+    check =
+      (fun loader ->
+        List.concat_map
+          (fun unit ->
+            if Loader.in_dirs ~dirs:allowlist unit then []
+            else check_unit ~rule unit)
+          loader.Loader.units);
+  }

@@ -1,0 +1,12 @@
+(** R1 — determinism.
+
+    Forbids wall-clock, ambient-randomness and hash-order sources
+    outside the allowlisted subsystems ([lib/exec], [lib/telemetry],
+    which own scheduling and timestamps by design): [Stdlib.Random.*],
+    [Sys.time], [Unix.gettimeofday]/[Unix.time], [Hashtbl.hash] and
+    hash-order iteration ([Hashtbl.iter]/[fold]), and [Domain.self].
+    The reproduction's bit-identical-for-any-domain-count guarantee
+    (docs/PARALLELISM.md) is only as strong as the absence of these. *)
+
+val rule : Rule.t
+(** The R1 rule (severity [Error]). *)

@@ -1,0 +1,16 @@
+(** R2 — float safety.
+
+    Scoped to [lib/measure] and [lib/model], where the paper's
+    variance-curve fits ([sigma²_N = a·N + b·N²]) live.  Two checks:
+
+    - structural equality ([=], [<>], [compare]) with a float-typed
+      operand — exact float comparison is almost always a latent
+      tolerance bug; use {!Ptrng_stats.Float_cmp};
+    - division [x /. float_of_int n] where [n] is a plain local that
+      is neither bound to an integer literal nor compared against one
+      (or clamped with [max]/[min]) inside the same top-level
+      definition — i.e. a possibly-zero denominator nothing
+      validates. *)
+
+val rule : Rule.t
+(** The R2 rule (severity [Warning]). *)

@@ -1,0 +1,63 @@
+(* R5: .mli everywhere under lib/, doc comments on every exported val.
+   Doc comments surface as ocaml.doc attributes on the signature's
+   value descriptions, so the check reads the cmti — prose in the .ml
+   does not count, the interface is what readers open. *)
+
+let mli_scope = [ "lib" ]
+
+let whole_file_loc (unit : Loader.unit_info) =
+  let pos =
+    { Lexing.pos_fname = unit.source; pos_lnum = 0; pos_bol = 0; pos_cnum = 0 }
+  in
+  { Location.loc_start = pos; loc_end = pos; loc_ghost = true }
+
+let check_unit ~rule ~(loader : Loader.t) (unit : Loader.unit_info) =
+  let missing_mli =
+    if
+      unit.impl <> None
+      && (not unit.has_mli)
+      && (loader.scope_all || Loader.in_dirs ~dirs:mli_scope unit)
+    then
+      [
+        Rule.make_finding ~rule ~unit
+          ~loc:(whole_file_loc unit)
+          ~symbol:"" ~detail:"missing-mli"
+          (Printf.sprintf "%s has no .mli — add one to pin the public surface"
+             unit.source);
+      ]
+    else []
+  in
+  let undocumented =
+    match unit.intf with
+    | None -> []
+    | Some sg ->
+      List.filter_map
+        (fun (name, documented, loc) ->
+          if documented then None
+          else
+            let f =
+              Rule.make_finding ~rule ~severity:Finding.Warning ~unit ~loc
+                ~symbol:name ~detail:("undoc-" ^ name)
+                (Printf.sprintf "public value %s has no doc comment" name)
+            in
+            (* Point at the .mli, not the paired .ml. *)
+            let file = loc.Location.loc_start.pos_fname in
+            Some (if file = "" then f else { f with Finding.file = file }))
+        (Tast_util.signature_values sg)
+  in
+  missing_mli @ undocumented
+
+let rec rule =
+  {
+    Rule.id = "R5";
+    name = "interface-hygiene";
+    severity = Finding.Error;
+    doc =
+      "every .ml under lib/ needs an .mli, and every exported val a doc \
+       comment";
+    check =
+      (fun loader ->
+        List.concat_map
+          (fun unit -> check_unit ~rule ~loader unit)
+          loader.Loader.units);
+  }

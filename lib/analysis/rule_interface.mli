@@ -1,0 +1,12 @@
+(** R5 — interface hygiene.
+
+    Every [.ml] under [lib/] must have an [.mli] (an unconstrained
+    module surface is an accident waiting to be depended on), and
+    every [val] an interface exports must carry a doc comment.
+    Executables ([bin/], [bench/] mains) are exempt from the
+    missing-mli check; interfaces anywhere in scope are held to the
+    doc-comment bar. *)
+
+val rule : Rule.t
+(** The R5 rule ([Error] for a missing mli, [Warning] for an
+    undocumented val). *)

@@ -1,0 +1,84 @@
+(* R4: paired calls must sit under an exception-safe wrapper.  The
+   check is syntactic over the typed tree: a protect application's
+   whole argument subtree is sanctioned, everything else is not. *)
+
+let paired_suffixes =
+  [ "Span.enter"; "Span.exit"; "Mutex.lock"; "Mutex.unlock" ]
+
+let protect_heads =
+  [ "Stdlib.Fun.protect"; "Fun.protect"; "Stdlib.Mutex.protect"; "Mutex.protect" ]
+
+let is_paired name =
+  List.exists (fun suffix -> Tast_util.has_suffix ~suffix name) paired_suffixes
+
+(* Granularity: the top-level definition.  The safe idiom opens the
+   pair and immediately hands the closing half to a protect wrapper
+   ([Span.enter ...; Fun.protect ~finally:(fun () -> Span.exit ...)]),
+   so a definition that applies a protect head anywhere is sanctioned;
+   one that uses paired calls with no protect in sight cannot be
+   exception-safe. *)
+let item_uses_protect (item : Typedtree.structure_item) =
+  let found = ref false in
+  let it_ref = ref Tast_iterator.default_iterator in
+  let expr _sub (e : Typedtree.expression) =
+    (match Tast_util.ident_name e with
+    | Some name when List.mem name protect_heads -> found := true
+    | _ -> ());
+    Tast_iterator.default_iterator.expr !it_ref e
+  in
+  it_ref := { Tast_iterator.default_iterator with expr };
+  !it_ref.structure_item !it_ref item;
+  !found
+
+let check_unit ~rule (unit : Loader.unit_info) =
+  match unit.impl with
+  | None -> []
+  | Some str ->
+    let acc = ref [] in
+    List.iter
+      (fun (item : Typedtree.structure_item) ->
+        if not (item_uses_protect item) then begin
+          let symbol =
+            match item.str_desc with
+            | Typedtree.Tstr_value (_, vb :: _) -> (
+              match Tast_util.pattern_names vb.vb_pat with
+              | n :: _ -> n
+              | [] -> "")
+            | _ -> ""
+          in
+          let it_ref = ref Tast_iterator.default_iterator in
+          let expr _sub (e : Typedtree.expression) =
+            (match e.exp_desc with
+            | Typedtree.Texp_ident _ -> (
+              match Tast_util.ident_name e with
+              | Some name when is_paired name ->
+                acc :=
+                  Rule.make_finding ~rule ~unit ~loc:e.exp_loc ~symbol
+                    ~detail:name
+                    (Printf.sprintf
+                       "%s outside Fun.protect/Mutex.protect — an exception \
+                        leaks the open span or held lock"
+                       name)
+                  :: !acc
+              | _ -> ())
+            | _ -> ());
+            Tast_iterator.default_iterator.expr !it_ref e
+          in
+          it_ref := { Tast_iterator.default_iterator with expr };
+          !it_ref.structure_item !it_ref item
+        end)
+      str.Typedtree.str_items;
+    !acc
+
+let rec rule =
+  {
+    Rule.id = "R4";
+    name = "span-safety";
+    severity = Finding.Error;
+    doc =
+      "flag Span.enter/exit and Mutex.lock/unlock calls not wrapped in \
+       Fun.protect or Mutex.protect";
+    check =
+      (fun loader ->
+        List.concat_map (fun unit -> check_unit ~rule unit) loader.Loader.units);
+  }

@@ -1,0 +1,17 @@
+(** R4 — span/exception safety.
+
+    Paired enter/exit primitives leak on exceptions unless wrapped:
+    the rule flags calls to values whose resolved path ends in
+    [Span.enter], [Span.exit], [Mutex.lock] or [Mutex.unlock] inside
+    any top-level definition that never applies [Fun.protect] or
+    [Mutex.protect] — the safe idiom opens the pair and immediately
+    hands the closing half to a protect wrapper, so a definition with
+    no protect in sight cannot be exception-safe.  The codebase's own
+    idioms —
+    [Ptrng_telemetry.Span.with_] and [Mutex.protect] — never trip
+    this; the rule exists so a hand-rolled enter/exit pair cannot
+    sneak in and leak an open span (or a held lock) on the first
+    exception. *)
+
+val rule : Rule.t
+(** The R4 rule (severity [Error]). *)

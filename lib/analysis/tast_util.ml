@@ -1,0 +1,164 @@
+(* Typedtree helpers shared by the rules.  All direct contact with
+   compiler-libs data structures (OCaml 5.1 typedtree) lives here and
+   in Loader; the rules only see strings, locations and callbacks. *)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let has_suffix ~suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  ls >= lx
+  && String.sub s (ls - lx) lx = suffix
+  && (ls = lx || s.[ls - lx - 1] = '.')
+
+let is_float_type ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, [], _) -> Path.same p Predef.path_float
+  | _ -> false
+
+let line_col (loc : Location.t) =
+  let p = loc.loc_start in
+  (p.pos_lnum, p.pos_cnum - p.pos_bol)
+
+let ident_name (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_ident (p, _, _) -> Some (Path.name p)
+  | _ -> None
+
+let head_ident (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Typedtree.Texp_apply (f, _) -> ident_name f
+  | _ -> ident_name e
+
+let rec pattern_names (p : Typedtree.pattern) =
+  match p.pat_desc with
+  | Typedtree.Tpat_var (id, _) -> [ Ident.name id ]
+  | Typedtree.Tpat_alias (inner, id, _) -> Ident.name id :: pattern_names inner
+  | Typedtree.Tpat_tuple ps -> List.concat_map pattern_names ps
+  | Typedtree.Tpat_construct (_, _, ps, _) -> List.concat_map pattern_names ps
+  | Typedtree.Tpat_record (fields, _) ->
+    List.concat_map (fun (_, _, sub) -> pattern_names sub) fields
+  | Typedtree.Tpat_array ps -> List.concat_map pattern_names ps
+  | Typedtree.Tpat_or (a, b, _) -> pattern_names a @ pattern_names b
+  | Typedtree.Tpat_variant (_, Some sub, _) -> pattern_names sub
+  | Typedtree.Tpat_lazy sub -> pattern_names sub
+  | _ -> []
+
+(* First name a structure item binds, used as the "enclosing symbol"
+   of every expression under it. *)
+let item_symbol (item : Typedtree.structure_item) =
+  match item.str_desc with
+  | Typedtree.Tstr_value (_, vbs) -> (
+    match List.concat_map (fun vb -> pattern_names vb.Typedtree.vb_pat) vbs with
+    | name :: _ -> name
+    | [] -> "")
+  | Typedtree.Tstr_module mb -> (
+    match mb.mb_id with Some id -> Ident.name id | None -> "")
+  | _ -> ""
+
+let iter_structure_expressions str f =
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      let symbol = item_symbol item in
+      let it =
+        {
+          Tast_iterator.default_iterator with
+          expr =
+            (fun sub e ->
+              f ~symbol e;
+              Tast_iterator.default_iterator.expr sub e);
+        }
+      in
+      it.structure_item it item)
+    str.Typedtree.str_items
+
+let iter_toplevel_bindings str f =
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Typedtree.Tstr_value (_, vbs) ->
+        List.iter
+          (fun (vb : Typedtree.value_binding) ->
+            let symbol =
+              match pattern_names vb.vb_pat with n :: _ -> n | [] -> ""
+            in
+            f ~symbol vb)
+          vbs
+      | _ -> ())
+    str.Typedtree.str_items
+
+let is_doc_attribute (a : Parsetree.attribute) =
+  a.attr_name.txt = "ocaml.doc" || a.attr_name.txt = "doc"
+
+let signature_values (sg : Typedtree.signature) =
+  List.filter_map
+    (fun (item : Typedtree.signature_item) ->
+      match item.sig_desc with
+      | Typedtree.Tsig_value vd ->
+        let documented =
+          List.exists is_doc_attribute vd.val_val.Types.val_attributes
+        in
+        Some (Ident.name vd.val_id, documented, item.sig_loc)
+      | _ -> None)
+    sg.sig_items
+
+let int_literal_bound_idents str =
+  let acc = ref [] in
+  let record (vb : Typedtree.value_binding) =
+    match vb.vb_expr.exp_desc with
+    | Typedtree.Texp_constant (Asttypes.Const_int _) ->
+      acc := pattern_names vb.vb_pat @ !acc
+    | _ -> ()
+  in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      value_binding =
+        (fun sub vb ->
+          record vb;
+          Tast_iterator.default_iterator.value_binding sub vb);
+    }
+  in
+  it.structure it str;
+  !acc
+
+let comparison_heads =
+  [
+    "Stdlib.<="; "Stdlib.<"; "Stdlib.>="; "Stdlib.>"; "Stdlib.=";
+    "Stdlib.<>"; "Stdlib.max"; "Stdlib.min";
+  ]
+
+let guarded_idents (item : Typedtree.structure_item) =
+  let acc = ref [] in
+  let is_int_const (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Typedtree.Texp_constant (Asttypes.Const_int _) -> true
+    | _ -> false
+  in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+          (match e.Typedtree.exp_desc with
+           | Typedtree.Texp_apply (f, args) -> (
+             match ident_name f with
+             | Some head when List.mem head comparison_heads -> (
+               let exprs = List.filter_map snd args in
+               match exprs with
+               | [ a; b ] when is_int_const a || is_int_const b ->
+                 List.iter
+                   (fun operand ->
+                     match ident_name operand with
+                     | Some n -> acc := n :: !acc
+                     | None -> ())
+                   exprs
+               | _ -> ())
+             | _ -> ())
+           | _ -> ());
+          Tast_iterator.default_iterator.expr sub e);
+    }
+  in
+  it.structure_item it item;
+  !acc

@@ -1,0 +1,59 @@
+(** Shared helpers over the compiler's typedtree.
+
+    Everything the rules need from [compiler-libs] is funneled through
+    here, so individual rules stay small and the
+    compiler-version-sensitive surface lives in one module. *)
+
+val has_suffix : suffix:string -> string -> bool
+(** [has_suffix ~suffix:"Pool.run" "Ptrng_exec.Pool.run"] — dotted-path
+    suffix match; the character before the suffix, if any, must be
+    ['.'] so ["MyPool.run"] does not match. *)
+
+val has_prefix : prefix:string -> string -> bool
+(** Plain string-prefix test, e.g. on directory paths. *)
+
+val is_float_type : Types.type_expr -> bool
+(** The expression's type is the predefined [float] constructor. *)
+
+val line_col : Location.t -> int * int
+(** (1-based line, 0-based column) of the location's start. *)
+
+val head_ident : Typedtree.expression -> string option
+(** [Path.name] of the expression if it is an identifier, or of the
+    function head if it is an application of one. *)
+
+val ident_name : Typedtree.expression -> string option
+(** [Path.name] of the expression if it is an identifier. *)
+
+val pattern_names : Typedtree.pattern -> string list
+(** Every variable bound by the pattern, e.g. [["a"; "b"]] for
+    [(a, b)]. *)
+
+val iter_structure_expressions :
+  Typedtree.structure ->
+  (symbol:string -> Typedtree.expression -> unit) ->
+  unit
+(** Visit every expression of the structure, depth-first, tagging each
+    with the name of the enclosing top-level binding ([""] for
+    top-level [let () = ...] and other anonymous items). *)
+
+val iter_toplevel_bindings :
+  Typedtree.structure ->
+  (symbol:string -> Typedtree.value_binding -> unit) ->
+  unit
+(** Visit only the structure-level value bindings (not nested lets). *)
+
+val signature_values :
+  Typedtree.signature -> (string * bool * Location.t) list
+(** The [val] items of an interface as [(name, has_doc_comment, loc)];
+    a value is documented when it carries an [ocaml.doc] attribute. *)
+
+val int_literal_bound_idents : Typedtree.structure -> string list
+(** Names of variables bound (at any depth) directly to an integer
+    literal — used to rule out [float_of_int steps] false positives
+    when [steps] is a compile-time constant. *)
+
+val guarded_idents : Typedtree.structure_item -> string list
+(** Names of identifiers compared against an integer literal (or
+    passed to [max]/[min] with one) anywhere inside the item — the
+    cheap stand-in for "this local is validated before use". *)

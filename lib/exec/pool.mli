@@ -66,8 +66,11 @@ val parallel_map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
     are in input order. *)
 
 val parallel_mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** Like [Array.mapi]; same ordering guarantees as {!parallel_map}. *)
 
 val parallel_iter : ?domains:int -> ('a -> unit) -> 'a array -> unit
+(** Like [Array.iter]; [f] must only touch disjoint or synchronised
+    state, as with {!run_tasks}. *)
 
 val parallel_filter_map : ?domains:int -> ('a -> 'b option) -> 'a array -> 'b array
 (** Like [Array.map] followed by dropping [None]s; kept in input

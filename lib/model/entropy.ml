@@ -10,7 +10,9 @@ let normal_cdf x = Ptrng_stats.Special.normal_cdf x
    represent without Gibbs error. *)
 let probability_wrapped ~mu ~s =
   let two_pi = 2.0 *. Float.pi in
-  if s = 0.0 then begin
+  (* Sub-epsilon jitter is a step function; the wrapped sum would only
+     saturate its CDFs at huge arguments anyway. *)
+  if Ptrng_stats.Float_cmp.near_zero s then begin
     let m = mu -. (two_pi *. Float.floor (mu /. two_pi)) in
     if m < Float.pi then 1.0 else 0.0
   end
@@ -45,7 +47,7 @@ let bit_probability ~mu ~phase_std =
 
 let shannon p =
   if p < 0.0 || p > 1.0 then invalid_arg "Entropy.shannon: p outside [0,1]";
-  if p = 0.0 || p = 1.0 then 0.0
+  if not (0.0 < p && p < 1.0) then 0.0
   else begin
     let q = 1.0 -. p in
     -.((p *. log p) +. (q *. log q)) /. log 2.0

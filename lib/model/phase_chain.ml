@@ -13,7 +13,10 @@ let create ?(bins = 256) ~drift ~diffusion () =
   if diffusion < 0.0 then invalid_arg "Phase_chain.create: negative diffusion";
   let width = two_pi /. float_of_int bins in
   let kernel = Array.make bins 0.0 in
-  if diffusion = 0.0 then begin
+  (* Near-zero diffusion must take the point-mass branch: the wrapped
+     Gaussian underflows to an all-zero kernel (then 0/0) long before
+     diffusion reaches 0.0 exactly. *)
+  if Ptrng_stats.Float_cmp.near_zero diffusion then begin
     let d =
       int_of_float (Float.round (drift /. width)) mod bins
     in
@@ -40,6 +43,9 @@ let create ?(bins = 256) ~drift ~diffusion () =
         theta < Float.pi)
   in
   { bins; drift; diffusion; kernel; high }
+
+let drift t = t.drift
+let diffusion t = t.diffusion
 
 let stationary t =
   (* Power iteration; the circulant, doubly-stochastic kernel converges

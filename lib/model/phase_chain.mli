@@ -24,6 +24,14 @@ val create : ?bins:int -> drift:float -> diffusion:float -> unit -> t
 (** Build the chain (default 256 bins).
     @raise Invalid_argument if [bins < 8] or [diffusion < 0]. *)
 
+val drift : t -> float
+(** The per-sample deterministic phase advance the chain was built
+    with. *)
+
+val diffusion : t -> float
+(** The per-sample diffusion (wrapped-Gaussian std) the chain was
+    built with. *)
+
 val stationary : t -> float array
 (** Stationary distribution over the phase bins (power iteration). *)
 

@@ -17,6 +17,7 @@ let sigma2_n p ~f0 ~n = sigma2_n_thermal p ~f0 ~n +. sigma2_n_flicker p ~f0 ~n
 
 (* Simpson integration of f on [a,b] with [panels] panels (even count). *)
 let simpson f a b panels =
+  if panels <= 0 then invalid_arg "Spectral.simpson: panels <= 0";
   let panels = if panels land 1 = 1 then panels + 1 else panels in
   let h = (b -. a) /. float_of_int panels in
   let acc = ref (f a +. f b) in
@@ -40,8 +41,16 @@ let integrals ~rel_tol =
     let s = sin (Float.pi *. u) in
     s *. s *. s *. s
   in
-  let f2 u = if u = 0.0 then 0.0 else s4 u /. (u *. u) in
-  let f3 u = if u = 0.0 then 0.0 else s4 u /. (u *. u *. u) in
+  (* Below ~1e-150 the squared/cubed denominators underflow and the
+     ratio is 0/0; mathematically sin^4(pi u)/u^k -> 0 there. *)
+  let f2 u =
+    if Ptrng_stats.Float_cmp.near_zero ~eps:1e-150 u then 0.0
+    else s4 u /. (u *. u)
+  in
+  let f3 u =
+    if Ptrng_stats.Float_cmp.near_zero ~eps:1e-150 u then 0.0
+    else s4 u /. (u *. u *. u)
+  in
   let fu = float_of_int u_max in
   let i2 = simpson f2 0.0 fu panels +. (3.0 /. (8.0 *. fu)) in
   let i3 = simpson f3 0.0 fu panels +. (3.0 /. (16.0 *. fu *. fu)) in

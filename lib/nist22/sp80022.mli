@@ -93,3 +93,4 @@ val run_all : ?domains:int -> bool array -> result list
     [?domains] value. *)
 
 val pp_results : Format.formatter -> result list -> unit
+(** One table row per test: name, p-value, pass/fail. *)

@@ -39,6 +39,9 @@ type stream
 
 val stream_create :
   Ptrng_prng.Gaussian.t -> alpha:float -> sigma_w:float -> taps:int -> stream
+(** Streaming 1/f^alpha generator over an explicit Gaussian source,
+    keeping only the last [taps] filter coefficients.
+    @raise Invalid_argument if [taps <= 0]. *)
 
 val stream_next : stream -> float
 (** Next sample; the spectrum is accurate above roughly [fs / taps]. *)

@@ -17,6 +17,8 @@ val next : t -> float
 (** Next sample; the sum of the current source values. *)
 
 val generate : t -> int -> float array
+(** [generate t n] is the next [n] samples.
+    @raise Invalid_argument if [n < 0]. *)
 
 val generate_blocks :
   ?domains:int ->

@@ -42,6 +42,7 @@ val evaluate : ?claimed_entropy:float -> Ptrng_trng.Bitstream.t -> t
     @raise Invalid_argument on fewer than 2000 bits. *)
 
 val verdict_name : verdict -> string
+(** ["PASS"], ["MARGINAL"] or ["FAIL"]. *)
 
 val pp : Format.formatter -> t -> unit
 (** Render the full assessment as a text report. *)

@@ -20,8 +20,10 @@ val biquad_lowpass : fc:float -> fs:float -> q:float -> biquad
 (** RBJ cookbook low-pass section. *)
 
 val biquad_apply : biquad -> float array -> float array
+(** Run the section over the signal (zero initial conditions). *)
 
 val remove_mean : float array -> float array
+(** Subtract the sample mean. *)
 
 val detrend_linear : float array -> float array
 (** Subtract the least-squares line through the samples. *)

@@ -7,6 +7,7 @@
 type kind = Rectangular | Hann | Hamming | Blackman | Blackman_harris | Flattop
 
 val name : kind -> string
+(** Lower-case window name, e.g. ["blackman-harris"]. *)
 
 val make : kind -> int -> float array
 (** [make kind n] is the [n]-point window (periodic form, suited to

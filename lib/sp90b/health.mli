@@ -29,11 +29,15 @@ type rct
 type apt
 
 val rct_create : cutoff:int -> rct
+(** Fresh repetition-count monitor; see {!rct_cutoff}. *)
+
 val rct_feed : rct -> bool -> bool
 (** Feed one sample; [true] means ALARM (cutoff reached). The monitor
     keeps running after an alarm. *)
 
 val apt_create : cutoff:int -> window:int -> apt
+(** Fresh adaptive-proportion monitor; see {!apt_cutoff}. *)
+
 val apt_feed : apt -> bool -> bool
 (** Feed one sample; [true] means ALARM in the window just closed. *)
 

@@ -4,6 +4,8 @@
     [Invalid_argument] on inputs too short to define them. *)
 
 val mean : float array -> float
+(** Arithmetic mean; needs n >= 1. *)
+
 val variance : ?mean:float -> float array -> float
 (** Unbiased sample variance (n-1 denominator); needs n >= 2. *)
 
@@ -11,10 +13,21 @@ val variance_biased : ?mean:float -> float array -> float
 (** Population variance (n denominator); needs n >= 1. *)
 
 val std : ?mean:float -> float array -> float
+(** Square root of the unbiased {!variance}. *)
+
 val skewness : float array -> float
+(** Sample skewness (third standardised moment); needs n >= 3. *)
+
 val kurtosis_excess : float array -> float
+(** Sample excess kurtosis (fourth standardised moment minus 3);
+    needs n >= 4. *)
+
 val min_max : float array -> float * float
+(** Smallest and largest sample. *)
+
 val median : float array -> float
+(** [quantile x 0.5]. *)
+
 val quantile : float array -> float -> float
 (** [quantile x p] for p in [0,1], linear interpolation of order
     statistics (type-7). *)

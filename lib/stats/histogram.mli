@@ -15,3 +15,4 @@ val density : t -> float array
 (** Counts normalised to a probability density over each bin. *)
 
 val bin_centers : t -> float array
+(** Midpoint of each bin, for plotting against {!density}. *)

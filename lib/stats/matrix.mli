@@ -13,14 +13,32 @@ val of_rows : float array array -> t
 (** Build from row arrays; all rows must have equal length. *)
 
 val rows : t -> int
+(** Number of rows. *)
+
 val cols : t -> int
+(** Number of columns. *)
+
 val get : t -> int -> int -> float
+(** [get m i j] is element (i, j), zero-based. *)
+
 val set : t -> int -> int -> float -> unit
+(** [set m i j v] writes element (i, j) in place. *)
+
 val copy : t -> t
+(** Independent copy of the storage. *)
+
 val identity : int -> t
+(** [identity n] is the n-by-n identity. *)
+
 val transpose : t -> t
+(** Fresh transposed matrix. *)
+
 val mul : t -> t -> t
+(** Matrix product. @raise Invalid_argument on dimension mismatch. *)
+
 val mul_vec : t -> float array -> float array
+(** Matrix-vector product.
+    @raise Invalid_argument on dimension mismatch. *)
 
 val solve_lu : t -> float array -> float array
 (** [solve_lu a b] solves the square system [a x = b] by LU

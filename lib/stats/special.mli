@@ -12,7 +12,10 @@ val gamma_q : a:float -> x:float -> float
 (** Regularised upper incomplete gamma Q(a, x) = 1 - P(a, x). *)
 
 val erf : float -> float
+(** Error function. *)
+
 val erfc : float -> float
+(** Complementary error function [1 - erf x], accurate for large x. *)
 
 val normal_cdf : float -> float
 (** Standard normal CDF. *)
@@ -25,8 +28,10 @@ val normal_ppf : float -> float
     Newton polish). @raise Invalid_argument if p outside (0,1). *)
 
 val chi2_cdf : df:float -> float -> float
+(** Chi-squared CDF with [df] degrees of freedom. *)
+
 val chi2_sf : df:float -> float -> float
-(** Chi-squared CDF / survival with [df] degrees of freedom. *)
+(** Chi-squared survival function with [df] degrees of freedom. *)
 
 val ks_sf : float -> float
 (** Kolmogorov distribution survival Q_KS(lambda)

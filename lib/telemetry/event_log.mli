@@ -7,8 +7,10 @@ val open_ : string -> unit
     previously open log. *)
 
 val close : unit -> unit
+(** Flush and close the current log; no-op when none is open. *)
 
 val is_open : unit -> bool
+(** Whether a log file is currently open. *)
 
 val emit : ?kind:string -> (string * Json.t) list -> unit
 (** Append one event line [{"ev": kind, "t": <seconds>, ...fields}].

@@ -19,7 +19,10 @@ val observe : t -> float -> unit
     land in the first bucket, values above [hi] in the +inf bucket. *)
 
 val count : t -> int
+(** Number of recorded (finite) observations. *)
+
 val sum : t -> float
+(** Sum of recorded observations (exact, not bucketed). *)
 
 val min_value : t -> float
 (** [nan] while empty. *)
@@ -43,3 +46,4 @@ val bucket_counts : t -> int array
 (** Per-bucket counts, one longer than [bucket_bounds] (last = +inf). *)
 
 val reset : t -> unit
+(** Zero all buckets and running aggregates. *)

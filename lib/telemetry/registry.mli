@@ -17,8 +17,13 @@ val on : bool ref
 (** Fast-path flag.  Mutate only through {!enable}/{!disable}. *)
 
 val enable : unit -> unit
+(** Turn telemetry on. *)
+
 val disable : unit -> unit
+(** Turn telemetry off; instrumentation sites become no-ops. *)
+
 val enabled : unit -> bool
+(** Current state of {!on}. *)
 
 val reset : unit -> unit
 (** Zero every registered metric (values, not registrations). *)

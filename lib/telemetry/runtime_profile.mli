@@ -41,6 +41,7 @@ val stop : unit -> unit
     tracks extend to the end of the run.  No-op if not running. *)
 
 val running : unit -> bool
+(** Whether the sampler domain is currently alive. *)
 
 val samples : unit -> sample list
 (** Recorded samples in chronological order. *)

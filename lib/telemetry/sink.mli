@@ -19,3 +19,4 @@ val write_snapshot : string -> unit
 (** Pretty-printed {!snapshot_json} to a file (with trailing newline). *)
 
 val write_prometheus : string -> unit
+(** {!to_prometheus} to a file. *)

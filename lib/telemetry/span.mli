@@ -27,6 +27,8 @@ type t = {
 }
 
 val with_ : name:string -> (unit -> 'a) -> 'a
+(** Time the thunk as a span named [name] nested under the enclosing
+    open span; the one way spans are opened and closed. *)
 
 val set_attr : string -> Json.t -> unit
 (** Attach a key/value to the innermost open span (replacing any
@@ -44,6 +46,8 @@ val reset : unit -> unit
 (** Forget completed spans, main and worker (open spans unaffected). *)
 
 val to_json : t -> Json.t
+(** Recursive span object as embedded in [ptrng-telemetry/1]
+    snapshots. *)
 
 val pp : Format.formatter -> t list -> unit
 (** Indented text tree with wall time, share of parent and allocation. *)

@@ -4,12 +4,20 @@ type t
 (** An immutable sequence of bits. *)
 
 val of_bools : bool array -> t
+(** Pack a bool array; [true] is 1. *)
+
 val of_ints : int array -> t
 (** Values must be 0 or 1. @raise Invalid_argument otherwise. *)
 
 val length : t -> int
+(** Number of bits. *)
+
 val get : t -> int -> bool
+(** [get s i] is bit [i]. @raise Invalid_argument out of bounds. *)
+
 val to_bools : t -> bool array
+(** Unpack to a fresh bool array. *)
+
 val to_bytes : t -> bytes
 (** Packs 8 bits per byte, MSB first; the tail is zero-padded. *)
 
@@ -21,7 +29,11 @@ val bias : t -> float
     @raise Invalid_argument on the empty stream. *)
 
 val sub : t -> pos:int -> len:int -> t
+(** [sub s ~pos ~len] is bits [pos .. pos+len-1].
+    @raise Invalid_argument on an out-of-range window. *)
+
 val concat : t list -> t
+(** Concatenate streams in order. *)
 
 val serial_correlation : t -> float
 (** Lag-1 serial correlation coefficient of the +-1-mapped bits;

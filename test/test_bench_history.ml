@@ -45,6 +45,33 @@ let record_tests =
         match History.sections_of r with
         | Ok s -> Alcotest.(check int) "sections carried over" 3 (List.length s)
         | Error e -> Alcotest.fail e);
+    Testkit.case "lint summary is carried when given, absent otherwise"
+      (fun () ->
+        let with_lint =
+          match
+            History.record_of_report ~sha:"abc" ~time_unix:1e9
+              ~lint:"ptrng-lint: 0 errors" (report ~sha:"abc" ~scale:1.0)
+          with
+          | Ok r -> r
+          | Error e -> Alcotest.fail e
+        in
+        (match History.validate_record with_lint with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        (match Json.member "lint" with_lint with
+        | Some (Json.String s) ->
+          Alcotest.(check string) "lint field" "ptrng-lint: 0 errors" s
+        | _ -> Alcotest.fail "lint field missing");
+        let without =
+          match
+            History.record_of_report ~sha:"abc" ~time_unix:1e9
+              (report ~sha:"abc" ~scale:1.0)
+          with
+          | Ok r -> r
+          | Error e -> Alcotest.fail e
+        in
+        Testkit.check_true "no lint field by default"
+          (Json.member "lint" without = None));
     Testkit.case "validate_record rejects wrong schema and missing fields"
       (fun () ->
         Testkit.check_true "wrong schema rejected"

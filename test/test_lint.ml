@@ -1,0 +1,330 @@
+(* ptrng-lint: each rule against a violating and a clean fixture, the
+   baseline workflow, and the JSON round-trip of the report schema.
+
+   Fixtures are real OCaml sources compiled with ocamlc -bin-annot into
+   a scratch directory, then loaded with [scope_all] so the rules skip
+   their repo-path scoping.  Each check selects a single rule: the
+   fixtures have no .mli, which R5 would otherwise flag everywhere. *)
+
+module A = Ptrng_analysis
+module Json = Ptrng_telemetry.Json
+
+let ocamlc =
+  (* dune exposes the toolchain on PATH inside test actions. *)
+  "ocamlc"
+
+let scratch = ref None
+
+let scratch_dir () =
+  match !scratch with
+  | Some d -> d
+  | None ->
+    let d = Filename.temp_file "ptrng_lint_fix" "" in
+    Sys.remove d;
+    Unix.mkdir d 0o755;
+    scratch := Some d;
+    d
+
+(* Compile [source] as [name].ml in the scratch dir; returns the cmt
+   path.  Fixture names are unique per test so reruns in one process
+   cannot collide. *)
+let compile ~name source =
+  let dir = scratch_dir () in
+  let ml = Filename.concat dir (name ^ ".ml") in
+  let oc = open_out ml in
+  output_string oc source;
+  close_out oc;
+  let cmd =
+    Printf.sprintf "cd %s && %s -bin-annot -c %s.ml 2>%s.err" (Filename.quote dir)
+      ocamlc name name
+  in
+  if Sys.command cmd <> 0 then
+    Alcotest.failf "fixture %s does not compile: %s" name
+      (In_channel.with_open_text
+         (Filename.concat dir (name ^ ".err"))
+         In_channel.input_all);
+  Filename.concat dir (name ^ ".cmt")
+
+let findings_of ~rule_id ~name source =
+  let cmt = compile ~name source in
+  let loader = A.Loader.load_files ~scope_all:true [ cmt ] in
+  let rule =
+    match A.Rules.find rule_id with
+    | Some r -> r
+    | None -> Alcotest.failf "unknown rule %s" rule_id
+  in
+  A.Engine.run ~rules:[ rule ] loader
+
+let check_flags ~rule_id ~name ~detail_part source =
+  let fs = findings_of ~rule_id ~name source in
+  Testkit.check_true
+    (Printf.sprintf "%s flags %s" rule_id name)
+    (List.exists
+       (fun (f : A.Finding.t) ->
+         Testkit.contains ~needle:detail_part f.A.Finding.detail
+         || Testkit.contains ~needle:detail_part f.A.Finding.message)
+       fs);
+  fs
+
+let check_clean ~rule_id ~name source =
+  match findings_of ~rule_id ~name source with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "%s should be clean for %s but: %s" rule_id name
+      (Format.asprintf "%a" A.Finding.pp f)
+
+(* ------------------------------------------------------------------ *)
+(* Per-rule fixtures                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let r1_tests =
+  [
+    Testkit.case "R1 flags Random and wall-clock calls" (fun () ->
+        let fs =
+          check_flags ~rule_id:"R1" ~name:"r1_bad" ~detail_part:"Random"
+            "let roll () = Random.int 6\nlet now () = Sys.time ()\n"
+        in
+        Testkit.check_true "Sys.time flagged too"
+          (List.exists
+             (fun (f : A.Finding.t) ->
+               Testkit.contains ~needle:"Sys.time" f.A.Finding.detail)
+             fs);
+        List.iter
+          (fun (f : A.Finding.t) ->
+            Testkit.check_true "R1 is error severity"
+              (f.A.Finding.severity = A.Finding.Error))
+          fs);
+    Testkit.case "R1 flags hash-order iteration, not keyed lookup" (fun () ->
+        ignore
+          (check_flags ~rule_id:"R1" ~name:"r1_hash" ~detail_part:"Hashtbl.fold"
+             "let sum h = Hashtbl.fold (fun _ v acc -> v + acc) h 0\n");
+        check_clean ~rule_id:"R1" ~name:"r1_ok"
+          "let lookup h k = Hashtbl.find_opt h k\nlet add h k v = Hashtbl.replace h k v\n");
+  ]
+
+let r2_tests =
+  [
+    Testkit.case "R2 flags float equality and unguarded division" (fun () ->
+        ignore
+          (check_flags ~rule_id:"R2" ~name:"r2_eq" ~detail_part:"float-="
+             "let degenerate s = s = 0.0\n");
+        ignore
+          (check_flags ~rule_id:"R2" ~name:"r2_div" ~detail_part:"div-by-n"
+             "let mean total n = total /. float_of_int n\n"));
+    Testkit.case "R2 accepts epsilon guards and validated denominators"
+      (fun () ->
+        check_clean ~rule_id:"R2" ~name:"r2_ok"
+          "let near_zero x = Float.abs x < 1e-12\n\
+           let mean total n = if n <= 0 then nan else total /. float_of_int n\n\
+           let fixed total = total /. float_of_int 2048\n");
+  ]
+
+let r3_tests =
+  (* A local module named Pool makes the suffix-based entry-point match
+     fire without depending on ptrng_exec from a fixture. *)
+  let pool_prelude =
+    "module Pool = struct let run_tasks f = f 0 end\n"
+  in
+  [
+    Testkit.case "R3 flags a module-level ref reachable from pool tasks"
+      (fun () ->
+        ignore
+          (check_flags ~rule_id:"R3" ~name:"r3_bad" ~detail_part:"counter"
+             (pool_prelude
+             ^ "let counter = ref 0\n\
+                let work () = Pool.run_tasks (fun i -> counter := !counter + i)\n"
+             )));
+    Testkit.case "R3 accepts Atomic state and mutex-guarded modules" (fun () ->
+        check_clean ~rule_id:"R3" ~name:"r3_atomic"
+          (pool_prelude
+          ^ "let counter = Atomic.make 0\n\
+             let work () = Pool.run_tasks (fun i -> ignore i; Atomic.incr counter)\n"
+          );
+        check_clean ~rule_id:"R3" ~name:"r3_mutex"
+          (pool_prelude
+          ^ "let lock = Mutex.create ()\n\
+             let counter = ref 0\n\
+             let work () =\n\
+             \  Pool.run_tasks (fun i ->\n\
+             \    Mutex.protect lock (fun () -> counter := !counter + i))\n"
+          ));
+    Testkit.case "R3 reports an unreachable module-level ref as info"
+      (fun () ->
+        let fs =
+          findings_of ~rule_id:"R3" ~name:"r3_unreachable"
+            "let cache = ref 0\nlet bump () = incr cache\n"
+        in
+        match fs with
+        | [ f ] ->
+          Testkit.check_true "info severity"
+            (f.A.Finding.severity = A.Finding.Info)
+        | _ -> Alcotest.failf "expected exactly one info finding, got %d"
+                 (List.length fs));
+  ]
+
+let r4_tests =
+  (* Local Span/Mutex modules stand in for the real pairs. *)
+  let prelude =
+    "module Span = struct let enter _ = () let exit _ = () end\n"
+  in
+  [
+    Testkit.case "R4 flags a bare enter/exit pair" (fun () ->
+        ignore
+          (check_flags ~rule_id:"R4" ~name:"r4_bad" ~detail_part:"Span.enter"
+             (prelude
+             ^ "let timed f = Span.enter \"x\"; let r = f () in Span.exit \"x\"; r\n"
+             )));
+    Testkit.case "R4 accepts the pair under Fun.protect" (fun () ->
+        check_clean ~rule_id:"R4" ~name:"r4_ok"
+          (prelude
+          ^ "let timed f =\n\
+             \  Span.enter \"x\";\n\
+             \  Fun.protect ~finally:(fun () -> Span.exit \"x\") f\n"
+          ));
+  ]
+
+let r5_tests =
+  [
+    Testkit.case "R5 flags a lib module without an mli" (fun () ->
+        ignore
+          (check_flags ~rule_id:"R5" ~name:"r5_bad" ~detail_part:"mli"
+             "let answer = 42\n"));
+    Testkit.case "R5 flags an undocumented val and accepts a documented one"
+      (fun () ->
+        (* An interface fixture: compile the mli alone to get a cmti. *)
+        let dir = scratch_dir () in
+        let write name text =
+          let oc = open_out (Filename.concat dir name) in
+          output_string oc text;
+          close_out oc
+        in
+        write "r5_iface.mli"
+          "val documented : int\n(** Has a doc comment. *)\n\nval bare : int\n";
+        write "r5_iface.ml" "let documented = 1\nlet bare = 2\n";
+        let cmd =
+          Printf.sprintf
+            "cd %s && %s -bin-annot -c r5_iface.mli r5_iface.ml 2>/dev/null"
+            (Filename.quote dir) ocamlc
+        in
+        if Sys.command cmd <> 0 then Alcotest.fail "r5_iface does not compile";
+        let loader =
+          A.Loader.load_files ~scope_all:true
+            [
+              Filename.concat dir "r5_iface.cmt";
+              Filename.concat dir "r5_iface.cmti";
+            ]
+        in
+        let rule = Option.get (A.Rules.find "R5") in
+        let fs = A.Engine.run ~rules:[ rule ] loader in
+        Testkit.check_true "bare flagged"
+          (List.exists
+             (fun (f : A.Finding.t) -> f.A.Finding.symbol = "bare")
+             fs);
+        Testkit.check_false "documented not flagged"
+          (List.exists
+             (fun (f : A.Finding.t) -> f.A.Finding.symbol = "documented")
+             fs));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Baseline workflow and report schema                                 *)
+(* ------------------------------------------------------------------ *)
+
+let baseline_tests =
+  [
+    Testkit.case "a baselined finding is suppressed, a new one is fresh"
+      (fun () ->
+        let fs =
+          findings_of ~rule_id:"R1" ~name:"bl_roll"
+            "let roll () = Random.int 6\n"
+        in
+        Testkit.check_true "fixture produced findings" (fs <> []);
+        let baseline = A.Baseline.of_findings fs in
+        let fresh, suppressed = A.Baseline.apply baseline fs in
+        Alcotest.(check int) "all suppressed" (List.length fs)
+          (List.length suppressed);
+        Alcotest.(check int) "none fresh" 0 (List.length fresh);
+        (* Recompile the same module with one extra violation: the old
+           fingerprint stays absorbed, the new symbol surfaces. *)
+        let fs2 =
+          findings_of ~rule_id:"R1" ~name:"bl_roll"
+            "let roll () = Random.int 6\nlet extra () = Sys.time ()\n"
+        in
+        let fresh2, suppressed2 = A.Baseline.apply baseline fs2 in
+        Testkit.check_true "new violation is fresh"
+          (List.exists
+             (fun (f : A.Finding.t) ->
+               Testkit.contains ~needle:"Sys.time" f.A.Finding.detail)
+             fresh2);
+        Testkit.check_true "old violation stays absorbed"
+          (List.exists
+             (fun (f : A.Finding.t) ->
+               Testkit.contains ~needle:"Random" f.A.Finding.detail)
+             suppressed2));
+    Testkit.case "baseline JSON round-trips" (fun () ->
+        let fs =
+          findings_of ~rule_id:"R1" ~name:"bl_json" "let t () = Sys.time ()\n"
+        in
+        let b = A.Baseline.of_findings fs in
+        match A.Baseline.of_json (A.Baseline.to_json b) with
+        | Ok b2 -> Alcotest.(check int) "count" (A.Baseline.count b) (A.Baseline.count b2)
+        | Error e -> Alcotest.fail e);
+  ]
+
+let report_tests =
+  [
+    Testkit.case "report JSON round-trips through Json.of_string" (fun () ->
+        let fs =
+          findings_of ~rule_id:"R1" ~name:"rep_v1"
+            "let roll () = Random.int 6\nlet t () = Sys.time ()\n"
+        in
+        let report = A.Report.make ~rules:A.Rules.all ~units:1 ~suppressed:3 fs in
+        let json = A.Report.to_json report in
+        let reparsed = Json.of_string (Json.to_string_pretty json) in
+        match A.Report.validate reparsed with
+        | Error e -> Alcotest.fail e
+        | Ok r2 ->
+          Alcotest.(check int) "errors" (A.Report.errors report) (A.Report.errors r2);
+          Alcotest.(check int) "suppressed" 3 r2.A.Report.suppressed;
+          Alcotest.(check int) "units" 1 r2.A.Report.units;
+          Alcotest.(check int) "findings"
+            (List.length report.A.Report.findings)
+            (List.length r2.A.Report.findings);
+          let s = A.Report.summary_line r2 in
+          Testkit.check_true "summary names the rules"
+            (Testkit.contains ~needle:"R1,R2,R3,R4,R5" s);
+          Testkit.check_true "summary counts baselined"
+            (Testkit.contains ~needle:"(3 baselined)" s));
+    Testkit.case "fingerprints ignore line drift" (fun () ->
+        let f1 =
+          findings_of ~rule_id:"R1" ~name:"fp_v1" "let t () = Sys.time ()\n"
+        in
+        let f2 =
+          findings_of ~rule_id:"R1" ~name:"fp_v2"
+            "(* pushed down by a comment *)\n\n\nlet t () = Sys.time ()\n"
+        in
+        match (f1, f2) with
+        | [ a ], [ b ] ->
+          (* Same rule/symbol/detail, different file names — fingerprints
+             differ only in the file component. *)
+          Testkit.check_true "lines differ"
+            (a.A.Finding.line <> b.A.Finding.line);
+          let strip_file (f : A.Finding.t) =
+            (f.A.Finding.rule, f.A.Finding.symbol, f.A.Finding.detail)
+          in
+          Alcotest.(check bool) "location-free parts equal" true
+            (strip_file a = strip_file b)
+        | _ -> Alcotest.fail "expected one finding per fixture");
+  ]
+
+let () =
+  Alcotest.run "ptrng_lint"
+    [
+      ("R1 determinism", r1_tests);
+      ("R2 float safety", r2_tests);
+      ("R3 concurrency", r3_tests);
+      ("R4 span safety", r4_tests);
+      ("R5 interface hygiene", r5_tests);
+      ("baseline", baseline_tests);
+      ("report", report_tests);
+    ]
