@@ -452,6 +452,51 @@ let section_variance_curve () =
   @ [ ("fit_a", Tm.Json.num fit.a); ("fit_b", Tm.Json.num fit.b) ]
 
 (* ------------------------------------------------------------------ *)
+(* MONITOR: streaming observatory feed cost                            *)
+(* ------------------------------------------------------------------ *)
+
+let section_monitor () =
+  banner "MONITOR — streaming health-observatory feed cost";
+  let module M = Ptrng_monitor in
+  let jitter_n = if smoke then 1 lsl 16 else if quick then 1 lsl 19 else 1 lsl 21 in
+  let bits_n = if smoke then 1 lsl 13 else 1 lsl 16 in
+  let mon = M.Monitor.create (M.Monitor.default_config ~f0:paper_f0) in
+  let rng = Ptrng_prng.Rng.create ~seed:2014L () in
+  (* Uniform streams: the feed cost is data-independent, and a fair
+     coin keeps every health test quiet, so the section doubles as a
+     no-false-alarm check. *)
+  let jit =
+    Array.init jitter_n (fun _ -> (Ptrng_prng.Rng.float rng -. 0.5) *. 1e-11)
+  in
+  let bits = Array.init bits_n (fun _ -> Ptrng_prng.Rng.bool rng) in
+  let timed_alloc f =
+    let w0 = Gc.minor_words () in
+    let t0 = Tm.Clock.now () in
+    f ();
+    (Tm.Clock.now () -. t0, Gc.minor_words () -. w0)
+  in
+  let jt, jw = timed_alloc (fun () -> M.Monitor.feed_jitter_array mon jit) in
+  let bt, bw = timed_alloc (fun () -> M.Monitor.feed_bits mon bits) in
+  let s = M.Monitor.snapshot mon in
+  let per value n = value /. float_of_int n in
+  Printf.printf "feed_jitter  %8.1f ns/sample  %6.2f words/sample  (%d samples)\n"
+    (per jt jitter_n *. 1e9) (per jw jitter_n) jitter_n;
+  Printf.printf "feed_bit     %8.1f ns/bit     %6.2f words/bit     (%d bits)\n"
+    (per bt bits_n *. 1e9) (per bw bits_n) bits_n;
+  Printf.printf "verdict %s after %d windows (r_%d = %.4f, min-entropy %.3f)\n"
+    (M.Verdict.status_string s.verdict.M.Verdict.status)
+    s.windows s.judge_n s.r_judge s.min_entropy;
+  [
+    ("jitter_samples", Tm.Json.Int jitter_n);
+    ("ns_per_jitter_sample", Tm.Json.num (per jt jitter_n *. 1e9));
+    ("words_per_jitter_sample", Tm.Json.num (per jw jitter_n));
+    ("bits", Tm.Json.Int bits_n);
+    ("ns_per_bit", Tm.Json.num (per bt bits_n *. 1e9));
+    ("words_per_bit", Tm.Json.num (per bw bits_n));
+    ("verdict", Tm.Json.String (M.Verdict.status_string s.verdict.M.Verdict.status));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel kernel benchmarks                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -657,6 +702,7 @@ let () =
   run_section "allan" section_allan;
   run_section "noise_synth" section_noise_synth;
   run_section "variance_curve" section_variance_curve;
+  run_section "monitor" section_monitor;
   let kernels = if no_perf then [] else Tm.Span.with_ ~name:"perf" section_perf in
   let total_s = Unix.gettimeofday () -. t0 in
   Printf.printf "\ntotal bench time: %.1f s\n" total_s;

@@ -336,6 +336,99 @@ let run_design target =
   0
 
 (* ---------------------------------------------------------------- *)
+(* monitor                                                          *)
+(* ---------------------------------------------------------------- *)
+
+(* "5s", "500ms", "2m" or a bare float (seconds). *)
+let parse_duration s =
+  let s = String.trim s in
+  let len = String.length s in
+  let num, mult =
+    if len > 2 && String.sub s (len - 2) 2 = "ms" then
+      (String.sub s 0 (len - 2), 1e-3)
+    else if len > 1 && s.[len - 1] = 's' then (String.sub s 0 (len - 1), 1.0)
+    else if len > 1 && s.[len - 1] = 'm' then (String.sub s 0 (len - 1), 60.0)
+    else (s, 1.0)
+  in
+  match float_of_string_opt (String.trim num) with
+  | Some v when v > 0.0 -> Ok (v *. mult)
+  | _ -> Error (Printf.sprintf "bad duration %S (try 5s, 500ms, 2m)" s)
+
+let run_monitor seed duration periods attack strength divisor listen refresh
+    dashboard =
+  let module M = Ptrng_monitor in
+  (* The observatory instruments itself through the telemetry layer;
+     the gauges and counter tracks must be live for /metrics to serve
+     anything, so this sub-command enables telemetry unconditionally. *)
+  Ptrng_telemetry.Registry.enable ();
+  let pair = Ptrng_osc.Pair.paper_pair () in
+  let attacked =
+    match attack with
+    | "none" -> pair
+    | "quench" -> Ptrng_trng.Attack.thermal_quench ~factor:(1.0 -. strength) pair
+    | "inject" -> Ptrng_trng.Attack.frequency_injection ~lock_strength:strength pair
+    | other -> failwith (Printf.sprintf "unknown attack %S" other)
+  in
+  let mon = M.Monitor.create (M.Monitor.default_config ~f0:paper_f0) in
+  let server =
+    match listen with
+    | None -> None
+    | Some port ->
+      let s = M.Monitor.serve ~port mon in
+      Printf.printf "monitor: serving %s/metrics and %s/health\n%!"
+        (M.Http.url s) (M.Http.url s);
+      Some s
+  in
+  let rng = make_rng seed in
+  (* Each chunk restarts the simulated trajectory (the event-level
+     simulator has no phase carry-over), so chunks must be long enough
+     that the sampler's deterministic detuning beat — about 10 bits at
+     divisor 1000 — is balanced within every chunk; short chunks would
+     replay the same fractional beat word and bias the bit stream. *)
+  let chunk = 262144 in
+  let now () = Ptrng_telemetry.Clock.now () in
+  let deadline = now () +. duration in
+  let processed = ref 0 in
+  let next_refresh = ref 0.0 in
+  let continue () =
+    match periods with
+    | Some p -> !processed < p
+    | None -> now () < deadline
+  in
+  if not dashboard then
+    Printf.printf "monitor: attack %s (strength %.2f), divisor %d, %s...\n%!"
+      attack strength divisor
+      (match periods with
+      | Some p -> Printf.sprintf "%d periods" p
+      | None -> Printf.sprintf "%.1fs" duration);
+  while continue () do
+    let p1, p2 = Ptrng_osc.Pair.simulate rng attacked ~n:chunk in
+    M.Monitor.feed_jitter_array mon
+      (Array.init chunk (fun i -> p1.(i) -. p2.(i)));
+    let osc1_edges = Ptrng_osc.Oscillator.edges_of_periods p1 in
+    let osc2_edges = Ptrng_osc.Oscillator.edges_of_periods p2 in
+    M.Monitor.feed_bits mon
+      (Ptrng_trng.Sampler.sample ~osc1_edges ~osc2_edges ~divisor);
+    processed := !processed + chunk;
+    if dashboard && now () >= !next_refresh then begin
+      next_refresh := now () +. refresh;
+      print_string
+        (M.Dashboard.clear_screen ^ M.Dashboard.render (M.Monitor.snapshot mon));
+      flush stdout
+    end
+  done;
+  let s = M.Monitor.snapshot mon in
+  if dashboard then print_string M.Dashboard.clear_screen;
+  print_header "Live entropy-health observatory — final state";
+  print_string (M.Dashboard.render ~color:dashboard s);
+  Printf.printf "\nverdict: %s\n" (M.Verdict.status_string s.verdict.status);
+  Option.iter M.Http.stop server;
+  match s.verdict.status with
+  | M.Verdict.Ok -> 0
+  | M.Verdict.Degraded -> 1
+  | M.Verdict.Failing -> 2
+
+(* ---------------------------------------------------------------- *)
 (* selftest                                                         *)
 (* ---------------------------------------------------------------- *)
 
@@ -621,6 +714,81 @@ let design_cmd =
   Cmd.v (Cmd.info "design" ~doc)
     (instrument "design" Term.(const (fun target () -> run_design target) $ target_arg))
 
+let monitor_cmd =
+  let doc =
+    "Run the simulator as a live source through the streaming health \
+     observatory: sliding-window r_N, SP 800-90B / AIS31 health tests, EWMA \
+     and CUSUM control charts, /metrics and /health endpoints.  Exits 0 when \
+     the final verdict is ok, 1 degraded, 2 failing."
+  in
+  let duration_arg =
+    let duration_conv =
+      ( (fun s ->
+          match parse_duration s with Ok d -> `Ok d | Error e -> `Error e),
+        fun fmt d -> Format.fprintf fmt "%gs" d )
+    in
+    Arg.(
+      value & opt duration_conv 5.0
+      & info [ "duration" ] ~docv:"DUR"
+          ~doc:"Wall-clock run length: 5s, 500ms, 2m or bare seconds.")
+  in
+  let periods_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "periods" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) simulated oscillator periods instead of \
+             $(b,--duration) — deterministic for a fixed seed, so this is \
+             what the smoke gate uses.")
+  in
+  let attack_arg =
+    Arg.(
+      value & opt string "none"
+      & info [ "attack" ] ~docv:"KIND" ~doc:"none, quench or inject.")
+  in
+  let strength_arg =
+    Arg.(
+      value & opt float 0.95
+      & info [ "strength" ] ~docv:"S" ~doc:"Attack strength in [0,1).")
+  in
+  let divisor_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "divisor" ] ~docv:"K" ~doc:"Osc2 cycles between bit samples.")
+  in
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "listen" ] ~docv:"PORT"
+          ~doc:
+            "Serve GET /metrics (Prometheus) and /health (JSON) on \
+             127.0.0.1:$(docv) while running (0 = ephemeral, printed at \
+             start).")
+  in
+  let refresh_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "refresh" ] ~docv:"S" ~doc:"Dashboard refresh period, seconds.")
+  in
+  let no_dashboard_arg =
+    Arg.(
+      value & flag
+      & info [ "no-dashboard" ]
+          ~doc:"Plain incremental output instead of the refreshing dashboard \
+                (for logs and CI).")
+  in
+  Cmd.v (Cmd.info "monitor" ~doc)
+    (instrument "monitor"
+       Term.(
+         const (fun seed duration periods attack strength divisor listen refresh
+                    no_dash () ->
+             run_monitor seed duration periods attack strength divisor listen
+               refresh (not no_dash))
+         $ seed_arg $ duration_arg $ periods_arg $ attack_arg $ strength_arg
+         $ divisor_arg $ listen_arg $ refresh_arg $ no_dashboard_arg))
+
 let selftest_cmd =
   let doc = "Check eq. 11 against numeric integration of eq. 9." in
   Cmd.v (Cmd.info "selftest" ~doc)
@@ -632,7 +800,7 @@ let main_cmd =
      realizations in P-TRNG stochastic models' (DATE 2014)."
   in
   Cmd.group (Cmd.info "repro" ~version:"1.0.0" ~doc)
-    [ fig7_cmd; extract_cmd; entropy_cmd; scaling_cmd; online_cmd; trng_cmd; assess_cmd;
-      allan_cmd; design_cmd; selftest_cmd ]
+    [ fig7_cmd; extract_cmd; entropy_cmd; scaling_cmd; online_cmd; monitor_cmd;
+      trng_cmd; assess_cmd; allan_cmd; design_cmd; selftest_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,57 @@
+module Tm = Ptrng_telemetry.Registry
+
+let blocks_total =
+  Tm.Counter.v ~help:"AIS31 online-test blocks completed (streaming monobit)."
+    "ptrng_ais31_online_blocks_total"
+
+let alarms_total =
+  Tm.Counter.v ~help:"AIS31 online-test blocks whose ones count left the bound."
+    "ptrng_ais31_online_alarms_total"
+
+type t = {
+  block_bits : int;
+  lo : int;
+  hi : int;
+  mutable seen : int;    (* bits in the current (incomplete) block *)
+  mutable ones : int;
+  mutable blocks : int;
+  mutable alarms : int;
+}
+
+let create ?(block_bits = Procedure_a.block_bits) ?(alpha_exp = 20) () =
+  if block_bits < 64 then invalid_arg "Online.create: block_bits < 64";
+  if alpha_exp <= 0 then invalid_arg "Online.create: alpha_exp <= 0";
+  (* Two-sided bound at alpha = 2^-alpha_exp: half of the mass in each
+     tail.  Var(ones) = w/4 under the null. *)
+  let alpha = 2.0 ** -.float_of_int alpha_exp in
+  let z = Ptrng_stats.Special.normal_ppf (1.0 -. (alpha /. 2.0)) in
+  let half = float_of_int block_bits /. 2.0 in
+  let d = z *. sqrt (float_of_int block_bits) /. 2.0 in
+  let lo = int_of_float (Float.ceil (half -. d)) in
+  let hi = int_of_float (Float.floor (half +. d)) in
+  { block_bits; lo; hi; seen = 0; ones = 0; blocks = 0; alarms = 0 }
+
+let bounds t = (t.lo, t.hi)
+
+let feed t bit =
+  t.seen <- t.seen + 1;
+  if bit then t.ones <- t.ones + 1;
+  if t.seen < t.block_bits then None
+  else begin
+    let alarm = t.ones < t.lo || t.ones > t.hi in
+    t.seen <- 0;
+    t.ones <- 0;
+    t.blocks <- t.blocks + 1;
+    if alarm then t.alarms <- t.alarms + 1;
+    Tm.Counter.incr blocks_total;
+    if alarm then Tm.Counter.incr alarms_total;
+    Some alarm
+  end
+
+let blocks t = t.blocks
+let alarms t = t.alarms
+
+let scan t bits =
+  let alarms0 = t.alarms in
+  Array.iter (fun b -> ignore (feed t b)) bits;
+  t.alarms - alarms0

@@ -2,7 +2,10 @@
    paths, so "Random.int" is seen as "Stdlib.Random.int" whatever was
    opened or aliased at the use site. *)
 
-let allowlist = [ "lib/exec"; "lib/telemetry" ]
+(* lib/monitor is the live health observatory: wall-clock-coupled by
+   design (HTTP listener, dashboard refresh, timestamped series), so
+   it sits beside the runtime layers the rule exempts. *)
+let allowlist = [ "lib/exec"; "lib/monitor"; "lib/telemetry" ]
 
 let forbidden_exact =
   [
@@ -58,7 +61,7 @@ let rec rule =
     severity = Finding.Error;
     doc =
       "forbid Stdlib.Random, Sys.time, Unix.gettimeofday, Hashtbl hashing \
-       and Domain.self outside lib/exec and lib/telemetry";
+       and Domain.self outside lib/exec, lib/monitor and lib/telemetry";
     check =
       (fun loader ->
         List.concat_map

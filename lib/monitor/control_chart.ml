@@ -1,0 +1,71 @@
+type ewma = {
+  e_lambda : float;
+  e_mean : float;
+  e_halfwidth : float;      (* limit * asymptotic EWMA sigma *)
+  mutable e_value : float;
+  mutable e_crossed : bool;
+}
+
+let ewma_create ?(lambda = 0.2) ?(limit = 3.0) ~mean ~sigma () =
+  if not (lambda > 0.0 && lambda <= 1.0) then
+    invalid_arg "Control_chart.ewma_create: lambda outside (0,1]";
+  if limit <= 0.0 then invalid_arg "Control_chart.ewma_create: limit <= 0";
+  if sigma <= 0.0 then invalid_arg "Control_chart.ewma_create: sigma <= 0";
+  let asym = sigma *. sqrt (lambda /. (2.0 -. lambda)) in
+  {
+    e_lambda = lambda;
+    e_mean = mean;
+    e_halfwidth = limit *. asym;
+    e_value = mean;
+    e_crossed = false;
+  }
+
+let ewma_alarming t = Float.abs (t.e_value -. t.e_mean) > t.e_halfwidth
+
+let ewma_feed t x =
+  if Float.is_finite x then
+    t.e_value <- (t.e_lambda *. x) +. ((1.0 -. t.e_lambda) *. t.e_value);
+  let alarm = ewma_alarming t in
+  if alarm then t.e_crossed <- true;
+  alarm
+
+let ewma_value t = t.e_value
+let ewma_crossed t = t.e_crossed
+
+type cusum = {
+  c_mean : float;
+  c_sigma : float;
+  c_k : float;              (* allowance, sigma units *)
+  c_h : float;              (* decision interval, sigma units *)
+  mutable c_pos : float;    (* sigma units *)
+  mutable c_neg : float;
+  mutable c_crossed : bool;
+}
+
+let cusum_create ?(k = 0.5) ?(h = 5.0) ~mean ~sigma () =
+  if k < 0.0 then invalid_arg "Control_chart.cusum_create: k < 0";
+  if h <= 0.0 then invalid_arg "Control_chart.cusum_create: h <= 0";
+  if sigma <= 0.0 then invalid_arg "Control_chart.cusum_create: sigma <= 0";
+  { c_mean = mean; c_sigma = sigma; c_k = k; c_h = h;
+    c_pos = 0.0; c_neg = 0.0; c_crossed = false }
+
+let cusum_alarming t = t.c_pos > t.c_h || t.c_neg > t.c_h
+
+let cusum_feed t x =
+  if Float.is_finite x then begin
+    let z = (x -. t.c_mean) /. t.c_sigma in
+    t.c_pos <- Float.max 0.0 (t.c_pos +. z -. t.c_k);
+    t.c_neg <- Float.max 0.0 (t.c_neg -. z -. t.c_k)
+  end;
+  let alarm = cusum_alarming t in
+  if alarm then t.c_crossed <- true;
+  alarm
+
+let cusum_pos t = t.c_pos
+let cusum_neg t = t.c_neg
+let cusum_crossed t = t.c_crossed
+
+let cusum_reset t =
+  t.c_pos <- 0.0;
+  t.c_neg <- 0.0;
+  t.c_crossed <- false

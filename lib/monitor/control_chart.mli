@@ -1,0 +1,65 @@
+(** EWMA and CUSUM control charts.
+
+    Classic SPC monitors over a statistic stream, used by the health
+    observatory to watch alarm rates: the EWMA chart reacts to
+    sustained small shifts of the mean, the (two-sided, tabular) CUSUM
+    chart accumulates departures and crosses its decision interval on
+    a persistent shift.  Both are parameterised by the in-control mean
+    and standard deviation of the watched statistic; both keep a
+    sticky [crossed] flag so a transient excursion between two polls
+    is not lost. *)
+
+type ewma
+(** Exponentially-weighted moving-average chart. *)
+
+val ewma_create :
+  ?lambda:float -> ?limit:float -> mean:float -> sigma:float -> unit -> ewma
+(** Chart around the in-control [mean]/[sigma].  [lambda] (default
+    0.2) is the smoothing weight; [limit] (default 3.0) the control
+    limit in multiples of the EWMA's asymptotic standard deviation
+    [sigma sqrt(lambda / (2 - lambda))].
+    @raise Invalid_argument unless [0 < lambda <= 1], [limit > 0] and
+    [sigma > 0]. *)
+
+val ewma_feed : ewma -> float -> bool
+(** Feed one observation; [true] when the updated EWMA sits outside
+    the control limits. *)
+
+val ewma_value : ewma -> float
+(** Current EWMA statistic (starts at the in-control mean). *)
+
+val ewma_alarming : ewma -> bool
+(** Whether the current statistic is outside the limits. *)
+
+val ewma_crossed : ewma -> bool
+(** Whether the chart ever alarmed (sticky). *)
+
+type cusum
+(** Two-sided tabular CUSUM chart. *)
+
+val cusum_create :
+  ?k:float -> ?h:float -> mean:float -> sigma:float -> unit -> cusum
+(** Chart around the in-control [mean]/[sigma].  [k] (default 0.5) is
+    the allowance and [h] (default 5.0) the decision interval, both in
+    sigma units — the textbook design detecting a one-sigma shift in
+    about ten observations.
+    @raise Invalid_argument unless [k >= 0], [h > 0] and [sigma > 0]. *)
+
+val cusum_feed : cusum -> float -> bool
+(** Feed one observation; [true] when either one-sided sum now
+    exceeds the decision interval. *)
+
+val cusum_pos : cusum -> float
+(** Upper one-sided sum, in sigma units. *)
+
+val cusum_neg : cusum -> float
+(** Lower one-sided sum, in sigma units. *)
+
+val cusum_alarming : cusum -> bool
+(** Whether either sum currently exceeds the decision interval. *)
+
+val cusum_crossed : cusum -> bool
+(** Whether the chart ever alarmed (sticky). *)
+
+val cusum_reset : cusum -> unit
+(** Zero both sums and the sticky flag (restart after intervention). *)

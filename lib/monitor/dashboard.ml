@@ -1,0 +1,71 @@
+let levels = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let spark xs =
+  let finite = Array.of_list (List.filter Float.is_finite (Array.to_list xs)) in
+  if Array.length finite = 0 then ""
+  else begin
+    let lo = Array.fold_left Float.min finite.(0) finite in
+    let hi = Array.fold_left Float.max finite.(0) finite in
+    let span = hi -. lo in
+    let buf = Buffer.create (Array.length finite * 3) in
+    Array.iter
+      (fun x ->
+        let level =
+          if span <= 0.0 then 0
+          else
+            let i = int_of_float ((x -. lo) /. span *. 7.0) in
+            Int.max 0 (Int.min 7 i)
+        in
+        Buffer.add_string buf levels.(level))
+      finite;
+    Buffer.contents buf
+  end
+
+let clear_screen = "\x1b[2J\x1b[H"
+
+let human_count n =
+  if n >= 10_000_000 then Printf.sprintf "%.1fM" (float_of_int n /. 1e6)
+  else if n >= 10_000 then Printf.sprintf "%.1fk" (float_of_int n /. 1e3)
+  else string_of_int n
+
+let render ?(color = true) (s : Monitor.snapshot) =
+  let status = s.verdict.Verdict.status in
+  let banner_text = String.uppercase_ascii (Verdict.status_string status) in
+  let banner =
+    if not color then Printf.sprintf "[ %s ]" banner_text
+    else
+      let code =
+        match status with
+        | Verdict.Ok -> "\x1b[42;30m"      (* green *)
+        | Verdict.Degraded -> "\x1b[43;30m" (* yellow *)
+        | Verdict.Failing -> "\x1b[41;97m"  (* red *)
+      in
+      Printf.sprintf "%s %s \x1b[0m" code banner_text
+  in
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "ptrng monitor %s   periods %s   bits %s   windows %d" banner
+    (human_count s.periods) (human_count s.bits) s.windows;
+  (if s.ready then begin
+     line "  r_%d = %.4f  (threshold %.2f; fitted k = %.0f, independent to N = %s)"
+       s.judge_n s.r_judge s.confidence s.k_est
+       (if s.threshold_n = max_int then "inf" else string_of_int s.threshold_n);
+     line "  r_N trend        %s" (spark s.recent_r)
+   end
+   else line "  r_N: warming up (%s periods consumed)" (human_count s.periods));
+  (if Float.is_finite s.min_entropy then begin
+     line "  min-entropy %.3f %s" s.min_entropy (spark s.recent_entropy);
+     line "  alarms/window    %s" (spark s.recent_alarms)
+   end
+   else line "  min-entropy: warming up (%d / window bits)" s.bits);
+  line "  health alarms    rct %d  apt %d  ais31 %d/%d blocks" s.rct_alarms
+    s.apt_alarms s.ais31_alarms s.ais31_blocks;
+  line "  ewma %.2f%s   cusum %.2f/%.2f%s" s.ewma_value
+    (if s.ewma_crossed then " CROSSED" else "")
+    s.cusum_pos s.cusum_neg
+    (if s.cusum_crossed then " CROSSED" else "");
+  List.iter
+    (fun (r : Verdict.reason) -> line "  ! %s: %s" r.code r.detail)
+    s.verdict.Verdict.reasons;
+  Buffer.contents b

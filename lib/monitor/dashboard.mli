@@ -1,0 +1,20 @@
+(** Terminal rendering of a monitor {!Monitor.snapshot}.
+
+    A refreshing text dashboard for [repro monitor]: verdict banner,
+    live r_N against its threshold, alarm totals, control-chart state
+    and Unicode sparklines of the recent trends.  Pure string
+    construction — the caller owns the terminal (clearing, refresh
+    cadence). *)
+
+val spark : float array -> string
+(** Unicode sparkline of the samples, min-max normalised (so shape,
+    not scale, is shown); [""] for an empty array. *)
+
+val render : ?color:bool -> Monitor.snapshot -> string
+(** Multi-line dashboard (trailing newline included).  [color]
+    (default true) enables ANSI colors on the verdict banner: green
+    ok, yellow degraded, red failing. *)
+
+val clear_screen : string
+(** ANSI sequence clearing the terminal and homing the cursor —
+    prepend to {!render} output for an in-place refresh. *)

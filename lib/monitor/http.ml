@@ -1,0 +1,130 @@
+type response = { status : int; content_type : string; body : string }
+
+let response ?(status = 200) ?(content_type = "text/plain; charset=utf-8") body
+    =
+  { status; content_type; body }
+
+type handler = string -> response option
+
+type t = {
+  sock : Unix.file_descr;
+  host : string;
+  bound_port : int;
+  stop_flag : bool Atomic.t;
+  mutable listener : unit Domain.t option;
+}
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | _ -> "Status"
+
+let write_all fd s =
+  let len = String.length s in
+  let bytes = Bytes.of_string s in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write fd bytes !off (len - !off) in
+    if n <= 0 then raise Exit;
+    off := !off + n
+  done
+
+let respond fd ~head_only { status; content_type; body } =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\n\
+       Content-Type: %s\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\
+       \r\n"
+      status (status_text status) content_type (String.length body)
+  in
+  write_all fd head;
+  if not head_only then write_all fd body
+
+(* The request line is all we need: "<METHOD> <path> HTTP/1.x".  GET
+   requests have no body, so one read of the socket is enough for any
+   client that is not trickling bytes on purpose. *)
+let parse_request buf len =
+  match String.index_opt (String.sub buf 0 len) '\n' with
+  | None -> None
+  | Some eol ->
+    let line = String.trim (String.sub buf 0 eol) in
+    (match String.split_on_char ' ' line with
+    | meth :: target :: _ ->
+      let path =
+        match String.index_opt target '?' with
+        | Some q -> String.sub target 0 q
+        | None -> target
+      in
+      Some (meth, path)
+    | _ -> None)
+
+let serve_connection handler fd =
+  let buf = Bytes.create 8192 in
+  let n = Unix.recv fd buf 0 (Bytes.length buf) [] in
+  if n > 0 then begin
+    match parse_request (Bytes.to_string buf) n with
+    | None -> respond fd ~head_only:false (response ~status:400 "bad request\n")
+    | Some (meth, path) when meth = "GET" || meth = "HEAD" -> (
+      let head_only = meth = "HEAD" in
+      match handler path with
+      | Some r -> respond fd ~head_only r
+      | None ->
+        respond fd ~head_only (response ~status:404 ("no such path: " ^ path ^ "\n")))
+    | Some _ ->
+      respond fd ~head_only:false (response ~status:405 "only GET and HEAD\n")
+  end
+
+(* Accept loop: select with a short timeout so the stop flag is
+   honoured promptly; per-connection failures (client went away,
+   malformed bytes) must never take the listener down. *)
+let listen_loop t handler =
+  while not (Atomic.get t.stop_flag) do
+    match Unix.select [ t.sock ] [] [] 0.05 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ ->
+      let fd, _ = Unix.accept t.sock in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          try serve_connection handler fd
+          with Unix.Unix_error _ | Exit | Failure _ -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let start ?(host = "127.0.0.1") ?(port = 0) ~handler () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen sock 16
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  let t =
+    { sock; host; bound_port; stop_flag = Atomic.make false; listener = None }
+  in
+  t.listener <- Some (Domain.spawn (fun () -> listen_loop t handler));
+  t
+
+let port t = t.bound_port
+
+let url t = Printf.sprintf "http://%s:%d" t.host t.bound_port
+
+let stop t =
+  match t.listener with
+  | None -> ()
+  | Some d ->
+    Atomic.set t.stop_flag true;
+    Domain.join d;
+    t.listener <- None;
+    (try Unix.close t.sock with Unix.Unix_error _ -> ())

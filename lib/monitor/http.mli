@@ -1,0 +1,45 @@
+(** Minimal dependency-free HTTP/1.1 server for the observatory
+    endpoints.
+
+    One listener running on its own domain, handling connections
+    sequentially — the expected clients are a Prometheus scraper and a
+    human with [curl], not a traffic front end.  Requests are routed
+    through a caller-supplied handler; every response closes its
+    connection.  The container ships no HTTP library, and the
+    observability layer must not grow dependencies, so this speaks
+    just enough of the protocol: request-line parsing, [GET]/[HEAD],
+    [Content-Length], [Connection: close]. *)
+
+type response = {
+  status : int;          (** e.g. 200. *)
+  content_type : string; (** e.g. ["application/json"]. *)
+  body : string;
+}
+(** One HTTP response. *)
+
+val response : ?status:int -> ?content_type:string -> string -> response
+(** Body-first constructor; [status] defaults to 200, [content_type]
+    to ["text/plain; charset=utf-8"]. *)
+
+type handler = string -> response option
+(** Maps a request path (query string stripped) to a response; [None]
+    becomes a 404. *)
+
+type t
+(** A running server. *)
+
+val start : ?host:string -> ?port:int -> handler:handler -> unit -> t
+(** Bind [host] (default ["127.0.0.1"]) at [port] (default 0 = pick an
+    ephemeral port), spawn the listener domain and start serving.
+    @raise Unix.Unix_error if the socket cannot be bound. *)
+
+val port : t -> int
+(** The actually bound port — the one to scrape when [port:0] was
+    requested. *)
+
+val url : t -> string
+(** ["http://host:port"] of the running server. *)
+
+val stop : t -> unit
+(** Stop accepting, join the listener domain and close the socket.
+    Idempotent. *)

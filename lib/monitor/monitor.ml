@@ -1,0 +1,423 @@
+module T = Ptrng_telemetry
+
+type config = {
+  f0 : float;
+  ns : int array;
+  realizations : int;
+  min_realizations : int;
+  confidence : float;
+  judge_n : int;
+  fit_stride : int;
+  h_claim : float;
+  sp_alpha_exp : int;
+  sp_window : int;
+  bit_window : int;
+  ais31_block : int;
+  ais31_alpha_exp : int;
+  ewma_lambda : float;
+  ewma_limit : float;
+  cusum_k : float;
+  cusum_h : float;
+  chart_sigma : float;
+  entropy_floor : float;
+  entropy_fail : float;
+  history : int;
+}
+
+(* judge_n = 64 sits inside the default grid with margin on both
+   sides of the paper's demonstrator: calibrated k = 5354 gives
+   r_64 = 0.988, which stays above 95% even under the sliding-window
+   fit's b noise, while a flicker-dominated (quenched-thermal) run
+   collapses k by the quench factor and lands far below. *)
+let default_config ~f0 =
+  {
+    f0;
+    ns = [| 16; 64; 256; 1024 |];
+    realizations = 256;
+    min_realizations = 16;
+    confidence = 0.95;
+    judge_n = 64;
+    fit_stride = 8192;
+    h_claim = 0.997;
+    sp_alpha_exp = 30;
+    sp_window = 1024;
+    bit_window = 512;
+    ais31_block = 1024;
+    ais31_alpha_exp = 20;
+    ewma_lambda = 0.2;
+    ewma_limit = 1.5;
+    cusum_k = 0.25;
+    cusum_h = 2.0;
+    chart_sigma = 1.0;
+    entropy_floor = 0.6;
+    entropy_fail = 0.2;
+    history = 64;
+  }
+
+type t = {
+  cfg : config;
+  lock : Mutex.t;
+  rn : Rn_estimator.t;
+  sp : Ptrng_sp90b.Health.monitor;
+  ais : Ptrng_ais31.Online.t;
+  ewma : Control_chart.ewma;
+  cusum : Control_chart.cusum;
+  mutable bits : int;
+  mutable win_bits : int;
+  mutable win_ones : int;
+  mutable win_alarms : int;
+  mutable windows : int;
+  mutable last_entropy : float;
+  mutable last_alarm_rate : float;
+  recent_r : Window.t;
+  recent_entropy : Window.t;
+  recent_alarms : Window.t;
+  mutable est : Rn_estimator.estimate option;
+  mutable since_fit : int;
+}
+
+let g_r = T.Registry.Gauge.v ~help:"Live independence ratio r_N at the judged N" "ptrng_monitor_r_n"
+let g_k = T.Registry.Gauge.v ~help:"Fitted thermal/flicker ratio k = a/b" "ptrng_monitor_k"
+let g_threshold =
+  T.Registry.Gauge.v ~help:"Largest N with r_N above the confidence threshold"
+    "ptrng_monitor_threshold_n"
+let g_ewma = T.Registry.Gauge.v ~help:"EWMA statistic over alarms per window" "ptrng_monitor_ewma"
+let g_cusum =
+  T.Registry.Gauge.v ~help:"Upper one-sided CUSUM over alarms per window (sigma units)"
+    "ptrng_monitor_cusum_pos"
+let g_entropy =
+  T.Registry.Gauge.v ~help:"Windowed most-common-value min-entropy per bit"
+    "ptrng_monitor_min_entropy"
+let g_verdict =
+  T.Registry.Gauge.v ~help:"Health verdict severity: 0 ok, 1 degraded, 2 failing"
+    "ptrng_monitor_verdict"
+let c_windows =
+  T.Registry.Counter.v ~help:"Chart windows closed" "ptrng_monitor_windows_total"
+let c_chart_alarms =
+  T.Registry.Counter.v ~help:"Windows on which a control chart alarmed"
+    "ptrng_monitor_chart_alarms_total"
+
+let s_r = T.Series.v ~help:"Live r_N trajectory" "ptrng_monitor_r_n"
+let s_alarm_rate = T.Series.v ~help:"Alarms per chart window" "ptrng_monitor_alarm_rate"
+let s_ewma = T.Series.v ~help:"EWMA statistic trajectory" "ptrng_monitor_ewma"
+let s_cusum = T.Series.v ~help:"Upper CUSUM trajectory" "ptrng_monitor_cusum_pos"
+let s_entropy = T.Series.v ~help:"Windowed min-entropy trajectory" "ptrng_monitor_min_entropy"
+
+let create cfg =
+  if cfg.judge_n < 1 then invalid_arg "Monitor.create: judge_n < 1";
+  if not (cfg.confidence > 0.0 && cfg.confidence < 1.0) then
+    invalid_arg "Monitor.create: confidence outside (0, 1)";
+  if cfg.fit_stride < 1 then invalid_arg "Monitor.create: fit_stride < 1";
+  if cfg.bit_window < 8 then invalid_arg "Monitor.create: bit_window < 8";
+  if not (cfg.entropy_fail <= cfg.entropy_floor) then
+    invalid_arg "Monitor.create: entropy_fail above entropy_floor";
+  if cfg.history < 2 then invalid_arg "Monitor.create: history < 2";
+  {
+    cfg;
+    lock = Mutex.create ();
+    rn =
+      Rn_estimator.create ~ns:cfg.ns ~realizations:cfg.realizations
+        ~min_realizations:cfg.min_realizations ~f0:cfg.f0 ();
+    sp =
+      Ptrng_sp90b.Health.monitor_of_entropy ~alpha_exp:cfg.sp_alpha_exp
+        ~window:cfg.sp_window ~h:cfg.h_claim ();
+    ais =
+      Ptrng_ais31.Online.create ~block_bits:cfg.ais31_block
+        ~alpha_exp:cfg.ais31_alpha_exp ();
+    ewma =
+      Control_chart.ewma_create ~lambda:cfg.ewma_lambda ~limit:cfg.ewma_limit
+        ~mean:0.0 ~sigma:cfg.chart_sigma ();
+    cusum =
+      Control_chart.cusum_create ~k:cfg.cusum_k ~h:cfg.cusum_h ~mean:0.0
+        ~sigma:cfg.chart_sigma ();
+    bits = 0;
+    win_bits = 0;
+    win_ones = 0;
+    win_alarms = 0;
+    windows = 0;
+    last_entropy = nan;
+    last_alarm_rate = nan;
+    recent_r = Window.create ~capacity:cfg.history;
+    recent_entropy = Window.create ~capacity:cfg.history;
+    recent_alarms = Window.create ~capacity:cfg.history;
+    est = None;
+    since_fit = 0;
+  }
+
+let config t = t.cfg
+
+let r_judge_of t =
+  match t.est with
+  | None -> nan
+  | Some e -> Rn_estimator.r_of_fit e.fit t.cfg.judge_n
+
+(* Verdict rules (docs/MONITORING.md): each watched statistic
+   contributes a reason; min-entropy collapse — or both charts
+   alarming at once — escalates to failing. *)
+let compute_verdict t =
+  let reasons = ref [] in
+  let add code detail = reasons := { Verdict.code; detail } :: !reasons in
+  (match t.est with
+  | None -> ()
+  | Some e ->
+    let r = Rn_estimator.r_of_fit e.fit t.cfg.judge_n in
+    if r < t.cfg.confidence then
+      add "independence"
+        (Printf.sprintf
+           "r_%d = %.3f below the %.0f%% independence threshold (k = %.0f)"
+           t.cfg.judge_n r (100.0 *. t.cfg.confidence) e.k));
+  let ewma_on = Control_chart.ewma_crossed t.ewma in
+  let cusum_on = Control_chart.cusum_crossed t.cusum in
+  if ewma_on then
+    add "ewma"
+      (Printf.sprintf "EWMA chart crossed (statistic %.2f)"
+         (Control_chart.ewma_value t.ewma));
+  if cusum_on then
+    add "cusum"
+      (Printf.sprintf "CUSUM chart crossed (S+ = %.2f, S- = %.2f)"
+         (Control_chart.cusum_pos t.cusum)
+         (Control_chart.cusum_neg t.cusum));
+  if Float.is_finite t.last_entropy then begin
+    if t.last_entropy < t.cfg.entropy_fail then
+      add "min-entropy-collapse"
+        (Printf.sprintf "windowed min-entropy %.3f below the failure floor %.2f"
+           t.last_entropy t.cfg.entropy_fail)
+    else if t.last_entropy < t.cfg.entropy_floor then
+      add "min-entropy"
+        (Printf.sprintf "windowed min-entropy %.3f below the floor %.2f"
+           t.last_entropy t.cfg.entropy_floor)
+  end;
+  let both_charts = ewma_on && cusum_on in
+  Verdict.make (List.rev !reasons) ~failing:(fun (r : Verdict.reason) ->
+      r.code = "min-entropy-collapse"
+      || (both_charts && (r.code = "ewma" || r.code = "cusum")))
+
+let publish_verdict t =
+  let v = compute_verdict t in
+  T.Registry.Gauge.set g_verdict (float_of_int (Verdict.severity v.status));
+  v
+
+let refresh_fit t =
+  t.est <- Rn_estimator.estimate ~confidence:t.cfg.confidence t.rn;
+  match t.est with
+  | None -> ()
+  | Some e ->
+    let r = Rn_estimator.r_of_fit e.fit t.cfg.judge_n in
+    Window.push t.recent_r r;
+    T.Registry.Gauge.set g_r r;
+    T.Registry.Gauge.set g_k e.k;
+    if e.threshold_n < max_int then
+      T.Registry.Gauge.set g_threshold (float_of_int e.threshold_n);
+    T.Series.record s_r r;
+    ignore (publish_verdict t);
+    T.Event_log.emit ~kind:"monitor"
+      [
+        ("what", T.Json.String "fit");
+        ("n", T.Json.Int t.cfg.judge_n);
+        ("r_n", T.Json.num r);
+        ("k", T.Json.num e.k);
+        ("periods", T.Json.Int (Rn_estimator.samples t.rn));
+      ]
+
+let feed_jitter_unlocked t x =
+  Rn_estimator.feed t.rn x;
+  t.since_fit <- t.since_fit + 1;
+  if t.since_fit >= t.cfg.fit_stride then begin
+    t.since_fit <- 0;
+    refresh_fit t
+  end
+
+let close_window t =
+  let w = t.win_bits in
+  let alarms = float_of_int t.win_alarms in
+  let p_max = float_of_int (max t.win_ones (w - t.win_ones)) /. float_of_int w in
+  let h =
+    if p_max >= 1.0 then 0.0 else -.(Float.log p_max /. Float.log 2.0)
+  in
+  t.last_entropy <- h;
+  t.last_alarm_rate <- alarms;
+  Window.push t.recent_entropy h;
+  Window.push t.recent_alarms alarms;
+  let e_alarm = Control_chart.ewma_feed t.ewma alarms in
+  let c_alarm = Control_chart.cusum_feed t.cusum alarms in
+  t.windows <- t.windows + 1;
+  T.Registry.Counter.incr c_windows;
+  if e_alarm || c_alarm then T.Registry.Counter.incr c_chart_alarms;
+  T.Registry.Gauge.set g_ewma (Control_chart.ewma_value t.ewma);
+  T.Registry.Gauge.set g_cusum (Control_chart.cusum_pos t.cusum);
+  T.Registry.Gauge.set g_entropy h;
+  T.Series.record s_alarm_rate alarms;
+  T.Series.record s_ewma (Control_chart.ewma_value t.ewma);
+  T.Series.record s_cusum (Control_chart.cusum_pos t.cusum);
+  T.Series.record s_entropy h;
+  ignore (publish_verdict t);
+  T.Event_log.emit ~kind:"monitor"
+    [
+      ("what", T.Json.String "window");
+      ("window", T.Json.Int t.windows);
+      ("alarms", T.Json.num alarms);
+      ("min_entropy", T.Json.num h);
+      ("ewma", T.Json.num (Control_chart.ewma_value t.ewma));
+      ("cusum_pos", T.Json.num (Control_chart.cusum_pos t.cusum));
+    ];
+  t.win_bits <- 0;
+  t.win_ones <- 0;
+  t.win_alarms <- 0
+
+let feed_bit_unlocked t b =
+  t.bits <- t.bits + 1;
+  t.win_bits <- t.win_bits + 1;
+  if b then t.win_ones <- t.win_ones + 1;
+  let a = Ptrng_sp90b.Health.monitor_feed t.sp b in
+  if a.rct_alarm then t.win_alarms <- t.win_alarms + 1;
+  if a.apt_alarm then t.win_alarms <- t.win_alarms + 1;
+  (match Ptrng_ais31.Online.feed t.ais b with
+  | Some true -> t.win_alarms <- t.win_alarms + 1
+  | Some false | None -> ());
+  if t.win_bits >= t.cfg.bit_window then close_window t
+
+let feed_jitter t x = Mutex.protect t.lock (fun () -> feed_jitter_unlocked t x)
+
+let feed_jitter_array t xs =
+  Mutex.protect t.lock (fun () -> Array.iter (feed_jitter_unlocked t) xs)
+
+let feed_bit t b = Mutex.protect t.lock (fun () -> feed_bit_unlocked t b)
+
+let feed_bits t bs =
+  Mutex.protect t.lock (fun () -> Array.iter (feed_bit_unlocked t) bs)
+
+type snapshot = {
+  t_s : float;
+  periods : int;
+  bits : int;
+  windows : int;
+  ready : bool;
+  judge_n : int;
+  confidence : float;
+  r_judge : float;
+  k_est : float;
+  threshold_n : int;
+  points : Ptrng_measure.Variance_curve.point array;
+  rct_alarms : int;
+  apt_alarms : int;
+  ais31_alarms : int;
+  ais31_blocks : int;
+  alarm_rate : float;
+  ewma_value : float;
+  ewma_crossed : bool;
+  cusum_pos : float;
+  cusum_neg : float;
+  cusum_crossed : bool;
+  min_entropy : float;
+  recent_r : float array;
+  recent_entropy : float array;
+  recent_alarms : float array;
+  verdict : Verdict.t;
+}
+
+let snapshot_unlocked t =
+  t.est <- Rn_estimator.estimate ~confidence:t.cfg.confidence t.rn;
+  let rct_alarms, apt_alarms = Ptrng_sp90b.Health.monitor_alarms t.sp in
+  let k_est, threshold_n =
+    match t.est with
+    | None -> (nan, max_int)
+    | Some e -> (e.k, e.threshold_n)
+  in
+  {
+    t_s = T.Clock.now ();
+    periods = Rn_estimator.samples t.rn;
+    bits = t.bits;
+    windows = t.windows;
+    ready = t.est <> None;
+    judge_n = t.cfg.judge_n;
+    confidence = t.cfg.confidence;
+    r_judge = r_judge_of t;
+    k_est;
+    threshold_n;
+    points = Rn_estimator.points t.rn;
+    rct_alarms;
+    apt_alarms;
+    ais31_alarms = Ptrng_ais31.Online.alarms t.ais;
+    ais31_blocks = Ptrng_ais31.Online.blocks t.ais;
+    alarm_rate = t.last_alarm_rate;
+    ewma_value = Control_chart.ewma_value t.ewma;
+    ewma_crossed = Control_chart.ewma_crossed t.ewma;
+    cusum_pos = Control_chart.cusum_pos t.cusum;
+    cusum_neg = Control_chart.cusum_neg t.cusum;
+    cusum_crossed = Control_chart.cusum_crossed t.cusum;
+    min_entropy = t.last_entropy;
+    recent_r = Window.to_array t.recent_r;
+    recent_entropy = Window.to_array t.recent_entropy;
+    recent_alarms = Window.to_array t.recent_alarms;
+    verdict = publish_verdict t;
+  }
+
+let snapshot t = Mutex.protect t.lock (fun () -> snapshot_unlocked t)
+
+let health_json t =
+  let s = snapshot t in
+  let open T.Json in
+  Obj
+    [
+      ("schema", String "ptrng-monitor-health/1");
+      ("status", String (Verdict.status_string s.verdict.status));
+      ( "reasons",
+        List
+          (List.map
+             (fun (r : Verdict.reason) ->
+               Obj
+                 [
+                   ("code", String r.code); ("detail", String r.detail);
+                 ])
+             s.verdict.reasons) );
+      ("periods", Int s.periods);
+      ("bits", Int s.bits);
+      ("windows", Int s.windows);
+      ("ready", Bool s.ready);
+      ( "independence",
+        Obj
+          [
+            ("n", Int s.judge_n);
+            ("r_n", num s.r_judge);
+            ("confidence", num s.confidence);
+            ("k", num s.k_est);
+            ( "threshold_n",
+              if s.threshold_n = max_int then Null else Int s.threshold_n );
+          ] );
+      ( "alarms",
+        Obj
+          [
+            ("rct", Int s.rct_alarms);
+            ("apt", Int s.apt_alarms);
+            ("ais31", Int s.ais31_alarms);
+            ("ais31_blocks", Int s.ais31_blocks);
+            ("rate", num s.alarm_rate);
+          ] );
+      ( "charts",
+        Obj
+          [
+            ("ewma", num s.ewma_value);
+            ("ewma_crossed", Bool s.ewma_crossed);
+            ("cusum_pos", num s.cusum_pos);
+            ("cusum_neg", num s.cusum_neg);
+            ("cusum_crossed", Bool s.cusum_crossed);
+          ] );
+      ("min_entropy", num s.min_entropy);
+    ]
+
+let http_handler t path =
+  match path with
+  | "/metrics" ->
+    Some
+      (Http.response
+         ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+         (T.Sink.to_prometheus ()))
+  | "/health" ->
+    Some
+      (Http.response ~content_type:"application/json"
+         (T.Json.to_string (health_json t) ^ "\n"))
+  | "/" ->
+    Some (Http.response "ptrng monitor: GET /metrics or /health\n")
+  | _ -> None
+
+let serve ?host ?port t = Http.start ?host ?port ~handler:(http_handler t) ()

@@ -1,0 +1,133 @@
+(** The live entropy-health observatory.
+
+    One [t] consumes the two streams a running P-TRNG produces — raw
+    period jitter samples and sampled output bits — and maintains,
+    incrementally:
+
+    - a sliding-window variance curve per accumulation length N, refit
+      periodically to the paper's [f0^2 sigma_N^2 = aN + bN^2] model,
+      giving a {e live} independence ratio [r_N = k/(k+N)] with
+      [k = a/b] and a verdict against the configured confidence
+      threshold (the paper's demonstrator: k = 5354, so r_N >= 95%
+      holds up to N = 281);
+    - SP 800-90B RCT/APT and AIS31-style online-monobit health tests,
+      whose per-window alarm counts feed EWMA and CUSUM control
+      charts;
+    - a windowed most-common-value min-entropy trend.
+
+    The state is exposed three ways: {!snapshot} for dashboards,
+    {!health_json}/{!http_handler}/{!serve} for the [/metrics] and
+    [/health] endpoints, and continuously through telemetry gauges,
+    counters, {!Ptrng_telemetry.Series} counter tracks and the JSONL
+    event log (kind ["monitor"]).
+
+    All entry points are serialized on an internal mutex, so the HTTP
+    listener domain may poll while the producing domain feeds. *)
+
+type config = {
+  f0 : float;             (** Nominal sampled-oscillator frequency (Hz). *)
+  ns : int array;         (** Accumulation-length grid, increasing. *)
+  realizations : int;     (** Sliding realizations kept per N. *)
+  min_realizations : int; (** Realizations before an N contributes. *)
+  confidence : float;     (** Independence threshold on r_N (e.g. 0.95). *)
+  judge_n : int;          (** The N at which r_N is judged. *)
+  fit_stride : int;       (** Refit cadence, in jitter samples. *)
+  h_claim : float;        (** Claimed min-entropy/bit for RCT/APT cutoffs. *)
+  sp_alpha_exp : int;     (** RCT/APT false-alarm exponent (2^-e). *)
+  sp_window : int;        (** APT window (bits). *)
+  bit_window : int;       (** Chart/entropy window (bits). *)
+  ais31_block : int;      (** Online-monobit block (bits). *)
+  ais31_alpha_exp : int;  (** Online-monobit false-alarm exponent. *)
+  ewma_lambda : float;    (** EWMA smoothing weight. *)
+  ewma_limit : float;     (** EWMA control limit (asymptotic sigmas). *)
+  cusum_k : float;        (** CUSUM allowance (sigma units). *)
+  cusum_h : float;        (** CUSUM decision interval (sigma units). *)
+  chart_sigma : float;    (** In-control sigma of alarms per window. *)
+  entropy_floor : float;  (** Windowed min-entropy below this: degraded. *)
+  entropy_fail : float;   (** ... below this: failing. *)
+  history : int;          (** Samples kept per trend (sparklines). *)
+}
+(** Observatory tuning.  Build from {!default_config} and override
+    fields as needed. *)
+
+val default_config : f0:float -> config
+(** Defaults sized for the paper's demonstrator: grid 16..1024 with
+    256 sliding realizations, r judged at N = 64 against 95%, refit
+    every 8192 periods; RCT/APT at h = 0.997, charts over 512-bit
+    windows with an in-control alarm rate of zero. *)
+
+type t
+(** One live observatory. *)
+
+val create : config -> t
+(** Fresh observatory.
+    @raise Invalid_argument on inconsistent configuration (empty or
+    non-increasing grid, thresholds outside their ranges, windows too
+    small). *)
+
+val config : t -> config
+(** The configuration [t] was created with. *)
+
+val feed_jitter : t -> float -> unit
+(** Feed one period-jitter sample (seconds; any consistent unit works
+    — r_N is scale-free).  Non-finite samples are dropped. *)
+
+val feed_jitter_array : t -> float array -> unit
+(** Feed a chunk of jitter samples under one lock acquisition. *)
+
+val feed_bit : t -> bool -> unit
+(** Feed one sampled output bit through the health tests, charts and
+    entropy window. *)
+
+val feed_bits : t -> bool array -> unit
+(** Feed a chunk of bits under one lock acquisition. *)
+
+type snapshot = {
+  t_s : float;            (** {!Ptrng_telemetry.Clock} timestamp. *)
+  periods : int;          (** Jitter samples consumed. *)
+  bits : int;             (** Bits consumed. *)
+  windows : int;          (** Chart windows closed. *)
+  ready : bool;           (** Whether enough data arrived to fit r_N. *)
+  judge_n : int;          (** N at which [r_judge] is evaluated. *)
+  confidence : float;     (** Threshold [r_judge] is compared against. *)
+  r_judge : float;        (** Live r_N at [judge_n]; [nan] until ready. *)
+  k_est : float;          (** Fitted k = a/b; [infinity] = no flicker. *)
+  threshold_n : int;      (** Largest N with r_N >= confidence; [max_int] = unbounded. *)
+  points : Ptrng_measure.Variance_curve.point array;
+                          (** Current windowed variance curve. *)
+  rct_alarms : int;
+  apt_alarms : int;
+  ais31_alarms : int;
+  ais31_blocks : int;
+  alarm_rate : float;     (** Alarms in the last closed window; [nan] before. *)
+  ewma_value : float;
+  ewma_crossed : bool;    (** Sticky: EWMA chart ever alarmed. *)
+  cusum_pos : float;
+  cusum_neg : float;
+  cusum_crossed : bool;   (** Sticky: CUSUM chart ever alarmed. *)
+  min_entropy : float;    (** Last window's MCV estimate; [nan] before. *)
+  recent_r : float array;       (** r_N trend, oldest first. *)
+  recent_entropy : float array; (** Min-entropy trend, oldest first. *)
+  recent_alarms : float array;  (** Alarms-per-window trend, oldest first. *)
+  verdict : Verdict.t;
+}
+(** One self-contained reading of the observatory, sufficient to
+    render a dashboard without touching [t] again. *)
+
+val snapshot : t -> snapshot
+(** Read the current state (recomputing the fit from the live
+    windows). *)
+
+val health_json : t -> Ptrng_telemetry.Json.t
+(** The [/health] document, schema ["ptrng-monitor-health/1"]: the
+    verdict with its reasons plus the independence, alarm, chart and
+    entropy numbers behind it.  {!Verdict.of_json} parses it back. *)
+
+val http_handler : t -> Http.handler
+(** Routes [GET /metrics] (Prometheus text exposition via
+    {!Ptrng_telemetry.Sink.to_prometheus}), [GET /health] (JSON) and
+    [GET /] (a hint); anything else is [None] (404). *)
+
+val serve : ?host:string -> ?port:int -> t -> Http.t
+(** Start an {!Http} server on {!http_handler}.  [port] defaults to 0
+    (ephemeral — read it back with {!Http.port}). *)

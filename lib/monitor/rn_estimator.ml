@@ -1,0 +1,122 @@
+(* Per grid length N we rebuild the batch statistic incrementally: the
+   S_N realization is the second difference of the cumulative jitter
+   over 2N consecutive periods (S_process.realizations with stride
+   2N), i.e. (sum of the second N periods) - (sum of the first N).
+   Disjoint realizations land in a sliding Window per N. *)
+
+type slot = {
+  n : int;
+  mutable acc : float;      (* partial sum of the current half *)
+  mutable filled : int;     (* samples in the current half, 0..n *)
+  mutable first_half : float; (* completed first-half sum, nan = none *)
+  window : Window.t;
+}
+
+type t = {
+  f0 : float;
+  slots : slot array;
+  min_realizations : int;
+  mutable samples : int;
+}
+
+let default_ns = [| 16; 64; 256; 1024 |]
+
+let create ?(ns = default_ns) ?(realizations = 128) ?(min_realizations = 16)
+    ~f0 () =
+  if Array.length ns = 0 then invalid_arg "Rn_estimator.create: empty grid";
+  Array.iteri
+    (fun i n ->
+      if n <= 0 then invalid_arg "Rn_estimator.create: non-positive N";
+      if i > 0 && n <= ns.(i - 1) then
+        invalid_arg "Rn_estimator.create: grid not increasing")
+    ns;
+  if f0 <= 0.0 then invalid_arg "Rn_estimator.create: f0 <= 0";
+  if min_realizations < 2 || min_realizations > realizations then
+    invalid_arg "Rn_estimator.create: bad min_realizations";
+  {
+    f0;
+    slots =
+      Array.map
+        (fun n ->
+          { n; acc = 0.0; filled = 0; first_half = nan;
+            window = Window.create ~capacity:realizations })
+        ns;
+    min_realizations;
+    samples = 0;
+  }
+
+let feed t x =
+  if Float.is_finite x then begin
+    t.samples <- t.samples + 1;
+    Array.iter
+      (fun s ->
+        s.acc <- s.acc +. x;
+        s.filled <- s.filled + 1;
+        if s.filled = s.n then begin
+          if Float.is_nan s.first_half then s.first_half <- s.acc
+          else begin
+            Window.push s.window (s.acc -. s.first_half);
+            s.first_half <- nan
+          end;
+          s.acc <- 0.0;
+          s.filled <- 0
+        end)
+      t.slots
+  end
+
+let samples t = t.samples
+
+let points t =
+  let pts = ref [] in
+  Array.iter
+    (fun s ->
+      let neff = Window.count s.window in
+      if neff >= t.min_realizations then begin
+        let sigma2 = Window.variance s.window in
+        let stderr =
+          Ptrng_stats.Descriptive.standard_error_of_variance ~n:neff
+            ~variance:sigma2
+        in
+        pts :=
+          { Ptrng_measure.Variance_curve.n = s.n; sigma2;
+            scaled = sigma2 *. t.f0 *. t.f0; neff; stderr }
+          :: !pts
+      end)
+    t.slots;
+  Array.of_list (List.rev !pts)
+
+type estimate = {
+  fit : Ptrng_measure.Fit.t;
+  k : float;
+  threshold_n : int;
+}
+
+let r_of_fit (fit : Ptrng_measure.Fit.t) n =
+  let fn = float_of_int n in
+  let thermal = fit.a *. fn in
+  let total = thermal +. (fit.b *. fn *. fn) in
+  if total <= 0.0 then 1.0
+  else Float.min 1.0 (Float.max 0.0 (thermal /. total))
+
+(* Every grid length must be ready: the flicker coefficient is pinned
+   by the largest N, and a fit over the small-N prefix alone would
+   report a wildly noisy (even negative) b during warm-up. *)
+let estimate ?(confidence = 0.95) t =
+  let pts = points t in
+  if Array.length pts < Array.length t.slots || Array.length pts < 3 then None
+  else begin
+    let fit = Ptrng_measure.Fit.fit ~f0:t.f0 pts in
+    if not (fit.a > 0.0) then None
+    else begin
+      let k = if fit.b > 0.0 then fit.a /. fit.b else infinity in
+      let threshold_n =
+        if Float.is_finite k then
+          (* Largest N with k/(k+N) >= c, i.e. N <= k (1-c)/c. *)
+          int_of_float (Float.floor (k *. (1.0 -. confidence) /. confidence))
+        else max_int
+      in
+      Some { fit; k; threshold_n }
+    end
+  end
+
+let r_n t n = Option.map (fun e -> r_of_fit e.fit n) (estimate t)

@@ -1,0 +1,66 @@
+module Json = Ptrng_telemetry.Json
+
+type status = Ok | Degraded | Failing
+
+type reason = { code : string; detail : string }
+
+type t = { status : status; reasons : reason list }
+
+let ok = { status = Ok; reasons = [] }
+
+let make reasons ~failing =
+  match reasons with
+  | [] -> ok
+  | rs ->
+    let status = if List.exists failing rs then Failing else Degraded in
+    { status; reasons = rs }
+
+let status_string (s : status) =
+  match s with Ok -> "ok" | Degraded -> "degraded" | Failing -> "failing"
+
+let status_of_string s : status option =
+  match s with
+  | "ok" -> Some Ok
+  | "degraded" -> Some Degraded
+  | "failing" -> Some Failing
+  | _ -> None
+
+let severity (s : status) =
+  match s with Ok -> 0 | Degraded -> 1 | Failing -> 2
+
+let to_json t =
+  Json.Obj
+    [
+      ("status", Json.String (status_string t.status));
+      ( "reasons",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("code", Json.String r.code);
+                   ("detail", Json.String r.detail);
+                 ])
+             t.reasons) );
+    ]
+
+let of_json j =
+  match Json.member "status" j with
+  | Some (Json.String s) -> (
+    match status_of_string s with
+    | None -> None
+    | Some status ->
+      let reasons =
+        match Json.member "reasons" j with
+        | Some (Json.List rs) ->
+          List.filter_map
+            (fun r ->
+              match (Json.member "code" r, Json.member "detail" r) with
+              | Some (Json.String code), Some (Json.String detail) ->
+                Some { code; detail }
+              | _ -> None)
+            rs
+        | _ -> []
+      in
+      Some { status; reasons })
+  | _ -> None

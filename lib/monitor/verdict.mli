@@ -1,0 +1,48 @@
+(** Health verdicts of the live observatory.
+
+    Three-level semantics, aggregated from independent reasons:
+    [Ok] — every watched statistic is inside its regime; [Degraded] —
+    at least one statistic left its regime (independence ratio under
+    the confidence threshold, a control chart alarming, a low windowed
+    min-entropy); [Failing] — the entropy claim itself is untenable
+    (min-entropy collapse, or both control charts alarming at once).
+    See docs/MONITORING.md for the exact rules. *)
+
+type status = Ok | Degraded | Failing
+(** Severity-ordered health levels. *)
+
+type reason = {
+  code : string;    (** Stable machine key, e.g. ["independence"]. *)
+  detail : string;  (** Human explanation with the offending values. *)
+}
+(** One cause contributing to a non-[Ok] verdict. *)
+
+type t = {
+  status : status;
+  reasons : reason list;  (** Empty exactly when [status = Ok]. *)
+}
+(** A verdict with its supporting reasons. *)
+
+val ok : t
+(** The all-clear verdict. *)
+
+val make : reason list -> failing:(reason -> bool) -> t
+(** Aggregate: no reasons is [Ok]; otherwise [Failing] when any reason
+    satisfies [failing], else [Degraded]. *)
+
+val status_string : status -> string
+(** ["ok"], ["degraded"] or ["failing"] — the wire spelling used by
+    the [/health] endpoint. *)
+
+val status_of_string : string -> status option
+(** Inverse of {!status_string}. *)
+
+val severity : status -> int
+(** 0, 1, 2 in severity order — the value of the
+    [ptrng_monitor_verdict] gauge. *)
+
+val to_json : t -> Ptrng_telemetry.Json.t
+(** [{"status": ..., "reasons": [{"code":..., "detail":...}, ...]}]. *)
+
+val of_json : Ptrng_telemetry.Json.t -> t option
+(** Parse {!to_json} output (round-trip for the [/health] client). *)

@@ -1,0 +1,59 @@
+type t = {
+  buf : float array;
+  mutable head : int;   (* next write position *)
+  mutable count : int;  (* samples currently held *)
+  mutable total : int;  (* samples ever pushed *)
+}
+
+let create ~capacity =
+  if capacity < 2 then invalid_arg "Window.create: capacity < 2";
+  { buf = Array.make capacity 0.0; head = 0; count = 0; total = 0 }
+
+let capacity t = Array.length t.buf
+
+let push t x =
+  if Float.is_finite x then begin
+    t.buf.(t.head) <- x;
+    t.head <- (t.head + 1) mod capacity t;
+    if t.count < capacity t then t.count <- t.count + 1;
+    t.total <- t.total + 1
+  end
+
+let count t = t.count
+let total t = t.total
+let full t = t.count = capacity t
+
+let last t =
+  if t.count = 0 then nan
+  else t.buf.((t.head + capacity t - 1) mod capacity t)
+
+(* Oldest-first index of the i-th held sample. *)
+let index t i = (t.head + capacity t - t.count + i) mod capacity t
+
+let mean t =
+  if t.count = 0 then nan
+  else begin
+    let s = ref 0.0 in
+    for i = 0 to t.count - 1 do
+      s := !s +. t.buf.(index t i)
+    done;
+    !s /. float_of_int t.count
+  end
+
+let variance t =
+  if t.count < 2 then nan
+  else begin
+    let m = mean t in
+    let s = ref 0.0 in
+    for i = 0 to t.count - 1 do
+      let d = t.buf.(index t i) -. m in
+      s := !s +. (d *. d)
+    done;
+    !s /. float_of_int (t.count - 1)
+  end
+
+let to_array t = Array.init t.count (fun i -> t.buf.(index t i))
+
+let clear t =
+  t.head <- 0;
+  t.count <- 0

@@ -99,18 +99,53 @@ let apt_alarms_total =
   Tm.Counter.v ~help:"Adaptive-proportion health-test alarms raised by scan."
     "ptrng_sp90b_apt_alarms_total"
 
-let scan ~cutoff_rct ~cutoff_apt ~window bits =
-  let rct = rct_create ~cutoff:cutoff_rct in
-  let apt = apt_create ~cutoff:cutoff_apt ~window in
-  let rct_alarms = ref 0 and apt_alarms = ref 0 in
-  Array.iter
-    (fun b ->
-      if rct_feed rct b then incr rct_alarms;
-      if apt_feed apt b then incr apt_alarms)
-    bits;
+(* The combined continuous monitor: one RCT and one APT over the same
+   stream, with the telemetry counters fed per sample — the single
+   code path shared by the batch [scan] below and the live
+   [Ptrng_monitor] subsystem (a long-running daemon must not wait for
+   a batch boundary to expose its alarm totals). *)
+
+type monitor = {
+  m_rct : rct;
+  m_apt : apt;
+  mutable m_samples : int;
+  mutable m_rct_alarms : int;
+  mutable m_apt_alarms : int;
+}
+
+type alarm = { rct_alarm : bool; apt_alarm : bool }
+
+let monitor_create ~cutoff_rct ~cutoff_apt ~window =
+  {
+    m_rct = rct_create ~cutoff:cutoff_rct;
+    m_apt = apt_create ~cutoff:cutoff_apt ~window;
+    m_samples = 0;
+    m_rct_alarms = 0;
+    m_apt_alarms = 0;
+  }
+
+let monitor_of_entropy ?alpha_exp ?(window = 1024) ~h () =
+  let cutoff_rct = rct_cutoff ?alpha_exp ~h () in
+  let cutoff_apt = apt_cutoff ?alpha_exp ~window ~h () in
+  monitor_create ~cutoff_rct ~cutoff_apt ~window
+
+let monitor_feed t sample =
+  let rct_alarm = rct_feed t.m_rct sample in
+  let apt_alarm = apt_feed t.m_apt sample in
+  t.m_samples <- t.m_samples + 1;
+  if rct_alarm then t.m_rct_alarms <- t.m_rct_alarms + 1;
+  if apt_alarm then t.m_apt_alarms <- t.m_apt_alarms + 1;
   if !Tm.on then begin
-    Tm.Counter.incr ~by:(Array.length bits) samples_scanned_total;
-    Tm.Counter.incr ~by:!rct_alarms rct_alarms_total;
-    Tm.Counter.incr ~by:!apt_alarms apt_alarms_total
+    Tm.Counter.incr samples_scanned_total;
+    if rct_alarm then Tm.Counter.incr rct_alarms_total;
+    if apt_alarm then Tm.Counter.incr apt_alarms_total
   end;
-  (!rct_alarms, !apt_alarms)
+  { rct_alarm; apt_alarm }
+
+let monitor_samples t = t.m_samples
+let monitor_alarms t = (t.m_rct_alarms, t.m_apt_alarms)
+
+let scan ~cutoff_rct ~cutoff_apt ~window bits =
+  let m = monitor_create ~cutoff_rct ~cutoff_apt ~window in
+  Array.iter (fun b -> ignore (monitor_feed m b)) bits;
+  monitor_alarms m

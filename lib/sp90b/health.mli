@@ -41,6 +41,36 @@ val apt_create : cutoff:int -> window:int -> apt
 val apt_feed : apt -> bool -> bool
 (** Feed one sample; [true] means ALARM in the window just closed. *)
 
+type monitor
+(** A combined continuous monitor: one RCT and one APT over the same
+    stream, plus running sample/alarm totals.  Feeding updates the
+    [ptrng_sp90b_*] telemetry counters per sample, so a long-running
+    consumer (the live {!Ptrng_monitor} subsystem, a future daemon)
+    exposes fresh alarm totals without batch boundaries. *)
+
+type alarm = { rct_alarm : bool; apt_alarm : bool }
+(** Per-sample alarm verdicts of the two tests. *)
+
+val monitor_create : cutoff_rct:int -> cutoff_apt:int -> window:int -> monitor
+(** Fresh combined monitor from explicit cutoffs; see {!rct_cutoff}
+    and {!apt_cutoff}. *)
+
+val monitor_of_entropy :
+  ?alpha_exp:int -> ?window:int -> h:float -> unit -> monitor
+(** Combined monitor with both cutoffs derived from the claimed
+    min-entropy [h] per bit ([alpha_exp] default 30, [window] default
+    1024), as SP 800-90B prescribes. *)
+
+val monitor_feed : monitor -> bool -> alarm
+(** Feed one sample through both tests and the telemetry counters. *)
+
+val monitor_samples : monitor -> int
+(** Samples fed so far. *)
+
+val monitor_alarms : monitor -> int * int
+(** Running [(rct, apt)] alarm totals. *)
+
 val scan : cutoff_rct:int -> cutoff_apt:int -> window:int -> bool array -> int * int
 (** Run both monitors over a recorded stream; returns (rct alarms,
-    apt alarms). *)
+    apt alarms).  Thin wrapper over {!monitor_create}/{!monitor_feed} —
+    the batch and streaming paths are the same code. *)

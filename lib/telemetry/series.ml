@@ -1,0 +1,39 @@
+type t = {
+  s_name : string;
+  s_mu : Mutex.t;
+  mutable s_points : (float * float) list; (* newest first *)
+}
+
+(* Registration mirrors Registry: name-keyed table plus an order list
+   so sinks see series in registration order. *)
+let table : (string, t) Hashtbl.t = Hashtbl.create 16
+let order : t list ref = ref []
+let table_mu = Mutex.create ()
+
+(* [help] is accepted for symmetry with the registry constructors but
+   not stored: counter tracks have no help channel in the trace. *)
+let v ?help:_ name =
+  Mutex.protect table_mu (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some s -> s
+      | None ->
+        let s = { s_name = name; s_mu = Mutex.create (); s_points = [] } in
+        Hashtbl.add table name s;
+        order := s :: !order;
+        s)
+
+let record_at s ~t_s value =
+  if !Registry.on && Float.is_finite value && Float.is_finite t_s then
+    Mutex.protect s.s_mu (fun () -> s.s_points <- (t_s, value) :: s.s_points)
+
+let record s value = record_at s ~t_s:(Clock.now ()) value
+
+let points s = Mutex.protect s.s_mu (fun () -> List.rev s.s_points)
+
+let all () =
+  let series = Mutex.protect table_mu (fun () -> List.rev !order) in
+  List.map (fun s -> (s.s_name, points s)) series
+
+let reset () =
+  let series = Mutex.protect table_mu (fun () -> !order) in
+  List.iter (fun s -> Mutex.protect s.s_mu (fun () -> s.s_points <- [])) series

@@ -1,0 +1,35 @@
+(** Named time series: timestamped value samples that {!Trace_export}
+    renders as Perfetto counter tracks.
+
+    Gauges only keep the latest value; a series keeps the whole
+    trajectory, so slowly evolving monitor state (live r_N, control
+    chart statistics, alarm rates) shows up in traces as a curve
+    aligned with the span timeline instead of a single end-of-run
+    point.  Like every telemetry primitive, recording is a no-op while
+    telemetry is disabled, and recording from worker domains is safe
+    (each series carries its own lock). *)
+
+type t
+(** Handle to one registered series. *)
+
+val v : ?help:string -> string -> t
+(** Register (or look up) the series [name].  Idempotent: the same
+    name always yields the same handle. *)
+
+val record : t -> float -> unit
+(** Append one sample stamped with {!Clock.now}.  No-op while
+    telemetry is disabled; non-finite values are dropped. *)
+
+val record_at : t -> t_s:float -> float -> unit
+(** Append one sample with an explicit timestamp (seconds, same origin
+    as {!Clock.now}).  Same no-op and non-finite rules as {!record}. *)
+
+val points : t -> (float * float) list
+(** Recorded [(t_s, value)] samples of one series, oldest first. *)
+
+val all : unit -> (string * (float * float) list) list
+(** Every registered series with its samples, in registration order.
+    Series that never recorded a point are included (empty list). *)
+
+val reset : unit -> unit
+(** Drop the recorded samples of every series (registrations stay). *)

@@ -37,8 +37,55 @@ let prom_value v =
     Printf.sprintf "%.0f" v
   else Printf.sprintf "%.17g" v
 
+(* Exposition-format HELP escaping: backslash first (so escapes are
+   unambiguous), then the line breaks that would terminate the sample
+   line early. *)
 let prom_escape_help s =
-  String.concat "\\n" (String.split_on_char '\n' s)
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]* .  Our own naming
+   scheme (ptrng_<lib>_<name>) always satisfies this; the check guards
+   the live /metrics endpoint against a future dynamically built name
+   corrupting the exposition. *)
+let valid_metric_name name =
+  let ok_head c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':' in
+  let ok_rest c = ok_head c || (c >= '0' && c <= '9') in
+  name <> ""
+  && ok_head name.[0]
+  && (let valid = ref true in
+      String.iteri (fun i c -> if i > 0 && not (ok_rest c) then valid := false) name;
+      !valid)
+
+(* Invalid characters are rewritten to '_' (and a leading digit gets a
+   '_' prefix) rather than dropping the metric: a mangled name is
+   visible on the endpoint, a silently missing one is not. *)
+let sanitize_metric_name name =
+  if valid_metric_name name then name
+  else begin
+    let mapped =
+      String.map
+        (fun c ->
+          if
+            (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+            || (c >= '0' && c <= '9')
+            || c = '_' || c = ':'
+          then c
+          else '_')
+        name
+    in
+    if mapped = "" then "_"
+    else if mapped.[0] >= '0' && mapped.[0] <= '9' then "_" ^ mapped
+    else mapped
+  end
 
 let to_prometheus () =
   let b = Buffer.create 1024 in
@@ -51,12 +98,15 @@ let to_prometheus () =
     (fun m ->
       match m with
       | Registry.Counter (name, help, v) ->
+        let name = sanitize_metric_name name in
         header name help "counter";
         Buffer.add_string b (Printf.sprintf "%s %d\n" name v)
       | Registry.Gauge (name, help, v) ->
+        let name = sanitize_metric_name name in
         header name help "gauge";
         Buffer.add_string b (Printf.sprintf "%s %s\n" name (prom_value v))
       | Registry.Histogram (name, help, h) ->
+        let name = sanitize_metric_name name in
         header name help "histogram";
         let bounds = Histogram.bucket_bounds h in
         let counts = Histogram.bucket_counts h in

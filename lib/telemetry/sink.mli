@@ -6,10 +6,22 @@
 val to_human : unit -> string
 (** Metrics table plus span tree, for terminals. *)
 
+val valid_metric_name : string -> bool
+(** Whether a name matches the Prometheus metric-name grammar
+    [[a-zA-Z_:][a-zA-Z0-9_:]*]. *)
+
+val sanitize_metric_name : string -> string
+(** The name itself when {!valid_metric_name}; otherwise every invalid
+    character becomes ['_'] (with a ['_'] prefix for a leading digit),
+    so one bad registration cannot corrupt the whole exposition. *)
+
 val to_prometheus : unit -> string
 (** Prometheus text exposition format 0.0.4: [# HELP]/[# TYPE] lines,
     counters/gauges as bare samples, histograms as cumulative
-    [_bucket{le="..."}] samples with [_sum] and [_count]. *)
+    [_bucket{le="..."}] samples with [_sum] and [_count].  HELP text is
+    escaped ([\ ] and line breaks) and metric names pass through
+    {!sanitize_metric_name}, so the live [/metrics] endpoint always
+    serves spec-clean text. *)
 
 val snapshot_json : unit -> Json.t
 (** [{"schema": "ptrng-telemetry/1", "metrics": {...}, "spans": [...]}];

@@ -10,9 +10,10 @@ let usec s = s *. 1e6
 
 let word_mib = float_of_int (Sys.word_size / 8) /. 1048576.0
 
-(* Earliest timestamp across spans and samples: the trace origin, so
-   ts values start near zero instead of at the wall-clock epoch. *)
-let origin_of ~spans ~samples =
+(* Earliest timestamp across spans, samples and series: the trace
+   origin, so ts values start near zero instead of at the wall-clock
+   epoch. *)
+let origin_of ~spans ~samples ~series =
   let t = ref infinity in
   let rec walk (s : Span.t) =
     if s.Span.start_s < !t then t := s.Span.start_s;
@@ -23,6 +24,9 @@ let origin_of ~spans ~samples =
     (fun (s : Runtime_profile.sample) ->
       if s.Runtime_profile.t_s < !t then t := s.Runtime_profile.t_s)
     samples;
+  List.iter
+    (fun (_, pts) -> List.iter (fun (t_s, _) -> if t_s < !t then t := t_s) pts)
+    series;
   if Float.is_finite !t then !t else 0.0
 
 let span_events ~pid ~origin spans =
@@ -96,6 +100,17 @@ let sample_events ~pid ~origin samples =
       gc @ pool)
     samples
 
+(* Every Series sample as a counter event: one track per series, the
+   whole trajectory (live r_N, control-chart statistics, ...). *)
+let series_events ~pid ~origin series =
+  List.concat_map
+    (fun (name, pts) ->
+      List.map
+        (fun (t_s, value) ->
+          counter ~pid ~ts:(t_s -. origin) name [ ("value", Json.num value) ])
+        pts)
+    series
+
 (* Every registry gauge as a (single-point) counter track at the end
    of the trace, so values that are only set once still show up. *)
 let gauge_events ~pid ~ts =
@@ -131,7 +146,8 @@ let to_json () =
   let pid = Unix.getpid () in
   let spans = Span.roots () @ Span.worker_roots () in
   let samples = Runtime_profile.samples () in
-  let origin = origin_of ~spans ~samples in
+  let series = Series.all () in
+  let origin = origin_of ~spans ~samples ~series in
   let tids =
     let rec collect acc (s : Span.t) =
       List.fold_left collect (s.Span.tid :: acc) s.Span.children
@@ -146,6 +162,7 @@ let to_json () =
     metadata ~pid ~tids
     @ span_events ~pid ~origin spans
     @ sample_events ~pid ~origin samples
+    @ series_events ~pid ~origin series
     @ gauge_events ~pid ~ts:end_ts
   in
   Json.Obj

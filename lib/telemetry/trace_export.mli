@@ -9,6 +9,9 @@
       [tid] = the domain the span ran on — one track per domain;
     - every {!Runtime_profile} sample becomes ["C"] counter events
       (GC collections, heap/promoted MiB, per-worker pool tasks);
+    - every {!Series} sample becomes a ["C"] counter event, one track
+      per series — monitor state (live r_N, control-chart statistics)
+      shows up as a curve aligned with the span timeline;
     - every registry gauge is emitted as a final single-point counter
       track;
     - ["M"] metadata events name the process and the domain tracks.

@@ -1,0 +1,408 @@
+(* The live observatory: windows, control charts, the streaming r_N
+   estimator against the paper's closed form, verdict/health JSON
+   round-trips, and an HTTP smoke test on an ephemeral port. *)
+
+module M = Ptrng_monitor
+module Tm = Ptrng_telemetry
+
+let paper_f0 = Ptrng_osc.Pair.paper_f0
+
+(* ------------------------------------------------------------------ *)
+(* Window                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let window_tests =
+  [
+    Testkit.case "mean/variance match the closed form" (fun () ->
+        let w = M.Window.create ~capacity:8 in
+        List.iter (M.Window.push w) [ 1.0; 2.0; 3.0; 4.0 ];
+        Alcotest.(check int) "count" 4 (M.Window.count w);
+        Testkit.check_abs ~tol:1e-12 "mean" 2.5 (M.Window.mean w);
+        Testkit.check_abs ~tol:1e-12 "variance" (5.0 /. 3.0) (M.Window.variance w);
+        Testkit.check_abs ~tol:1e-12 "last" 4.0 (M.Window.last w));
+    Testkit.case "eviction keeps the newest samples in order" (fun () ->
+        let w = M.Window.create ~capacity:3 in
+        List.iter (M.Window.push w) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+        Alcotest.(check int) "count" 3 (M.Window.count w);
+        Alcotest.(check int) "lifetime total" 5 (M.Window.total w);
+        Testkit.check_true "oldest first"
+          (M.Window.to_array w = [| 3.0; 4.0; 5.0 |]));
+    Testkit.case "non-finite samples are dropped" (fun () ->
+        let w = M.Window.create ~capacity:4 in
+        List.iter (M.Window.push w) [ 1.0; nan; infinity; 2.0 ];
+        Alcotest.(check int) "count" 2 (M.Window.count w);
+        Testkit.check_abs ~tol:1e-12 "mean" 1.5 (M.Window.mean w));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Control charts                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let chart_tests =
+  [
+    Testkit.case "EWMA stays quiet in control, flags a burst" (fun () ->
+        let e = M.Control_chart.ewma_create ~mean:0.0 ~sigma:1.0 () in
+        for _ = 1 to 200 do
+          Testkit.check_false "in control" (M.Control_chart.ewma_feed e 0.0)
+        done;
+        Testkit.check_false "never crossed" (M.Control_chart.ewma_crossed e);
+        Testkit.check_true "burst alarms" (M.Control_chart.ewma_feed e 30.0);
+        Testkit.check_true "crossing is sticky"
+          (M.Control_chart.ewma_crossed e));
+    Testkit.case "EWMA recursion matches the textbook update" (fun () ->
+        let e =
+          M.Control_chart.ewma_create ~lambda:0.25 ~mean:1.0 ~sigma:1.0 ()
+        in
+        ignore (M.Control_chart.ewma_feed e 3.0);
+        (* z1 = (1 - 0.25) * 1.0 + 0.25 * 3.0 *)
+        Testkit.check_abs ~tol:1e-12 "one step" 1.5 (M.Control_chart.ewma_value e);
+        ignore (M.Control_chart.ewma_feed e 3.0);
+        Testkit.check_abs ~tol:1e-12 "two steps" 1.875
+          (M.Control_chart.ewma_value e));
+    Testkit.case "CUSUM accumulates a sustained small shift" (fun () ->
+        let c = M.Control_chart.cusum_create ~k:0.5 ~h:5.0 ~mean:0.0 ~sigma:1.0 () in
+        (* A one-sigma shift: each step adds 1 - 0.5 to S+; the
+           decision interval h = 5 is reached on the tenth step. *)
+        let alarm_step = ref 0 in
+        for i = 1 to 20 do
+          if M.Control_chart.cusum_feed c 1.0 && !alarm_step = 0 then
+            alarm_step := i
+        done;
+        Alcotest.(check int) "detected on step 11" 11 !alarm_step;
+        Testkit.check_true "sticky" (M.Control_chart.cusum_crossed c));
+    Testkit.case "CUSUM ignores in-control noise, reset clears it" (fun () ->
+        let c = M.Control_chart.cusum_create ~mean:0.0 ~sigma:1.0 () in
+        let rng = Testkit.rng () in
+        for _ = 1 to 500 do
+          ignore
+            (M.Control_chart.cusum_feed c
+               (Ptrng_prng.Rng.float rng -. 0.5))
+        done;
+        Testkit.check_false "no alarm on noise" (M.Control_chart.cusum_crossed c);
+        ignore (M.Control_chart.cusum_feed c 50.0);
+        Testkit.check_true "burst alarms" (M.Control_chart.cusum_crossed c);
+        M.Control_chart.cusum_reset c;
+        Testkit.check_false "reset clears" (M.Control_chart.cusum_crossed c);
+        Testkit.check_abs ~tol:1e-12 "sums zeroed" 0.0 (M.Control_chart.cusum_pos c));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Streaming r_N estimator                                             *)
+(* ------------------------------------------------------------------ *)
+
+let gaussian rng =
+  (* Box-Muller is enough for test data. *)
+  let u1 = Ptrng_prng.Rng.float_pos rng and u2 = Ptrng_prng.Rng.float rng in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let rn_tests =
+  [
+    Testkit.case "second-difference realizations match hand computation" (fun () ->
+        let e =
+          M.Rn_estimator.create ~ns:[| 2 |] ~realizations:4 ~min_realizations:2
+            ~f0:1.0 ()
+        in
+        (* Two disjoint realizations over 2N = 4 samples each:
+           (3+4)-(1+2) = 4 and (9+16)-(5+7) = 13. *)
+        List.iter (M.Rn_estimator.feed e) [ 1.0; 2.0; 3.0; 4.0; 5.0; 7.0; 9.0; 16.0 ];
+        let pts = M.Rn_estimator.points e in
+        Alcotest.(check int) "one grid point" 1 (Array.length pts);
+        Alcotest.(check int) "two realizations" 2 pts.(0).neff;
+        (* Sample variance of {4, 13}. *)
+        Testkit.check_abs ~tol:1e-9 "sigma2" 40.5 pts.(0).sigma2);
+    Testkit.case "white jitter reproduces sigma_N^2 = 2 N sigma^2" (fun () ->
+        let sigma = 1.5e-12 in
+        let ns = [| 4; 8; 16; 64 |] in
+        let e =
+          M.Rn_estimator.create ~ns ~realizations:512 ~min_realizations:64
+            ~f0:paper_f0 ()
+        in
+        let rng = Testkit.rng ~seed:42L () in
+        for _ = 1 to 1 lsl 17 do
+          M.Rn_estimator.feed e (sigma *. gaussian rng)
+        done;
+        let pts = M.Rn_estimator.points e in
+        Alcotest.(check int) "all grid points ready" 4 (Array.length pts);
+        Array.iter
+          (fun (p : Ptrng_measure.Variance_curve.point) ->
+            Testkit.check_rel ~tol:0.3
+              (Printf.sprintf "sigma2 at N=%d" p.n)
+              (2.0 *. float_of_int p.n *. sigma *. sigma)
+              p.sigma2)
+          pts;
+        match M.Rn_estimator.estimate e with
+        | None -> Alcotest.fail "estimate not ready"
+        | Some est ->
+          (* Thermal-only truth: a = 2 sigma^2 f0^2, negligible b. *)
+          Testkit.check_rel ~tol:0.15 "fitted a"
+            (2.0 *. sigma *. sigma *. paper_f0 *. paper_f0)
+            est.fit.a;
+          Testkit.check_true "r_8 near 1"
+            (M.Rn_estimator.r_of_fit est.fit 8 > 0.95));
+    Testkit.case "r_of_fit matches the paper's closed form k/(k+N)" (fun () ->
+        let a = 5.36e-6 in
+        let k = 5354.0 in
+        let fit =
+          { Ptrng_measure.Fit.a; b = a /. k; c = 0.0; d = 0.0; a_se = 0.0;
+            b_se = 0.0; c_se = nan; d_se = nan; chi2 = 0.0; dof = 0;
+            f0 = paper_f0 }
+        in
+        List.iter
+          (fun n ->
+            Testkit.check_rel ~tol:1e-9
+              (Printf.sprintf "r at N=%d" n)
+              (k /. (k +. float_of_int n))
+              (M.Rn_estimator.r_of_fit fit n))
+          [ 1; 10; 100; 281; 1000; 5354 ];
+        (* The paper's 95% independence threshold. *)
+        Testkit.check_in_range "r_281 straddles 95%" ~lo:0.95 ~hi:0.9502
+          (M.Rn_estimator.r_of_fit fit 281);
+        Testkit.check_true "r_282 below"
+          (M.Rn_estimator.r_of_fit fit 282 < 0.95));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Verdict                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let verdict_tests =
+  [
+    Testkit.case "aggregation: empty ok, failing escalates" (fun () ->
+        Testkit.check_true "empty is ok"
+          ((M.Verdict.make [] ~failing:(fun _ -> true)).status = M.Verdict.Ok);
+        let r = { M.Verdict.code = "x"; detail = "d" } in
+        Testkit.check_true "reason degrades"
+          ((M.Verdict.make [ r ] ~failing:(fun _ -> false)).status
+          = M.Verdict.Degraded);
+        Testkit.check_true "failing predicate escalates"
+          ((M.Verdict.make [ r ] ~failing:(fun _ -> true)).status
+          = M.Verdict.Failing));
+    Testkit.case "JSON round-trip" (fun () ->
+        let v =
+          M.Verdict.make
+            [
+              { M.Verdict.code = "independence"; detail = "r low" };
+              { M.Verdict.code = "cusum"; detail = "S+ = 7" };
+            ]
+            ~failing:(fun r -> r.M.Verdict.code = "cusum")
+        in
+        match M.Verdict.of_json (Tm.Json.of_string
+                                   (Tm.Json.to_string (M.Verdict.to_json v)))
+        with
+        | Some v' -> Testkit.check_true "identical" (v = v')
+        | None -> Alcotest.fail "round-trip lost the verdict");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Monitor end to end                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Small grid so the tests converge in thousands of samples. *)
+let test_config () =
+  {
+    (M.Monitor.default_config ~f0:paper_f0) with
+    ns = [| 4; 8; 16; 64 |];
+    realizations = 256;
+    min_realizations = 32;
+    judge_n = 8;
+    fit_stride = 4096;
+    h_claim = 0.9;
+    bit_window = 64;
+    ais31_block = 128;
+    history = 16;
+  }
+
+let feed_white mon rng ~samples ~sigma =
+  for _ = 1 to samples do
+    M.Monitor.feed_jitter mon (sigma *. gaussian rng)
+  done
+
+let feed_fair_bits mon rng ~bits =
+  for _ = 1 to bits do
+    M.Monitor.feed_bit mon (Ptrng_prng.Rng.bool rng)
+  done
+
+let monitor_tests =
+  [
+    Testkit.case "healthy streams end with verdict ok" (fun () ->
+        let mon = M.Monitor.create (test_config ()) in
+        let rng = Testkit.rng ~seed:7L () in
+        feed_white mon rng ~samples:(1 lsl 16) ~sigma:1e-12;
+        feed_fair_bits mon rng ~bits:4096;
+        let s = M.Monitor.snapshot mon in
+        Testkit.check_true "ready" s.ready;
+        Testkit.check_true "independent regime" (s.r_judge >= 0.95);
+        Alcotest.(check int) "windows closed" 64 s.windows;
+        Testkit.check_true "entropy healthy" (s.min_entropy > 0.8);
+        Testkit.check_false "no chart alarm" (s.ewma_crossed || s.cusum_crossed);
+        Testkit.check_true "verdict ok" (s.verdict.status = M.Verdict.Ok));
+    Testkit.case "alarm burst crosses the CUSUM and degrades the verdict"
+      (fun () ->
+        let mon = M.Monitor.create (test_config ()) in
+        let rng = Testkit.rng ~seed:8L () in
+        feed_white mon rng ~samples:(1 lsl 16) ~sigma:1e-12;
+        feed_fair_bits mon rng ~bits:2048;
+        Testkit.check_true "healthy before the burst"
+          ((M.Monitor.snapshot mon).verdict.status = M.Verdict.Ok);
+        (* A stuck-at-one source: RCT/APT and the online monobit all
+           fire, the per-window alarm counts shift, the CUSUM crosses. *)
+        for _ = 1 to 4096 do
+          M.Monitor.feed_bit mon true
+        done;
+        let s = M.Monitor.snapshot mon in
+        Testkit.check_true "rct fired" (s.rct_alarms > 0);
+        Testkit.check_true "apt fired" (s.apt_alarms > 0);
+        Testkit.check_true "monobit fired" (s.ais31_alarms > 0);
+        Testkit.check_true "cusum crossed" (s.cusum_crossed);
+        Testkit.check_true "verdict flipped"
+          (s.verdict.status <> M.Verdict.Ok);
+        Testkit.check_true "cusum reason present"
+          (List.exists
+             (fun (r : M.Verdict.reason) -> r.code = "cusum")
+             s.verdict.reasons));
+    Testkit.slow_case "flicker-dominated source degrades via independence"
+      (fun () ->
+        (* The paper's attack scenario: quench the thermal noise so the
+           flicker term dominates, k = a/b collapses from 5354 to a few
+           hundred, and the live r_N falls out of the regime. *)
+        let cfg =
+          {
+            (M.Monitor.default_config ~f0:paper_f0) with
+            ns = [| 8; 32; 128; 256 |];
+            realizations = 128;
+            min_realizations = 16;
+            judge_n = 64;
+            fit_stride = 16384;
+          }
+        in
+        let mon = M.Monitor.create cfg in
+        let pair =
+          Ptrng_trng.Attack.thermal_quench ~factor:0.05
+            (Ptrng_osc.Pair.paper_pair ())
+        in
+        let rng = Ptrng_prng.Rng.create ~seed:2014L () in
+        let chunk = 1 lsl 16 in
+        for _ = 1 to 5 do
+          let p1, p2 = Ptrng_osc.Pair.simulate rng pair ~n:chunk in
+          M.Monitor.feed_jitter_array mon
+            (Array.init chunk (fun i -> p1.(i) -. p2.(i)))
+        done;
+        let s = M.Monitor.snapshot mon in
+        Testkit.check_true "ready" s.ready;
+        Testkit.check_true "r collapsed" (s.r_judge < 0.95);
+        Testkit.check_true "degraded" (s.verdict.status = M.Verdict.Degraded);
+        Testkit.check_true "independence reason"
+          (List.exists
+             (fun (r : M.Verdict.reason) -> r.code = "independence")
+             s.verdict.reasons));
+    Testkit.case "health JSON round-trips and carries the verdict" (fun () ->
+        let mon = M.Monitor.create (test_config ()) in
+        let rng = Testkit.rng ~seed:9L () in
+        feed_white mon rng ~samples:(1 lsl 15) ~sigma:1e-12;
+        feed_fair_bits mon rng ~bits:1024;
+        let j =
+          Tm.Json.of_string (Tm.Json.to_string (M.Monitor.health_json mon))
+        in
+        (match Tm.Json.member "schema" j with
+        | Some (Tm.Json.String "ptrng-monitor-health/1") -> ()
+        | _ -> Alcotest.fail "schema tag lost");
+        (match M.Verdict.of_json j with
+        | Some v ->
+          Testkit.check_true "verdict parses back"
+            (v.status = (M.Monitor.snapshot mon).verdict.status)
+        | None -> Alcotest.fail "verdict not parseable from /health");
+        (match Tm.Json.member "independence" j with
+        | Some ind -> (
+          match Tm.Json.member "r_n" ind with
+          | Some r ->
+            Testkit.check_true "r_n serialized"
+              (Option.is_some (Tm.Json.to_float r))
+          | None -> Alcotest.fail "no r_n field")
+        | None -> Alcotest.fail "no independence object"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* HTTP endpoint smoke                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let http_request port request =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      ignore (Unix.write_substring sock request 0 (String.length request));
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        let n = Unix.read sock chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        end
+      in
+      (try drain () with Unix.Unix_error _ -> ());
+      Buffer.contents buf)
+
+let http_get port path =
+  http_request port (Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\n\r\n" path)
+
+let body_of response =
+  match String.index_opt response '{' with
+  | Some i -> String.sub response i (String.length response - i)
+  | None -> Alcotest.fail "no JSON body in response"
+
+let http_tests =
+  [
+    Testkit.case "GET /health and /metrics on an ephemeral port" (fun () ->
+        Tm.Registry.enable ();
+        let mon = M.Monitor.create (test_config ()) in
+        let rng = Testkit.rng ~seed:10L () in
+        feed_white mon rng ~samples:(1 lsl 15) ~sigma:1e-12;
+        feed_fair_bits mon rng ~bits:1024;
+        let srv = M.Monitor.serve ~port:0 mon in
+        Fun.protect
+          ~finally:(fun () ->
+            M.Http.stop srv;
+            M.Http.stop srv (* idempotent *);
+            Tm.Registry.disable ())
+          (fun () ->
+            let port = M.Http.port srv in
+            Testkit.check_true "ephemeral port assigned" (port > 0);
+            let health = http_get port "/health" in
+            Testkit.check_true "health 200"
+              (Testkit.contains ~needle:"HTTP/1.1 200 OK" health);
+            Testkit.check_true "health is json"
+              (Testkit.contains ~needle:"application/json" health);
+            (match
+               M.Verdict.of_json (Tm.Json.of_string (body_of health))
+             with
+            | Some _ -> ()
+            | None -> Alcotest.fail "/health body does not parse");
+            let metrics = http_get port "/metrics" in
+            Testkit.check_true "metrics 200"
+              (Testkit.contains ~needle:"HTTP/1.1 200 OK" metrics);
+            Testkit.check_true "prometheus content type"
+              (Testkit.contains ~needle:"text/plain; version=0.0.4" metrics);
+            Testkit.check_true "monitor gauges exposed"
+              (Testkit.contains ~needle:"ptrng_monitor_r_n" metrics);
+            let missing = http_get port "/nope" in
+            Testkit.check_true "unknown path 404"
+              (Testkit.contains ~needle:"HTTP/1.1 404" missing);
+            let post =
+              http_request port "POST /health HTTP/1.1\r\nHost: t\r\n\r\n"
+            in
+            Testkit.check_true "non-GET 405"
+              (Testkit.contains ~needle:"HTTP/1.1 405" post)));
+  ]
+
+let () =
+  Alcotest.run "ptrng_monitor"
+    [
+      ("window", window_tests);
+      ("control_chart", chart_tests);
+      ("rn_estimator", rn_tests);
+      ("verdict", verdict_tests);
+      ("monitor", monitor_tests);
+      ("http", http_tests);
+    ]

@@ -6,6 +6,7 @@ let fresh () =
   Registry.clear ();
   Registry.disable ();
   Span.reset ();
+  Series.reset ();
   Runtime_profile.reset ()
 
 let exact_quantile sorted q =
@@ -235,6 +236,44 @@ let sink_tests =
         List.iter (Registry.Hist.observe h) [ 5.0; 50.0; 500.0 ];
         Alcotest.(check string) "exposition" prometheus_golden (Sink.to_prometheus ());
         Registry.disable ());
+    Testkit.case "help text is escaped in the exposition" (fun () ->
+        fresh ();
+        Registry.enable ();
+        let c =
+          Registry.Counter.v ~help:"line one\nback\\slash\rdone" "t_esc_total"
+        in
+        Registry.Counter.incr c;
+        let out = Sink.to_prometheus () in
+        Testkit.check_true "breaks and backslashes escaped"
+          (Testkit.contains
+             ~needle:"# HELP t_esc_total line one\\nback\\\\slash\\ndone" out);
+        Testkit.check_true "sample line intact"
+          (Testkit.contains ~needle:"t_esc_total 1" out);
+        Registry.disable ());
+    Testkit.case "metric-name grammar and sanitization" (fun () ->
+        Testkit.check_true "scheme name" (Sink.valid_metric_name "ptrng_ok:name_2");
+        Testkit.check_false "space" (Sink.valid_metric_name "bad name");
+        Testkit.check_false "leading digit" (Sink.valid_metric_name "2bad");
+        Testkit.check_false "empty" (Sink.valid_metric_name "");
+        Alcotest.(check string) "valid passes through" "good_name"
+          (Sink.sanitize_metric_name "good_name");
+        Alcotest.(check string) "invalid chars mapped" "bad_name_x"
+          (Sink.sanitize_metric_name "bad-name.x");
+        Alcotest.(check string) "leading digit prefixed" "_2fast"
+          (Sink.sanitize_metric_name "2fast");
+        Testkit.check_true "sanitized is always valid"
+          (Sink.valid_metric_name (Sink.sanitize_metric_name "9 weird\nname")));
+    Testkit.case "invalid registered name is sanitized, not dropped" (fun () ->
+        fresh ();
+        Registry.enable ();
+        let c = Registry.Counter.v ~help:"h" "bad metric-name" in
+        Registry.Counter.incr c;
+        let out = Sink.to_prometheus () in
+        Testkit.check_true "sanitized sample served"
+          (Testkit.contains ~needle:"bad_metric_name 1" out);
+        Testkit.check_false "raw name absent"
+          (Testkit.contains ~needle:"bad metric-name 1" out);
+        Registry.disable ());
     Testkit.case "snapshot json round-trips through the parser" (fun () ->
         fresh ();
         Registry.enable ();
@@ -397,6 +436,58 @@ let noop_tests =
         Registry.disable ());
   ]
 
+let series_tests =
+  [
+    Testkit.case "records are timestamped and ordered oldest first" (fun () ->
+        fresh ();
+        Registry.enable ();
+        let s = Series.v ~help:"demo" "t_series_demo" in
+        Series.record_at s ~t_s:1.0 10.0;
+        Series.record_at s ~t_s:2.0 20.0;
+        (match Series.points s with
+        | [ (1.0, 10.0); (2.0, 20.0) ] -> ()
+        | _ -> Alcotest.fail "points lost or reordered");
+        Testkit.check_true "listed in all ()"
+          (List.mem_assoc "t_series_demo" (Series.all ()));
+        Registry.disable ());
+    Testkit.case "disabled or non-finite records are dropped" (fun () ->
+        fresh ();
+        let s = Series.v "t_series_off" in
+        Series.record_at s ~t_s:1.0 1.0;
+        Registry.enable ();
+        Series.record_at s ~t_s:2.0 nan;
+        Series.record_at s ~t_s:3.0 infinity;
+        Testkit.check_true "nothing recorded" (Series.points s = []);
+        Registry.disable ());
+    Testkit.case "reset drops samples, keeps the registration" (fun () ->
+        fresh ();
+        Registry.enable ();
+        let s = Series.v "t_series_reset" in
+        Series.record_at s ~t_s:1.0 1.0;
+        Series.reset ();
+        Testkit.check_true "samples gone" (Series.points s = []);
+        Testkit.check_true "registration kept"
+          (List.mem_assoc "t_series_reset" (Series.all ()));
+        Series.record_at s ~t_s:2.0 2.0;
+        Testkit.check_true "handle still live"
+          (Series.points s = [ (2.0, 2.0) ]);
+        Registry.disable ());
+    Testkit.case "series render as perfetto counter tracks" (fun () ->
+        fresh ();
+        Registry.enable ();
+        let s = Series.v ~help:"track" "t_series_track" in
+        Series.record_at s ~t_s:1.0 5.0;
+        Series.record_at s ~t_s:1.5 6.0;
+        let evs = trace_events (Trace_export.to_json ()) in
+        let track =
+          List.filter
+            (fun e -> Json.member "name" e = Some (Json.String "t_series_track"))
+            (events_with_ph "C" evs)
+        in
+        Alcotest.(check int) "one counter event per sample" 2 (List.length track);
+        Registry.disable ());
+  ]
+
 let () =
   Alcotest.run "ptrng_telemetry"
     [
@@ -404,6 +495,7 @@ let () =
       ("span", span_tests);
       ("json", json_props);
       ("sink", sink_tests);
+      ("series", series_tests);
       ("trace", trace_tests);
       ("noop", noop_tests);
     ]
