@@ -1,7 +1,8 @@
 (* Gate for the bench harness and its perf trajectory.
 
      check_bench [REPORT] [--history FILE] [--baseline FILE]
-                 [--max-regression PCT] [--warn-only]
+                 [--max-regression PCT] [--max-alloc-regression PCT]
+                 [--max-fig7-bytes-per-period B] [--warn-only]
 
    Always: parse REPORT (default BENCH_1.json) and assert the fields
    the perf-trajectory tooling relies on, so `dune runtest` fails
@@ -13,10 +14,22 @@
                          against FILE (a bench report or a history
                          record); exit 1 if any section regressed by
                          more than --max-regression PCT (default 25).
+   --max-alloc-regression PCT
+                         with --baseline: also compare per-section
+                         alloc_bytes; exit 1 if any section allocates
+                         more than PCT beyond the baseline.  Off by
+                         default (allocation is deterministic, so no
+                         noise tolerance is needed once enabled).
+   --max-fig7-bytes-per-period B
+                         absolute allocation budget for the hot path:
+                         fig7.alloc_bytes divided by the simulated
+                         period count must not exceed B bytes.  This
+                         is the streaming-pipeline gate — it needs no
+                         baseline file and cannot drift with one.
    --warn-only           print regressions but exit 0 (soft gate for
                          noisy 1-core CI runners).
 
-   See docs/OBSERVABILITY.md and docs/PROFILING.md. *)
+   See docs/OBSERVABILITY.md, docs/PROFILING.md and docs/STREAMING.md. *)
 
 module Json = Ptrng_telemetry.Json
 module History = Bench_history.History
@@ -40,6 +53,8 @@ type opts = {
   history : string option;
   baseline : string option;
   max_regression_pct : float;
+  max_alloc_regression_pct : float option;
+  max_fig7_bytes_per_period : float option;
   warn_only : bool;
 }
 
@@ -51,6 +66,8 @@ let parse_args () =
         history = None;
         baseline = None;
         max_regression_pct = 25.0;
+        max_alloc_regression_pct = None;
+        max_fig7_bytes_per_period = None;
         warn_only = false;
       }
   in
@@ -67,10 +84,27 @@ let parse_args () =
       | Some p when p >= 0.0 -> opts := { !opts with max_regression_pct = p }
       | _ -> fail "--max-regression expects a non-negative number, got %S" pct);
       go rest
+    | "--max-alloc-regression" :: pct :: rest ->
+      (match float_of_string_opt pct with
+      | Some p when p >= 0.0 ->
+        opts := { !opts with max_alloc_regression_pct = Some p }
+      | _ ->
+        fail "--max-alloc-regression expects a non-negative number, got %S" pct);
+      go rest
+    | "--max-fig7-bytes-per-period" :: bytes :: rest ->
+      (match float_of_string_opt bytes with
+      | Some b when b > 0.0 ->
+        opts := { !opts with max_fig7_bytes_per_period = Some b }
+      | _ ->
+        fail "--max-fig7-bytes-per-period expects a positive number, got %S"
+          bytes);
+      go rest
     | "--warn-only" :: rest ->
       opts := { !opts with warn_only = true };
       go rest
-    | ("--history" | "--baseline" | "--max-regression") :: [] ->
+    | ( "--history" | "--baseline" | "--max-regression"
+      | "--max-alloc-regression" | "--max-fig7-bytes-per-period" )
+      :: [] ->
       fail "missing argument for the last flag"
     | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
       fail "unknown flag %s" arg
@@ -154,6 +188,52 @@ let validate_report path report =
   Printf.printf "check_bench: %s ok (%d sections, %.3e periods/s)\n" path
     (List.length sections) pps
 
+(* ---------------- hot-path allocation budget ---------------- *)
+
+(* fig7 drives Multilevel.characterize over the whole simulated trace,
+   so its alloc_bytes per simulated period is the figure of merit for
+   the streaming pipeline: a budget of a few machine words per period
+   proves the hot path reuses its buffers instead of materializing
+   traces.  The period count comes from fig7.results.periods when the
+   report records it, else from 2^log2_periods at the report root. *)
+let check_bytes_per_period ~path ~limit report =
+  let sections =
+    match get "report" report "sections" with
+    | Json.List l -> l
+    | _ -> fail "sections is not a list"
+  in
+  let fig7 =
+    match
+      List.find_opt
+        (fun s -> Json.member "name" s = Some (Json.String "fig7"))
+        sections
+    with
+    | Some s -> s
+    | None -> fail "section fig7 missing"
+  in
+  let alloc = number "fig7" fig7 "alloc_bytes" in
+  let periods =
+    match
+      Option.bind (Json.member "results" fig7) (fun r ->
+          Option.bind (Json.member "periods" r) Json.to_float)
+    with
+    | Some p when p > 0.0 -> p
+    | _ -> (
+      match Json.to_float (get "report" report "log2_periods") with
+      | Some l when l >= 1.0 -> Float.of_int (1 lsl int_of_float l)
+      | _ -> fail "cannot determine the fig7 period count")
+  in
+  let per_period = alloc /. periods in
+  if per_period > limit then
+    fail
+      "fig7 allocates %.1f bytes/period (%.3e bytes over %.0f periods), \
+       budget is %.1f — the hot path is allocating again"
+      per_period alloc periods limit
+  else
+    Printf.printf
+      "check_bench: %s fig7 allocation %.1f bytes/period (budget %.1f)\n" path
+      per_period limit
+
 (* ---------------- history validation ---------------- *)
 
 let validate_history path =
@@ -172,8 +252,47 @@ let validate_history path =
 
 (* ---------------- regression gate ---------------- *)
 
-let check_baseline ~warn_only ~max_regression_pct ~baseline_path ~report =
-  let baseline = read_json baseline_path in
+let check_alloc_baseline ~warn_only ~max_alloc_regression_pct ~baseline_path
+    ~baseline ~report =
+  match History.compare_alloc ~baseline ~current:report () with
+  | Error e -> fail "cannot compare allocation against %s: %s" baseline_path e
+  | Ok [] ->
+    (* Old history records lack alloc_bytes; a silent pass would make
+       the gate a no-op, so say the comparison was empty. *)
+    Printf.printf
+      "check_bench: no sections with alloc_bytes on both sides of %s\n"
+      baseline_path
+  | Ok compared ->
+    List.iter
+      (fun (c : History.alloc_comparison) ->
+        Printf.printf "check_bench:   %-16s %11.0f B -> %11.0f B  (%+.1f%%)\n"
+          c.History.section c.History.base_alloc_bytes c.History.alloc_bytes
+          c.History.alloc_change_pct)
+      compared;
+    let regressed =
+      History.alloc_regressions ~max_alloc_regression_pct compared
+    in
+    if regressed = [] then
+      Printf.printf
+        "check_bench: no allocation regression beyond %.0f%% against %s (%d \
+         sections)\n"
+        max_alloc_regression_pct baseline_path (List.length compared)
+    else begin
+      List.iter
+        (fun (c : History.alloc_comparison) ->
+          Printf.eprintf
+            "check_bench: %s: section %s allocates %.1f%% more (%.0f B -> \
+             %.0f B, tolerance %.0f%%)\n"
+            (if warn_only then "warning" else "FAIL")
+            c.History.section c.History.alloc_change_pct
+            c.History.base_alloc_bytes c.History.alloc_bytes
+            max_alloc_regression_pct)
+        regressed;
+      if not warn_only then exit 1
+    end
+
+let check_baseline ~warn_only ~max_regression_pct ~baseline_path ~baseline
+    ~report =
   match History.compare_sections ~baseline ~current:report () with
   | Error e -> fail "cannot compare against %s: %s" baseline_path e
   | Ok [] -> fail "no comparable sections against %s" baseline_path
@@ -206,9 +325,19 @@ let () =
   let opts = parse_args () in
   let report = read_json opts.report in
   validate_report opts.report report;
+  Option.iter
+    (fun limit -> check_bytes_per_period ~path:opts.report ~limit report)
+    opts.max_fig7_bytes_per_period;
   Option.iter validate_history opts.history;
   match opts.baseline with
   | None -> ()
   | Some baseline_path ->
+    let baseline = read_json baseline_path in
     check_baseline ~warn_only:opts.warn_only
-      ~max_regression_pct:opts.max_regression_pct ~baseline_path ~report
+      ~max_regression_pct:opts.max_regression_pct ~baseline_path ~baseline
+      ~report;
+    Option.iter
+      (fun max_alloc_regression_pct ->
+        check_alloc_baseline ~warn_only:opts.warn_only
+          ~max_alloc_regression_pct ~baseline_path ~baseline ~report)
+      opts.max_alloc_regression_pct

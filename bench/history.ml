@@ -11,10 +11,12 @@ module Json = Ptrng_telemetry.Json
 
 let schema = "ptrng-bench-history/1"
 
-type section = { name : string; wall_s : float }
+type section = { name : string; wall_s : float; alloc_bytes : float option }
 
-(* Extract (name, wall_s) pairs from anything carrying a bench-shaped
-   "sections" list — a full ptrng-bench/2 report or a history record. *)
+(* Extract (name, wall_s, alloc_bytes) triples from anything carrying a
+   bench-shaped "sections" list — a full ptrng-bench/2 report or a
+   history record.  alloc_bytes is optional: pre-allocation-tracking
+   history records simply lack it. *)
 let sections_of j =
   match Json.member "sections" j with
   | Some (Json.List l) ->
@@ -23,7 +25,13 @@ let sections_of j =
          (fun s ->
            match (Json.member "name" s, Json.member "wall_s" s) with
            | Some (Json.String name), Some w ->
-             Option.map (fun wall_s -> { name; wall_s }) (Json.to_float w)
+             Option.map
+               (fun wall_s ->
+                 let alloc_bytes =
+                   Option.bind (Json.member "alloc_bytes" s) Json.to_float
+                 in
+                 { name; wall_s; alloc_bytes })
+               (Json.to_float w)
            | _ -> None)
          l)
   | _ -> Error "no sections list"
@@ -62,10 +70,14 @@ let record_of_report ?(sha = "unknown") ?(time_unix = 0.0) ?lint report =
                  (List.map
                     (fun s ->
                       Json.Obj
-                        [
-                          ("name", Json.String s.name);
-                          ("wall_s", Json.num s.wall_s);
-                        ])
+                        ([
+                           ("name", Json.String s.name);
+                           ("wall_s", Json.num s.wall_s);
+                         ]
+                        @
+                        match s.alloc_bytes with
+                        | Some b -> [ ("alloc_bytes", Json.num b) ]
+                        | None -> []))
                     sections) );
            ]))
 
@@ -154,6 +166,49 @@ let compare_sections ?(min_wall_s = default_min_wall_s) ~baseline ~current () =
 
 let regressions ~max_regression_pct compared =
   List.filter (fun c -> c.change_pct > max_regression_pct) compared
+
+type alloc_comparison = {
+  section : string;
+  base_alloc_bytes : float;
+  alloc_bytes : float;
+  alloc_change_pct : float;  (* +100.0 = twice the allocation *)
+}
+
+let default_min_alloc_bytes = 65536.0
+
+(* Sections allocating less than [min_alloc_bytes] in the baseline are
+   skipped: a few kB of report plumbing is not a hot path, and tiny
+   denominators turn rounding into spurious percentages.  Sections
+   without an alloc_bytes field on either side (old history records)
+   are skipped too — absence of data is not a regression. *)
+let compare_alloc ?(min_alloc_bytes = default_min_alloc_bytes) ~baseline
+    ~current () =
+  match (sections_of baseline, sections_of current) with
+  | Error e, _ -> Error ("baseline: " ^ e)
+  | _, Error e -> Error ("current: " ^ e)
+  | Ok base, Ok cur ->
+    Ok
+      (List.filter_map
+         (fun (b : section) ->
+           match b.alloc_bytes with
+           | Some bb when bb >= min_alloc_bytes -> (
+             match List.find_opt (fun (c : section) -> c.name = b.name) cur with
+             | Some { alloc_bytes = Some cb; _ } ->
+               Some
+                 {
+                   section = b.name;
+                   base_alloc_bytes = bb;
+                   alloc_bytes = cb;
+                   alloc_change_pct = 100.0 *. ((cb /. bb) -. 1.0);
+                 }
+             | _ -> None)
+           | _ -> None)
+         base)
+
+let alloc_regressions ~max_alloc_regression_pct compared =
+  List.filter
+    (fun c -> c.alloc_change_pct > max_alloc_regression_pct)
+    compared
 
 (* ------------------------------------------------------------------ *)
 (* Trend table                                                         *)

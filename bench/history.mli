@@ -9,11 +9,13 @@ module Json = Ptrng_telemetry.Json
 val schema : string
 (** ["ptrng-bench-history/1"]. *)
 
-type section = { name : string; wall_s : float }
+type section = { name : string; wall_s : float; alloc_bytes : float option }
 
 val sections_of : Json.t -> (section list, string) result
-(** The [(name, wall_s)] pairs of anything with a bench-shaped
-    [sections] list — a [ptrng-bench/2] report or a history record. *)
+(** The [(name, wall_s, alloc_bytes)] triples of anything with a
+    bench-shaped [sections] list — a [ptrng-bench/2] report or a
+    history record.  [alloc_bytes] is [None] for records written
+    before allocation tracking existed. *)
 
 val record_of_report :
   ?sha:string ->
@@ -61,6 +63,32 @@ val compare_sections :
 
 val regressions : max_regression_pct:float -> comparison list -> comparison list
 (** The comparisons slower than the tolerance. *)
+
+type alloc_comparison = {
+  section : string;
+  base_alloc_bytes : float;
+  alloc_bytes : float;
+  alloc_change_pct : float;  (** +100.0 = twice the allocation. *)
+}
+
+val default_min_alloc_bytes : float
+(** Sections allocating less than this (bytes) in the baseline are
+    skipped by {!compare_alloc} as plumbing noise. *)
+
+val compare_alloc :
+  ?min_alloc_bytes:float ->
+  baseline:Json.t ->
+  current:Json.t ->
+  unit ->
+  (alloc_comparison list, string) result
+(** Allocation change of every section that reports [alloc_bytes] on
+    both sides; baseline sections under [min_alloc_bytes] (default
+    {!default_min_alloc_bytes}) and sections missing the field on
+    either side are skipped. *)
+
+val alloc_regressions :
+  max_alloc_regression_pct:float -> alloc_comparison list -> alloc_comparison list
+(** The comparisons allocating more than the tolerance allows. *)
 
 val pp_table : Format.formatter -> Json.t list -> unit
 (** Trend table, oldest first; columns follow the newest record's

@@ -380,11 +380,11 @@ let run_monitor seed duration periods attack strength divisor listen refresh
       Some s
   in
   let rng = make_rng seed in
-  (* Each chunk restarts the simulated trajectory (the event-level
-     simulator has no phase carry-over), so chunks must be long enough
-     that the sampler's deterministic detuning beat — about 10 bits at
-     divisor 1000 — is balanced within every chunk; short chunks would
-     replay the same fractional beat word and bias the bit stream. *)
+  (* One continuous streamed trajectory: the flicker phase and the
+     sampler's detuning beat carry across chunk boundaries (the old
+     batch loop restarted the simulation each chunk and needed long
+     chunks to balance the beat), and the jitter path reuses two fill
+     buffers instead of allocating five arrays per chunk. *)
   let chunk = 262144 in
   let now () = Ptrng_telemetry.Clock.now () in
   let deadline = now () +. duration in
@@ -401,12 +401,27 @@ let run_monitor seed duration periods attack strength divisor listen refresh
       (match periods with
       | Some p -> Printf.sprintf "%d periods" p
       | None -> Printf.sprintf "%.1fs" duration);
+  let stream = Ptrng_osc.Pair.stream ~flicker_block:chunk rng attacked in
+  let p1 = Float.Array.create chunk in
+  let p2 = Float.Array.create chunk in
+  let jbuf = Float.Array.create chunk in
+  let edges_of_chunk buf =
+    (* Chunk-local edge times (t0 = 0): the sampler only compares edge
+       times within the chunk, so the global offset is irrelevant. *)
+    let e = Array.make (chunk + 1) 0.0 in
+    for k = 0 to chunk - 1 do
+      e.(k + 1) <- e.(k) +. Float.Array.get buf k
+    done;
+    e
+  in
   while continue () do
-    let p1, p2 = Ptrng_osc.Pair.simulate rng attacked ~n:chunk in
-    M.Monitor.feed_jitter_array mon
-      (Array.init chunk (fun i -> p1.(i) -. p2.(i)));
-    let osc1_edges = Ptrng_osc.Oscillator.edges_of_periods p1 in
-    let osc2_edges = Ptrng_osc.Oscillator.edges_of_periods p2 in
+    Ptrng_osc.Pair.fill stream ~p1 ~p2 ~len:chunk;
+    for i = 0 to chunk - 1 do
+      Float.Array.set jbuf i (Float.Array.get p1 i -. Float.Array.get p2 i)
+    done;
+    M.Monitor.feed_jitter_chunk mon jbuf ~len:chunk;
+    let osc1_edges = edges_of_chunk p1 in
+    let osc2_edges = edges_of_chunk p2 in
     M.Monitor.feed_bits mon
       (Ptrng_trng.Sampler.sample ~osc1_edges ~osc2_edges ~divisor);
     processed := !processed + chunk;

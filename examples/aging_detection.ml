@@ -18,12 +18,32 @@ let paper = Ptrng_osc.Pair.paper_relative
 
 let measure ~rw_hm2 ~seed =
   (* Single oscillator carrying the full relative coefficients plus the
-     planted aging level. *)
+     planted aging level, streamed through the variance-curve
+     accumulator: memory stays O(chunk + 2 max N) however long the
+     acquisition runs. *)
   let cfg = Ptrng_osc.Oscillator.config ~rw_hm2 ~f0 ~phase:paper () in
-  let p = Ptrng_osc.Oscillator.periods (Ptrng_prng.Rng.create ~seed ()) cfg ~n:(1 lsl 20) in
-  let j = Ptrng_osc.Oscillator.jitter_of_periods ~f0 p in
+  let n = 1 lsl 20 in
+  let src =
+    Ptrng_osc.Oscillator.source ~flicker_block:n
+      (Ptrng_prng.Rng.create ~seed ()) cfg
+  in
   let ns = Ptrng_measure.Variance_curve.log2_grid ~n_min:4 ~n_max:32768 in
-  Ptrng_measure.Variance_curve.of_jitter ~f0 ~ns j
+  let acc = Ptrng_measure.Variance_curve.Jitter_acc.create ~f0 ns in
+  let chunk = 8192 in
+  let buf = Float.Array.create chunk in
+  let t0 = 1.0 /. f0 in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min chunk (n - !pos) in
+    Ptrng_osc.Oscillator.fill_periods src ~len buf;
+    (* Period -> jitter in place: J_k = T_k - 1/f0 (paper eq. 3). *)
+    for i = 0 to len - 1 do
+      Float.Array.set buf i (Float.Array.get buf i -. t0)
+    done;
+    Ptrng_measure.Variance_curve.Jitter_acc.feed acc buf ~len;
+    pos := !pos + len
+  done;
+  Ptrng_measure.Variance_curve.Jitter_acc.points acc
 
 let () =
   let planted = 5e-7 in

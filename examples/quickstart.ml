@@ -48,4 +48,16 @@ let () =
   in
   Printf.printf "thermal phase diffusion over 2000 periods: %.2f rad\n" phase_std;
   Printf.printf "model entropy per raw bit (thermal only) : %.4f\n"
-    (Ptrng.Model.Entropy.avg_entropy ~phase_std)
+    (Ptrng.Model.Entropy.avg_entropy ~phase_std);
+
+  (* 6. Drawing raw noise directly: the streaming [Source] API is one
+     create/fill contract over every backend (white, Kasdin, Voss,
+     spectral).  The caller owns the buffer; refilling it never
+     allocates, and the stream is a pure function of its seed. *)
+  let src = Ptrng.Source.create (Ptrng.Source.flicker_fm ~hm1:1e-6 ()) rng in
+  let buf = Float.Array.create 4096 in
+  Ptrng.Source.fill src buf;
+  let rms = ref 0.0 in
+  Float.Array.iter (fun x -> rms := !rms +. (x *. x)) buf;
+  Printf.printf "streamed 4096 flicker samples, rms %.3e\n"
+    (sqrt (!rms /. 4096.0))

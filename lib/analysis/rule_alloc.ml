@@ -1,0 +1,68 @@
+(* R6: no whole-array allocating combinators on the hot path.
+
+   lib/noise and lib/osc are the streaming sample pipeline: every
+   per-chunk allocation there is multiplied by millions of periods, so
+   trace-sized intermediates ([Array.map] over a block, [Array.append]
+   growing a buffer, list building) belong either outside these
+   directories or in the explicitly legacy batch entry points — which
+   are baselined with a note, exactly like R1-R5 exemptions. *)
+
+let hot_dirs = [ "lib/noise"; "lib/osc" ]
+
+let forbidden =
+  [
+    ("Stdlib.Array.append", "copies both operands");
+    ("Array.append", "copies both operands");
+    ("Stdlib.Array.concat", "copies every operand");
+    ("Array.concat", "copies every operand");
+    ("Stdlib.Array.map", "allocates a same-length result");
+    ("Array.map", "allocates a same-length result");
+    ("Stdlib.Array.mapi", "allocates a same-length result");
+    ("Array.mapi", "allocates a same-length result");
+    ("Stdlib.List.map", "allocates one cons cell per element");
+    ("List.map", "allocates one cons cell per element");
+    ("Stdlib.List.concat_map", "allocates intermediate lists");
+    ("List.concat_map", "allocates intermediate lists");
+    ("Stdlib.@", "copies the left list");
+    ("@", "copies the left list");
+  ]
+
+let check_unit ~rule (unit : Loader.unit_info) =
+  match unit.impl with
+  | None -> []
+  | Some str ->
+    let acc = ref [] in
+    Tast_util.iter_structure_expressions str (fun ~symbol e ->
+        match Tast_util.ident_name e with
+        | Some name -> (
+          match List.assoc_opt name forbidden with
+          | Some why ->
+            acc :=
+              Rule.make_finding ~rule ~unit ~loc:e.exp_loc ~symbol ~detail:name
+                (Printf.sprintf
+                   "allocating combinator %s (%s) on the hot sample path; \
+                    fill a caller-owned buffer (Source.fill / Float.Array \
+                    scratch) instead"
+                   name why)
+              :: !acc
+          | None -> ())
+        | None -> ());
+    !acc
+
+let rec rule =
+  {
+    Rule.id = "R6";
+    name = "hot-path-alloc";
+    severity = Finding.Warning;
+    doc =
+      "forbid Array.append/concat/map/mapi, List.map/concat_map and (@) in \
+       lib/noise and lib/osc (the streaming hot path)";
+    check =
+      (fun loader ->
+        List.concat_map
+          (fun unit ->
+            if loader.Loader.scope_all || Loader.in_dirs ~dirs:hot_dirs unit
+            then check_unit ~rule unit
+            else [])
+          loader.Loader.units);
+  }

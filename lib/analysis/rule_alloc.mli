@@ -1,0 +1,8 @@
+(** R6 — hot-path allocation hygiene: whole-array and list-building
+    combinators are flagged inside [lib/noise] and [lib/osc], where the
+    streaming sample pipeline must fill caller-owned buffers instead of
+    allocating per chunk.  Intentional legacy batch paths are baselined
+    with a note. *)
+
+val rule : Rule.t
+(** The rule instance registered in {!Rules.all}. *)

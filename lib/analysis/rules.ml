@@ -5,6 +5,7 @@ let all =
     Rule_state.rule;
     Rule_span.rule;
     Rule_interface.rule;
+    Rule_alloc.rule;
   ]
 
 let find id =

@@ -87,7 +87,7 @@ let run cfg ~f0 ~reference_b_th ~edges1 ~edges2 =
           invalid_arg "Online_test.run: edge stream too short for the grid";
         (* A real on-line block test works on a fixed window budget. *)
         let edges2 = Array.sub edges2 0 ((cfg.windows * n) + 1) in
-        let curve = Variance_curve.of_counters ~edges1 ~edges2 ~f0 ~ns:[| n |] () in
+        let curve = Variance_curve.of_counters ~f0 ~ns:[| n |] edges1 edges2 in
         if Array.length curve <> 1 then
           invalid_arg "Online_test.run: edge stream too short for the grid";
         curve.(0))

@@ -14,30 +14,58 @@ let nominal_f0 (pair : Ptrng_osc.Pair.t) =
 
 module Span = Ptrng_telemetry.Span
 
+(* Stream the simulation through the accumulators in fixed chunks: the
+   resident set is three chunk buffers plus the accumulators (O(2 max N)
+   for the jitter ring), instead of five trace-length arrays. *)
+let stream_chunk = 8192
+
 let characterize ?domains ?(n_periods = 1 lsl 20) ?n_grid ~rng pair =
   if n_periods < 1024 then invalid_arg "Multilevel.characterize: n_periods < 1024";
   Span.with_ ~name:"model.characterize" @@ fun () ->
   Span.set_attr "n_periods" (Ptrng_telemetry.Json.Int n_periods);
+  (* The streamed pipeline is sequential and domain-count independent
+     by construction; the parameter is kept so pipeline call sites read
+     the same at every level. *)
+  let (_ : int option) = domains in
   let f0 = nominal_f0 pair in
   let ns =
     match n_grid with
     | Some g -> g
     | None -> Ptrng_measure.Variance_curve.log2_grid ~n_min:4 ~n_max:(n_periods / 32)
   in
-  let p1, p2 =
+  let module FA = Float.Array in
+  let module Vc = Ptrng_measure.Variance_curve in
+  let st =
+    (* flicker_block = n_periods keeps the streamed flicker bit-identical
+       to the batch synthesis (one spectral block spanning the trace). *)
     Span.with_ ~name:"simulate" (fun () ->
-        Ptrng_osc.Pair.simulate ?domains rng pair ~n:n_periods)
+        Ptrng_osc.Pair.stream ~flicker_block:n_periods rng pair)
   in
-  let jitter = Ptrng_measure.S_process.relative_jitter ~periods1:p1 ~periods2:p2 in
+  let jitter_acc = Vc.Jitter_acc.create ~f0 ns in
+  let counter_acc = Vc.Counter_acc.create ~f0 ~ns in
+  let p1 = FA.create stream_chunk in
+  let p2 = FA.create stream_chunk in
+  let jbuf = FA.create stream_chunk in
+  Span.with_ ~name:"stream.accumulate" (fun () ->
+      let pos = ref 0 in
+      while !pos < n_periods do
+        let len = min stream_chunk (n_periods - !pos) in
+        Ptrng_osc.Pair.fill st ~p1 ~p2 ~len;
+        for i = 0 to len - 1 do
+          (* relative_jitter's op: j(k) = p1(k) - p2(k). *)
+          FA.unsafe_set jbuf i (FA.unsafe_get p1 i -. FA.unsafe_get p2 i)
+        done;
+        Vc.Jitter_acc.feed jitter_acc jbuf ~len;
+        Vc.Counter_acc.feed counter_acc ~p1 ~p2 ~len;
+        pos := !pos + len
+      done);
   let ideal_curve =
     Span.with_ ~name:"variance_curve.jitter" (fun () ->
-        Ptrng_measure.Variance_curve.of_jitter ?domains ~f0 ~ns jitter)
+        Vc.Jitter_acc.points jitter_acc)
   in
-  let edges1 = Ptrng_osc.Oscillator.edges_of_periods p1 in
-  let edges2 = Ptrng_osc.Oscillator.edges_of_periods p2 in
   let counter_curve =
     Span.with_ ~name:"variance_curve.counter" (fun () ->
-        Ptrng_measure.Variance_curve.of_counters ?domains ~edges1 ~edges2 ~f0 ~ns ())
+        Vc.Counter_acc.points counter_acc)
   in
   let fit =
     Span.with_ ~name:"fit" (fun () -> Ptrng_measure.Fit.fit ~f0 ideal_curve)

@@ -281,6 +281,15 @@ let feed_jitter t x = Mutex.protect t.lock (fun () -> feed_jitter_unlocked t x)
 let feed_jitter_array t xs =
   Mutex.protect t.lock (fun () -> Array.iter (feed_jitter_unlocked t) xs)
 
+let feed_jitter_chunk t buf ~len =
+  Mutex.protect t.lock (fun () ->
+      Rn_estimator.feed_many t.rn buf ~len;
+      t.since_fit <- t.since_fit + len;
+      if t.since_fit >= t.cfg.fit_stride then begin
+        t.since_fit <- 0;
+        refresh_fit t
+      end)
+
 let feed_bit t b = Mutex.protect t.lock (fun () -> feed_bit_unlocked t b)
 
 let feed_bits t bs =

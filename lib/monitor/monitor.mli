@@ -75,6 +75,15 @@ val feed_jitter : t -> float -> unit
 val feed_jitter_array : t -> float array -> unit
 (** Feed a chunk of jitter samples under one lock acquisition. *)
 
+val feed_jitter_chunk : t -> Float.Array.t -> len:int -> unit
+(** [feed_jitter_chunk t buf ~len] feeds [buf.(0 .. len-1)] from a
+    reused floatarray under one lock acquisition — the allocation-free
+    companion of a streamed producer ({!Ptrng_osc.Pair.fill}).  The
+    refit cadence is evaluated once per chunk rather than per sample,
+    so a refit may land up to [len - 1] samples later than with
+    {!feed_jitter}.
+    @raise Invalid_argument if [len] exceeds the buffer. *)
+
 val feed_bit : t -> bool -> unit
 (** Feed one sampled output bit through the health tests, charts and
     entropy window. *)

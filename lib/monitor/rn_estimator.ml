@@ -2,19 +2,22 @@
    S_N realization is the second difference of the cumulative jitter
    over 2N consecutive periods (S_process.realizations with stride
    2N), i.e. (sum of the second N periods) - (sum of the first N).
-   Disjoint realizations land in a sliding Window per N. *)
+   Disjoint realizations land in a sliding Window per N.
 
-type slot = {
-  n : int;
-  mutable acc : float;      (* partial sum of the current half *)
-  mutable filled : int;     (* samples in the current half, 0..n *)
-  mutable first_half : float; (* completed first-half sum, nan = none *)
-  window : Window.t;
-}
+   The per-slot state is struct-of-arrays — partial sums and completed
+   first halves live in floatarrays, not in mutable float record fields
+   — so the per-sample hot loop mutates unboxed cells and allocates
+   nothing. *)
+
+module FA = Float.Array
 
 type t = {
   f0 : float;
-  slots : slot array;
+  ns : int array;
+  accs : FA.t;        (* partial sum of the current half, per slot *)
+  filled : int array; (* samples in the current half, 0..n *)
+  first_half : FA.t;  (* completed first-half sum; nan = none *)
+  windows : Window.t array;
   min_realizations : int;
   mutable samples : int;
 }
@@ -33,57 +36,100 @@ let create ?(ns = default_ns) ?(realizations = 128) ?(min_realizations = 16)
   if f0 <= 0.0 then invalid_arg "Rn_estimator.create: f0 <= 0";
   if min_realizations < 2 || min_realizations > realizations then
     invalid_arg "Rn_estimator.create: bad min_realizations";
+  let k = Array.length ns in
   {
     f0;
-    slots =
-      Array.map
-        (fun n ->
-          { n; acc = 0.0; filled = 0; first_half = nan;
-            window = Window.create ~capacity:realizations })
-        ns;
+    ns = Array.copy ns;
+    accs = FA.make k 0.0;
+    filled = Array.make k 0;
+    first_half = FA.make k nan;
+    windows =
+      Array.init k (fun _ -> Window.create ~capacity:realizations);
     min_realizations;
     samples = 0;
   }
 
+(* The unboxed per-sample update for slot [s]. *)
+let feed_slot t s x =
+  let acc = FA.unsafe_get t.accs s +. x in
+  let filled = Array.unsafe_get t.filled s + 1 in
+  if filled = Array.unsafe_get t.ns s then begin
+    let first = FA.unsafe_get t.first_half s in
+    if Float.is_nan first then FA.unsafe_set t.first_half s acc
+    else begin
+      Window.push (Array.unsafe_get t.windows s) (acc -. first);
+      FA.unsafe_set t.first_half s nan
+    end;
+    FA.unsafe_set t.accs s 0.0;
+    Array.unsafe_set t.filled s 0
+  end
+  else begin
+    FA.unsafe_set t.accs s acc;
+    Array.unsafe_set t.filled s filled
+  end
+
 let feed t x =
   if Float.is_finite x then begin
     t.samples <- t.samples + 1;
-    Array.iter
-      (fun s ->
-        s.acc <- s.acc +. x;
-        s.filled <- s.filled + 1;
-        if s.filled = s.n then begin
-          if Float.is_nan s.first_half then s.first_half <- s.acc
-          else begin
-            Window.push s.window (s.acc -. s.first_half);
-            s.first_half <- nan
-          end;
-          s.acc <- 0.0;
-          s.filled <- 0
-        end)
-      t.slots
+    for s = 0 to Array.length t.ns - 1 do
+      feed_slot t s x
+    done
   end
+
+(* The slot update of [feed_slot], spelled out inline: a call would box
+   the sample once per slot per sample on the classic compiler, and
+   this is the live monitor's streaming hot loop. *)
+let feed_many t buf ~len =
+  if len < 0 || len > FA.length buf then
+    invalid_arg "Rn_estimator.feed_many: bad len";
+  let k = Array.length t.ns in
+  let accs = t.accs and filled = t.filled and first_half = t.first_half in
+  let ns = t.ns and windows = t.windows in
+  for i = 0 to len - 1 do
+    let x = FA.unsafe_get buf i in
+    if Float.is_finite x then begin
+      t.samples <- t.samples + 1;
+      for s = 0 to k - 1 do
+        let acc = FA.unsafe_get accs s +. x in
+        let fl = Array.unsafe_get filled s + 1 in
+        if fl = Array.unsafe_get ns s then begin
+          let first = FA.unsafe_get first_half s in
+          if Float.is_nan first then FA.unsafe_set first_half s acc
+          else begin
+            Window.push (Array.unsafe_get windows s) (acc -. first);
+            FA.unsafe_set first_half s nan
+          end;
+          FA.unsafe_set accs s 0.0;
+          Array.unsafe_set filled s 0
+        end
+        else begin
+          FA.unsafe_set accs s acc;
+          Array.unsafe_set filled s fl
+        end
+      done
+    end
+  done
 
 let samples t = t.samples
 
 let points t =
   let pts = ref [] in
-  Array.iter
-    (fun s ->
-      let neff = Window.count s.window in
-      if neff >= t.min_realizations then begin
-        let sigma2 = Window.variance s.window in
-        let stderr =
-          Ptrng_stats.Descriptive.standard_error_of_variance ~n:neff
-            ~variance:sigma2
-        in
-        pts :=
-          { Ptrng_measure.Variance_curve.n = s.n; sigma2;
-            scaled = sigma2 *. t.f0 *. t.f0; neff; stderr }
-          :: !pts
-      end)
-    t.slots;
-  Array.of_list (List.rev !pts)
+  for s = Array.length t.ns - 1 downto 0 do
+    let w = t.windows.(s) in
+    let neff = Window.count w in
+    if neff >= t.min_realizations then begin
+      let sigma2 = Window.variance w in
+      let stderr =
+        Ptrng_stats.Descriptive.standard_error_of_variance ~n:neff
+          ~variance:sigma2
+      in
+      pts :=
+        { Ptrng_measure.Variance_curve.n = t.ns.(s); sigma2;
+          scaled = sigma2 *. t.f0 *. t.f0; neff; stderr }
+        :: !pts
+    end
+  done;
+  Array.of_list !pts
 
 type estimate = {
   fit : Ptrng_measure.Fit.t;
@@ -103,7 +149,7 @@ let r_of_fit (fit : Ptrng_measure.Fit.t) n =
    report a wildly noisy (even negative) b during warm-up. *)
 let estimate ?(confidence = 0.95) t =
   let pts = points t in
-  if Array.length pts < Array.length t.slots || Array.length pts < 3 then None
+  if Array.length pts < Array.length t.ns || Array.length pts < 3 then None
   else begin
     let fit = Ptrng_measure.Fit.fit ~f0:t.f0 pts in
     if not (fit.a > 0.0) then None

@@ -35,6 +35,12 @@ val feed : t -> float -> unit
 (** Feed one per-period relative jitter sample (seconds).  Non-finite
     samples are dropped. *)
 
+val feed_many : t -> Float.Array.t -> len:int -> unit
+(** [feed_many t buf ~len] feeds [buf.(0 .. len-1)] — the allocation-free
+    chunk entry point for streamed pipelines ({!Ptrng_osc.Pair.fill}
+    into a reused buffer, then here).
+    @raise Invalid_argument if [len] exceeds the buffer. *)
+
 val samples : t -> int
 (** Jitter samples fed so far. *)
 

@@ -11,15 +11,13 @@ let samples_total =
    bit-identical for every domain count (see docs/PARALLELISM.md). *)
 let bin_chunk = 4096
 
-let generate ?domains rng ~psd ~fs n =
+let generate_with_root ?domains ~backend ~root ~psd ~fs n =
   if not (Ptrng_signal.Fft.is_pow2 n) then
     invalid_arg "Spectral_synth.generate: n must be a power of two";
   if fs <= 0.0 then invalid_arg "Spectral_synth.generate: fs <= 0";
   Ptrng_telemetry.Registry.Counter.incr ~by:n samples_total;
   let re = Array.make n 0.0 and im = Array.make n 0.0 in
   let half = n / 2 in
-  let root = Rng.bits64 rng in
-  let backend = Rng.backend rng in
   (* E[|X_k|^2] = S(f_k) fs n / 2 for interior bins of an unscaled DFT. *)
   let nbins = half - 1 in
   let nchunks = (nbins + bin_chunk - 1) / bin_chunk in
@@ -29,11 +27,18 @@ let generate ?domains rng ~psd ~fs n =
         let g = Ptrng_prng.Gaussian.create child in
         let k_lo = 1 + (ci * bin_chunk) in
         let k_hi = min (half - 1) (k_lo + bin_chunk - 1) in
+        let bins = k_hi - k_lo + 1 in
+        (* One bulk draw of the chunk's (a, b) pairs: same child stream,
+           same draw order as the former per-bin pair of draws, but
+           allocation-free (Gaussian.fill_fa). *)
+        let draws = Float.Array.create (2 * bins) in
+        Ptrng_prng.Gaussian.fill_fa g draws ~pos:0 ~len:(2 * bins);
         for k = k_lo to k_hi do
           let f = float_of_int k *. fs /. float_of_int n in
           let amp = sqrt (psd f *. fs *. float_of_int n /. 4.0) in
-          let a = amp *. Ptrng_prng.Gaussian.draw g in
-          let b = amp *. Ptrng_prng.Gaussian.draw g in
+          let j = 2 * (k - k_lo) in
+          let a = amp *. Float.Array.unsafe_get draws j in
+          let b = amp *. Float.Array.unsafe_get draws (j + 1) in
           re.(k) <- a;
           im.(k) <- b;
           re.(n - k) <- a;
@@ -51,6 +56,11 @@ let generate ?domains rng ~psd ~fs n =
      result returns exactly the spectrum built above. *)
   Ptrng_signal.Fft.inverse_pow2 ~re ~im;
   re
+
+let generate ?domains rng ~psd ~fs n =
+  let root = Rng.bits64 rng in
+  let backend = Rng.backend rng in
+  generate_with_root ?domains ~backend ~root ~psd ~fs n
 
 let generate_frac_freq ?domains rng ~model ~fs n =
   let open Psd_model in

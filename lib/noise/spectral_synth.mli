@@ -29,6 +29,21 @@ val generate :
     regardless of [?domains].  @raise Invalid_argument if [n] is not a
     power of two or [fs <= 0]. *)
 
+val generate_with_root :
+  ?domains:int ->
+  backend:Ptrng_prng.Rng.backend ->
+  root:int64 ->
+  psd:(float -> float) ->
+  fs:float ->
+  int ->
+  float array
+(** [generate_with_root ~backend ~root ~psd ~fs n] is {!generate} with
+    the root draw supplied explicitly instead of taken from a live
+    generator — the resynthesizable form used by {!Source} to rebuild
+    any block of a stream from its recorded root.  [generate rng] is
+    exactly [generate_with_root ~backend:(backend rng)
+    ~root:(bits64 rng)].  @raise Invalid_argument as {!generate}. *)
+
 val generate_frac_freq :
   ?domains:int ->
   Ptrng_prng.Rng.t ->

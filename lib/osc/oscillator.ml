@@ -41,7 +41,12 @@ let flicker_samples ?domains rng cfg n =
         count 1 1
       in
       let v = Ptrng_noise.Voss.create rng ~octaves in
-      Some (Array.map (fun s -> sigma *. s) (Ptrng_noise.Voss.generate v n))
+      (* The batch path intentionally keeps the deprecated whole-array
+         generator: it is the reference the streamed path is tested
+         against. *)
+      Some
+        (Array.map (fun s -> sigma *. s) (Ptrng_noise.Voss.generate v n))
+      [@alert "-deprecated"]
 
 let periods ?domains rng cfg ~n =
   if n <= 0 then invalid_arg "Oscillator.periods: n <= 0";
@@ -79,6 +84,148 @@ let periods ?domains rng cfg ~n =
     done
   end;
   out
+
+(* ------------------------------------------------------------------ *)
+(* Streaming simulation                                                *)
+(* ------------------------------------------------------------------ *)
+
+module FA = Float.Array
+module Source = Ptrng_noise.Source
+
+(* Flicker segments are staged through a fixed scratch so an arbitrary
+   fill length never allocates. *)
+let flicker_seg = 4096
+
+type source = {
+  s_t0 : float;
+  thermal : Source.t option;
+  flicker : Source.t option;
+  fl_scratch : FA.t;          (* length flicker_seg when flicker <> None *)
+  rw : Ptrng_prng.Gaussian.t option;
+  rw_sigma : float;
+  rw_carry : FA.t;            (* 1-cell random-walk integrator state *)
+  mutable s_pos : int;
+}
+
+let default_flicker_block = 1 lsl 16
+
+(* Creation draws from [rng] in the batch path's order — thermal root,
+   then flicker root, then the random-walk sampler — so for [`Spectral]
+   (and [`None]) flicker a source replays {!periods} bit for bit when
+   [flicker_block] is [next_pow2 n] of the batch length. *)
+let source ?(flicker_block = default_flicker_block) rng cfg =
+  if flicker_block <= 0 then invalid_arg "Oscillator.source: flicker_block <= 0";
+  let t0 = 1.0 /. cfg.f0 in
+  let sigma_th = thermal_sigma cfg in
+  let thermal =
+    if sigma_th > 0.0 then Some (Source.create (Source.white ~sigma:sigma_th) rng)
+    else None
+  in
+  let hm1 = 2.0 *. cfg.phase.Ptrng_noise.Psd_model.b_fl /. (cfg.f0 *. cfg.f0) in
+  let flicker =
+    if hm1 <= 0.0 then None
+    else
+      match cfg.flicker_generator with
+      | `None -> None
+      | `Spectral ->
+        let block = Ptrng_signal.Fft.next_pow2 flicker_block in
+        Some
+          (Source.create
+             (Source.spectral ~block ~psd:(fun f -> hm1 /. f) ~fs:cfg.f0 ())
+             rng)
+      | `Kasdin ->
+        let taps = min (Ptrng_signal.Fft.next_pow2 flicker_block) (1 lsl 15) in
+        Some (Source.create (Source.flicker_fm ~taps ~hm1 ()) rng)
+      | `Voss ->
+        let sigma = sqrt (hm1 *. log 2.0) in
+        let octaves =
+          let rec count o span =
+            if span >= flicker_block || o >= 40 then o else count (o + 1) (span * 2)
+          in
+          count 1 1
+        in
+        Some (Source.create (Source.voss ~octaves ~sigma ()) rng)
+  in
+  let rw =
+    if cfg.rw_hm2 > 0.0 then Some (Ptrng_prng.Gaussian.create rng) else None
+  in
+  {
+    s_t0 = t0;
+    thermal;
+    flicker;
+    fl_scratch =
+      (match flicker with Some _ -> FA.create flicker_seg | None -> FA.create 0);
+    rw;
+    rw_sigma = sqrt (2.0 *. Float.pi *. Float.pi *. cfg.rw_hm2 /. cfg.f0);
+    rw_carry = FA.make 1 0.0;
+    s_pos = 0;
+  }
+
+let fill_periods src ?len buf =
+  let len = match len with Some l -> l | None -> FA.length buf in
+  if len < 0 || len > FA.length buf then
+    invalid_arg "Oscillator.fill_periods: bad len";
+  let t0 = src.s_t0 in
+  (match src.thermal with
+  | Some th ->
+    Source.fill_range th buf ~pos:0 ~len;
+    for i = 0 to len - 1 do
+      FA.unsafe_set buf i (t0 +. FA.unsafe_get buf i)
+    done
+  | None -> FA.fill buf 0 len t0);
+  (match src.flicker with
+  | None -> ()
+  | Some fl ->
+    let off = ref 0 in
+    while !off < len do
+      let seg = min flicker_seg (len - !off) in
+      Source.fill_range fl src.fl_scratch ~pos:0 ~len:seg;
+      let base = !off in
+      for j = 0 to seg - 1 do
+        FA.unsafe_set buf (base + j)
+          (FA.unsafe_get buf (base + j)
+          +. (t0 *. FA.unsafe_get src.fl_scratch j))
+      done;
+      off := !off + seg
+    done);
+  (match src.rw with
+  | None -> ()
+  | Some g ->
+    let sigma_w = src.rw_sigma in
+    let y = ref (FA.get src.rw_carry 0) in
+    for i = 0 to len - 1 do
+      y := !y +. (sigma_w *. Ptrng_prng.Gaussian.draw g);
+      FA.unsafe_set buf i (FA.unsafe_get buf i +. (t0 *. !y))
+    done;
+    FA.set src.rw_carry 0 !y);
+  src.s_pos <- src.s_pos + len
+
+let source_position src = src.s_pos
+
+let source_skip src n =
+  if n < 0 then invalid_arg "Oscillator.source_skip: n < 0";
+  Option.iter (fun th -> Source.skip th n) src.thermal;
+  Option.iter (fun fl -> Source.skip fl n) src.flicker;
+  (match src.rw with
+  | None -> ()
+  | Some g ->
+    let sigma_w = src.rw_sigma in
+    let y = ref (FA.get src.rw_carry 0) in
+    for _ = 1 to n do
+      y := !y +. (sigma_w *. Ptrng_prng.Gaussian.draw g)
+    done;
+    FA.set src.rw_carry 0 !y);
+  src.s_pos <- src.s_pos + n
+
+let source_reset src =
+  (* The random-walk sampler draws from the creating generator itself
+     (batch parity), so its stream cannot be re-derived. *)
+  if Option.is_some src.rw then
+    invalid_arg "Oscillator.source_reset: random-walk FM sources cannot rewind";
+  Option.iter Source.reset src.thermal;
+  Option.iter Source.reset src.flicker;
+  FA.set src.rw_carry 0 0.0;
+  src.s_pos <- 0
 
 let edges_of_periods ?(t0 = 0.0) periods =
   let n = Array.length periods in

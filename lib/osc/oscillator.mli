@@ -52,6 +52,39 @@ val periods : ?domains:int -> Ptrng_prng.Rng.t -> config -> n:int -> float array
     a {!Ptrng_exec.Pool}; the trace is bit-identical for every
     [?domains] value. *)
 
+type source
+(** A streaming period generator: thermal, flicker and random-walk
+    noise sources plus the integrator state, filling caller-owned
+    buffers chunk by chunk with no per-sample allocation. *)
+
+val source : ?flicker_block:int -> Ptrng_prng.Rng.t -> config -> source
+(** [source rng cfg] builds a streaming simulator drawing its roots
+    from [rng] in the same order as {!periods}, so with [`Spectral] (or
+    [`None]) flicker and [flicker_block = n] the stream replays
+    [periods rng cfg ~n] bit for bit.  [flicker_block] (default 2^16,
+    rounded up to a power of two) bounds the flicker correlation the
+    stream reproduces — statistics probing longer lags need a larger
+    block.  [`Voss] octaves are likewise sized from [flicker_block].
+    @raise Invalid_argument if [flicker_block <= 0]. *)
+
+val fill_periods : source -> ?len:int -> Float.Array.t -> unit
+(** [fill_periods src buf] writes the next [len] (default the buffer
+    length) simulated periods into [buf.(0 .. len-1)], seconds.
+    @raise Invalid_argument if [len] exceeds the buffer length. *)
+
+val source_skip : source -> int -> unit
+(** Advance the stream without materializing periods (the random-walk
+    integrator still consumes its draws).
+    @raise Invalid_argument on negative count. *)
+
+val source_reset : source -> unit
+(** Rewind to period 0, replaying the identical stream.
+    @raise Invalid_argument for sources with random-walk FM, whose
+    sampler state cannot be re-derived. *)
+
+val source_position : source -> int
+(** Periods delivered (or skipped) so far. *)
+
 val edges_of_periods : ?t0:float -> float array -> float array
 (** Cumulative rising-edge times: [n+1] instants starting at [t0]
     (default 0). *)

@@ -29,3 +29,22 @@ let simulate ?domains rng pair ~n =
   let p1 = Oscillator.periods ?domains rng1 pair.osc1 ~n in
   let p2 = Oscillator.periods ?domains rng2 pair.osc2 ~n in
   (p1, p2)
+
+type stream = {
+  s1 : Oscillator.source;
+  s2 : Oscillator.source;
+}
+
+let stream ?flicker_block rng pair =
+  (* Same substream discipline as [simulate]: two splits, one per
+     oscillator, so a stream replays the batch traces bit for bit. *)
+  let rng1 = Ptrng_prng.Rng.split rng in
+  let rng2 = Ptrng_prng.Rng.split rng in
+  {
+    s1 = Oscillator.source ?flicker_block rng1 pair.osc1;
+    s2 = Oscillator.source ?flicker_block rng2 pair.osc2;
+  }
+
+let fill st ~p1 ~p2 ~len =
+  Oscillator.fill_periods st.s1 ~len p1;
+  Oscillator.fill_periods st.s2 ~len p2

@@ -44,3 +44,20 @@ val simulate :
     oscillator, drawn from independent substreams of [rng].  Each
     oscillator's thermal and flicker synthesis runs over a
     {!Ptrng_exec.Pool}; traces are bit-identical for every [?domains]. *)
+
+type stream = {
+  s1 : Oscillator.source;  (** Streaming simulator of [osc1]. *)
+  s2 : Oscillator.source;  (** Streaming simulator of [osc2]. *)
+}
+
+val stream : ?flicker_block:int -> Ptrng_prng.Rng.t -> t -> stream
+(** [stream rng pair] is the streaming form of {!simulate}: the same
+    two generator splits, one {!Oscillator.source} per ring, so with
+    [`Spectral] flicker and [flicker_block = n] the chunk-wise fills
+    reproduce [simulate rng pair ~n] bit for bit while allocating
+    nothing per chunk.  See {!Oscillator.source} for [flicker_block]. *)
+
+val fill : stream -> p1:Float.Array.t -> p2:Float.Array.t -> len:int -> unit
+(** [fill st ~p1 ~p2 ~len] writes the next [len] periods of each
+    oscillator into the caller's buffers.
+    @raise Invalid_argument if [len] exceeds either buffer. *)

@@ -99,3 +99,137 @@ let fill t a =
   for i = 0 to Array.length a - 1 do
     a.(i) <- draw t
   done
+
+(* ------------------------------------------------------------------ *)
+(* Bulk zero-allocation fill                                           *)
+(* ------------------------------------------------------------------ *)
+
+module FA = Float.Array
+
+(* Small enough for the inliner, so the recurrence below runs on
+   unboxed int64 locals. *)
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* The ziggurat of [draw], draw-for-draw: every [xo_next] below is one
+   Xoshiro256.next, consumed in the exact order of [draw_ziggurat]
+   (index bits, then the uniform for u, then — on the slow branches —
+   the tail / wedge uniforms), so a [fill_fa] stream is bit-identical
+   to a [draw] loop on the same generator.  Keeping the whole sampler
+   in one function body is what makes it allocation-free: the classic
+   (non-flambda) compiler unboxes int64/float locals within a function
+   but boxes every value that crosses a call boundary, which is ~800
+   bytes per boxed-path draw once the Rng and Gaussian frames stack up. *)
+let fill_fa_xoshiro xs ~sigma dst ~pos ~len =
+  let st = Xoshiro256.state xs in
+  let s0 = ref st.(0) and s1 = ref st.(1) and s2 = ref st.(2) in
+  let s3 = ref st.(3) in
+  for i = pos to pos + len - 1 do
+    let z = ref 0.0 and accepted = ref false in
+    while not !accepted do
+      (* xo_next -> index bits *)
+      let b_idx = Int64.add (rotl (Int64.add !s0 !s3) 23) !s0 in
+      let tmp = Int64.shift_left !s1 17 in
+      s2 := Int64.logxor !s2 !s0;
+      s3 := Int64.logxor !s3 !s1;
+      s1 := Int64.logxor !s1 !s2;
+      s0 := Int64.logxor !s0 !s3;
+      s2 := Int64.logxor !s2 tmp;
+      s3 := rotl !s3 45;
+      (* xo_next -> uniform for u *)
+      let b_u = Int64.add (rotl (Int64.add !s0 !s3) 23) !s0 in
+      let tmp = Int64.shift_left !s1 17 in
+      s2 := Int64.logxor !s2 !s0;
+      s3 := Int64.logxor !s3 !s1;
+      s1 := Int64.logxor !s1 !s2;
+      s0 := Int64.logxor !s0 !s3;
+      s2 := Int64.logxor !s2 tmp;
+      s3 := rotl !s3 45;
+      let idx = Int64.to_int (Int64.logand b_idx 127L) in
+      let u =
+        (2.0 *. (Int64.to_float (Int64.shift_right_logical b_u 11) *. 0x1.0p-53))
+        -. 1.0
+      in
+      let zz = u *. Array.unsafe_get zig_x idx in
+      if Float.abs zz < Array.unsafe_get zig_x (idx + 1) then begin
+        z := zz;
+        accepted := true
+      end
+      else if idx = 0 then begin
+        (* The tail sampler: float_pos, float_pos per attempt. *)
+        let x = ref 0.0 and tail_done = ref false in
+        while not !tail_done do
+          let b1 = Int64.add (rotl (Int64.add !s0 !s3) 23) !s0 in
+          let tmp = Int64.shift_left !s1 17 in
+          s2 := Int64.logxor !s2 !s0;
+          s3 := Int64.logxor !s3 !s1;
+          s1 := Int64.logxor !s1 !s2;
+          s0 := Int64.logxor !s0 !s3;
+          s2 := Int64.logxor !s2 tmp;
+          s3 := rotl !s3 45;
+          let b2 = Int64.add (rotl (Int64.add !s0 !s3) 23) !s0 in
+          let tmp = Int64.shift_left !s1 17 in
+          s2 := Int64.logxor !s2 !s0;
+          s3 := Int64.logxor !s3 !s1;
+          s1 := Int64.logxor !s1 !s2;
+          s0 := Int64.logxor !s0 !s3;
+          s2 := Int64.logxor !s2 tmp;
+          s3 := rotl !s3 45;
+          let u1 =
+            1.0
+            -. (Int64.to_float (Int64.shift_right_logical b1 11) *. 0x1.0p-53)
+          in
+          let u2 =
+            1.0
+            -. (Int64.to_float (Int64.shift_right_logical b2 11) *. 0x1.0p-53)
+          in
+          let xx = -.log u1 /. zig_r in
+          let y = -.log u2 in
+          if y +. y >= xx *. xx then begin
+            x := xx;
+            tail_done := true
+          end
+        done;
+        z := (if u < 0.0 then -.(zig_r +. !x) else zig_r +. !x);
+        accepted := true
+      end
+      else begin
+        (* Wedge test: one more uniform; on rejection fall through to a
+           fresh ziggurat attempt, like the recursive [draw_ziggurat]. *)
+        let b3 = Int64.add (rotl (Int64.add !s0 !s3) 23) !s0 in
+        let tmp = Int64.shift_left !s1 17 in
+        s2 := Int64.logxor !s2 !s0;
+        s3 := Int64.logxor !s3 !s1;
+        s1 := Int64.logxor !s1 !s2;
+        s0 := Int64.logxor !s0 !s3;
+        s2 := Int64.logxor !s2 tmp;
+        s3 := rotl !s3 45;
+        let y =
+          Array.unsafe_get zig_y idx
+          +. ((Int64.to_float (Int64.shift_right_logical b3 11) *. 0x1.0p-53)
+             *. (Array.unsafe_get zig_y (idx + 1) -. Array.unsafe_get zig_y idx)
+             )
+        in
+        if y < exp (-0.5 *. zz *. zz) then begin
+          z := zz;
+          accepted := true
+        end
+      end
+    done;
+    FA.unsafe_set dst i (sigma *. !z)
+  done;
+  st.(0) <- !s0;
+  st.(1) <- !s1;
+  st.(2) <- !s2;
+  st.(3) <- !s3;
+  Xoshiro256.restore xs st
+
+let fill_fa t ?(sigma = 1.0) dst ~pos ~len =
+  if len < 0 || pos < 0 || pos + len > FA.length dst then
+    invalid_arg "Gaussian.fill_fa: bad range";
+  match (t.method_, Rng.xoshiro_state t.rng) with
+  | Ziggurat, Some xs -> fill_fa_xoshiro xs ~sigma dst ~pos ~len
+  | _ ->
+    for i = pos to pos + len - 1 do
+      FA.unsafe_set dst i (sigma *. draw t)
+    done

@@ -60,6 +60,9 @@ let backend t =
   | S_pcg _ -> Pcg
   | S_splitmix _ -> Splitmix
 
+let xoshiro_state t =
+  match t.state with S_xoshiro s -> Some s | S_pcg _ | S_splitmix _ -> None
+
 let split t =
   let seed = bits64 t in
   create ~backend:(backend t) ~seed ()

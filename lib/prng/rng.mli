@@ -38,6 +38,14 @@ val bool : t -> bool
 val backend : t -> backend
 (** The backend [t] was created with. *)
 
+val xoshiro_state : t -> Xoshiro256.t option
+(** The underlying {!Xoshiro256} state when [t] was created with the
+    [Xoshiro] backend, [None] otherwise.  This is the hook for bulk
+    samplers ({!Gaussian.fill_fa}) that run the recurrence on unboxed
+    locals instead of paying a boxed [int64] round trip per draw;
+    mutating the returned state advances [t]'s stream, exactly as
+    drawing from [t] would. *)
+
 val split : t -> t
 (** [split t] returns a generator seeded from [t]'s stream, for
     independent substreams (e.g. one per simulated oscillator). *)

@@ -17,6 +17,19 @@ val of_state : int64 array -> t
 val next : t -> int64
 (** [next t] returns 64 fresh pseudo-random bits. *)
 
+val state : t -> int64 array
+(** [state t] is a copy of the four state words (position included):
+    [of_state (state t)] replays [t]'s stream from here.  Together with
+    {!restore} it lets bulk samplers run the recurrence on unboxed
+    locals and write the advanced state back — the zero-allocation hot
+    path of {!Gaussian.fill_fa}. *)
+
+val restore : t -> int64 array -> unit
+(** [restore t s] overwrites [t]'s state with the four words of [s]
+    in place.
+    @raise Invalid_argument if [Array.length s <> 4] or all words
+    are 0 (the absorbing state). *)
+
 val jump : t -> unit
 (** [jump t] advances the state by 2^128 steps, used to split one stream
     into non-overlapping substreams for independent simulations. *)

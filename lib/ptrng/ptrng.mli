@@ -22,6 +22,11 @@ module Stats = Ptrng_stats
 module Noise = Ptrng_noise
 (** 1/f synthesis (Kasdin, spectral, Voss) and PSD models. *)
 
+module Source = Ptrng_noise.Source
+(** The streaming noise API ([create] / [fill] / [reset] / [skip])
+    over every backend — promoted to the umbrella root because it is
+    the recommended way to draw noise. *)
+
 module Device = Ptrng_device
 (** Transistor-level phase-noise provenance (ISF, inverter, MOSFET). *)
 

@@ -126,6 +126,102 @@ let persistence_tests =
         Sys.remove path);
   ]
 
+(* Like [report], with alloc_bytes on the two real sections scaled by
+   [alloc_scale]; "tiny" stays below default_min_alloc_bytes. *)
+let report_alloc ~sha ~alloc_scale =
+  Json.Obj
+    [
+      ("schema", Json.String "ptrng-bench/2");
+      ("mode", Json.String "smoke");
+      ("sha", Json.String sha);
+      ("domains", Json.Int 2);
+      ("total_s", Json.num 3.0);
+      ( "sections",
+        Json.List
+          (List.map
+             (fun (name, wall_s, alloc) ->
+               Json.Obj
+                 [
+                   ("name", Json.String name);
+                   ("wall_s", Json.num wall_s);
+                   ("alloc_bytes", Json.num (alloc_scale *. alloc));
+                 ])
+             [
+               ("fig7", 1.0, 4.0e7);
+               ("extraction", 0.5, 1.0e6);
+               ("tiny", 0.001, 1024.0);
+             ]) );
+    ]
+
+let alloc_comparison_tests =
+  [
+    Testkit.case "records without alloc_bytes are skipped, not regressions"
+      (fun () ->
+        (* Pre-PR 6 baselines carry no alloc_bytes: the comparison must
+           come back empty rather than failing or inventing changes. *)
+        let base = report ~sha:"a" ~scale:1.0 in
+        match History.compare_alloc ~baseline:base ~current:base () with
+        | Ok c -> Alcotest.(check int) "nothing comparable" 0 (List.length c)
+        | Error e -> Alcotest.fail e);
+    Testkit.case "identical allocation shows exactly zero change" (fun () ->
+        let base = report_alloc ~sha:"a" ~alloc_scale:1.0 in
+        let compared =
+          match History.compare_alloc ~baseline:base ~current:base () with
+          | Ok c -> c
+          | Error e -> Alcotest.fail e
+        in
+        (* "tiny" sits below default_min_alloc_bytes and is skipped. *)
+        Alcotest.(check int) "comparable sections" 2 (List.length compared);
+        List.iter
+          (fun (c : History.alloc_comparison) ->
+            Testkit.check_abs ~tol:1e-12 "no change" 0.0
+              c.History.alloc_change_pct)
+          compared;
+        Alcotest.(check int) "no regressions" 0
+          (List.length
+             (History.alloc_regressions ~max_alloc_regression_pct:25.0
+                compared)));
+    Testkit.case "an allocation blow-up is flagged, a reduction is not"
+      (fun () ->
+        let base = report_alloc ~sha:"a" ~alloc_scale:1.0 in
+        let heavy = report_alloc ~sha:"b" ~alloc_scale:3.0 in
+        let regs =
+          match History.compare_alloc ~baseline:base ~current:heavy () with
+          | Ok c ->
+            History.alloc_regressions ~max_alloc_regression_pct:25.0 c
+          | Error e -> Alcotest.fail e
+        in
+        Alcotest.(check int) "both real sections regress" 2 (List.length regs);
+        List.iter
+          (fun (c : History.alloc_comparison) ->
+            Testkit.check_abs ~tol:1e-9 "+200%" 200.0
+              c.History.alloc_change_pct)
+          regs;
+        let back =
+          match History.compare_alloc ~baseline:heavy ~current:base () with
+          | Ok c ->
+            History.alloc_regressions ~max_alloc_regression_pct:25.0 c
+          | Error e -> Alcotest.fail e
+        in
+        Alcotest.(check int) "a reduction is not a regression" 0
+          (List.length back));
+    Testkit.case "alloc_bytes survives the report -> history round trip"
+      (fun () ->
+        let r =
+          match
+            History.record_of_report ~sha:"abc" ~time_unix:1e9
+              (report_alloc ~sha:"abc" ~alloc_scale:1.0)
+          with
+          | Ok r -> r
+          | Error e -> Alcotest.fail e
+        in
+        match History.compare_alloc ~baseline:r
+                ~current:(report_alloc ~sha:"abc" ~alloc_scale:1.0) ()
+        with
+        | Ok c -> Alcotest.(check int) "history record comparable" 2 (List.length c)
+        | Error e -> Alcotest.fail e);
+  ]
+
 let comparison_tests =
   [
     Testkit.case "identical reports show no regression" (fun () ->
@@ -179,4 +275,5 @@ let () =
       ("records", record_tests);
       ("persistence", persistence_tests);
       ("comparison", comparison_tests);
+      ("alloc-comparison", alloc_comparison_tests);
     ]

@@ -226,6 +226,29 @@ let r5_tests =
              fs));
   ]
 
+let r6_tests =
+  [
+    Testkit.case "R6 flags allocating combinators" (fun () ->
+        ignore
+          (check_flags ~rule_id:"R6" ~name:"r6_map" ~detail_part:"Array.map"
+             "let scale s xs = Array.map (fun x -> s *. x) xs\n");
+        ignore
+          (check_flags ~rule_id:"R6" ~name:"r6_append"
+             ~detail_part:"Array.append"
+             "let grow a b = Array.append a b\n");
+        ignore
+          (check_flags ~rule_id:"R6" ~name:"r6_lmap" ~detail_part:"List.map"
+             "let twice xs = List.map (fun x -> 2 * x) xs\n"));
+    Testkit.case "R6 accepts in-place fills and folds" (fun () ->
+        check_clean ~rule_id:"R6" ~name:"r6_ok"
+          "let scale_into s xs =\n\
+          \  for i = 0 to Float.Array.length xs - 1 do\n\
+          \    Float.Array.set xs i (s *. Float.Array.get xs i)\n\
+          \  done\n\
+           let total xs = Array.fold_left (+.) 0.0 xs\n\
+           let each f xs = Array.iter f xs\n");
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Baseline workflow and report schema                                 *)
 (* ------------------------------------------------------------------ *)
@@ -325,6 +348,7 @@ let () =
       ("R3 concurrency", r3_tests);
       ("R4 span safety", r4_tests);
       ("R5 interface hygiene", r5_tests);
+      ("R6 hot-path alloc", r6_tests);
       ("baseline", baseline_tests);
       ("report", report_tests);
     ]

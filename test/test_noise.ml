@@ -1,3 +1,7 @@
+(* The legacy whole-array generators are the statistical references
+   here, so their deprecation alert is silenced for this file. *)
+[@@@ocaml.alert "-deprecated"]
+
 open Ptrng_noise
 
 let psd_model_tests =
