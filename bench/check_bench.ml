@@ -26,6 +26,11 @@
                          period count must not exceed B bytes.  This
                          is the streaming-pipeline gate — it needs no
                          baseline file and cannot drift with one.
+   --require-scenario    fail if the report lacks a scenario section.
+                         Fresh bench runs must include one; committed
+                         snapshots from before the scenario engine are
+                         exempt.  A scenario section that IS present is
+                         always validated, flag or not.
    --warn-only           print regressions but exit 0 (soft gate for
                          noisy 1-core CI runners).
 
@@ -55,6 +60,7 @@ type opts = {
   max_regression_pct : float;
   max_alloc_regression_pct : float option;
   max_fig7_bytes_per_period : float option;
+  require_scenario : bool;
   warn_only : bool;
 }
 
@@ -68,6 +74,7 @@ let parse_args () =
         max_regression_pct = 25.0;
         max_alloc_regression_pct = None;
         max_fig7_bytes_per_period = None;
+        require_scenario = false;
         warn_only = false;
       }
   in
@@ -98,6 +105,9 @@ let parse_args () =
       | _ ->
         fail "--max-fig7-bytes-per-period expects a positive number, got %S"
           bytes);
+      go rest
+    | "--require-scenario" :: rest ->
+      opts := { !opts with require_scenario = true };
       go rest
     | "--warn-only" :: rest ->
       opts := { !opts with warn_only = true };
@@ -187,6 +197,54 @@ let validate_report path report =
   if not (periods > 0.0) then fail "ptrng_measure_periods_accumulated_total is zero";
   Printf.printf "check_bench: %s ok (%d sections, %.3e periods/s)\n" path
     (List.length sections) pps
+
+(* ---------------- scenario section ---------------- *)
+
+(* The scenario section runs fault schedules through the monitor and
+   scores detection, so its results are the bench's robustness gate: a
+   report that records fault scenarios with nothing detected, or with
+   pre-onset false alarms, means the detection stack regressed.  All
+   counts are deterministic (fixed seed), so the gate is exact. *)
+let validate_scenario ~path ~required report =
+  let sections =
+    match get "report" report "sections" with
+    | Json.List l -> l
+    | _ -> fail "sections is not a list"
+  in
+  match
+    List.find_opt
+      (fun s -> Json.member "name" s = Some (Json.String "scenario"))
+      sections
+  with
+  | None ->
+    if required then fail "section scenario missing (--require-scenario)"
+    else
+      Printf.printf
+        "check_bench: %s has no scenario section (pre-scenario snapshot)\n"
+        path
+  | Some s ->
+    let results = get "scenario" s "results" in
+    let ctx = "scenario.results" in
+    let scenarios = number ctx results "scenarios" in
+    if not (scenarios >= 1.0) then fail "scenario.scenarios must be >= 1";
+    if not (number ctx results "periods" > 0.0) then
+      fail "scenario.periods not positive";
+    let detected = number ctx results "detected" in
+    if not (detected >= 1.0) then
+      fail "no scenario detected its fault — the detection stack regressed";
+    if detected > scenarios then fail "scenario.detected exceeds scenarios";
+    let recovered = number ctx results "recovered" in
+    if recovered < 0.0 || recovered > detected then
+      fail "scenario.recovered out of range";
+    let false_alarms = number ctx results "false_alarms" in
+    if false_alarms <> 0.0 then
+      fail "scenario runs raised %.0f pre-onset false alarms" false_alarms;
+    if not (number ctx results "max_latency_windows" >= 0.0) then
+      fail "scenario.max_latency_windows negative";
+    Printf.printf
+      "check_bench: %s scenario ok (%.0f scenarios, %.0f detected, %.0f \
+       recovered)\n"
+      path scenarios detected recovered
 
 (* ---------------- hot-path allocation budget ---------------- *)
 
@@ -325,6 +383,7 @@ let () =
   let opts = parse_args () in
   let report = read_json opts.report in
   validate_report opts.report report;
+  validate_scenario ~path:opts.report ~required:opts.require_scenario report;
   Option.iter
     (fun limit -> check_bytes_per_period ~path:opts.report ~limit report)
     opts.max_fig7_bytes_per_period;

@@ -519,6 +519,90 @@ let section_monitor () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* SCENARIO: adversarial schedules, detection latency, recovery        *)
+(* ------------------------------------------------------------------ *)
+
+let section_scenario () =
+  banner "SCENARIO — adversarial schedules: detection latency and recovery";
+  let module S = Ptrng_scenario in
+  let module Scen = Ptrng_device.Scenario in
+  let module D = Ptrng_monitor.Detection in
+  let entries =
+    if smoke then
+      (* Quarter-length transients with the same physics as the stock
+         thermal-quench and lock-burst entries.  The post-fault tail is
+         too short for the de-escalation streak, so smoke scores
+         detection only. *)
+      let onset = 384_000 and duration = 256_000 in
+      let short scenario expected =
+        {
+          S.Registry.scenario;
+          periods = 1_048_576;
+          divisor = S.Registry.default_divisor;
+          expected;
+        }
+      in
+      [
+        short
+          (Scen.make ~name:"quench"
+             ~description:"transient thermal quench to 2% of calibration"
+             ~faults:[ Scen.Thermal_quench { onset; duration; factor = 0.02 } ]
+             ())
+          "independence ratio detects the quench";
+        short
+          (Scen.make ~name:"lock"
+             ~description:"transient 95% inter-ring coupling"
+             ~faults:[ Scen.Coupling { onset; duration; strength = 0.95 } ]
+             ())
+          "RCT catches the frozen output";
+      ]
+    else List.filter_map S.Registry.find [ "thermal-quench"; "lock-burst" ]
+  in
+  let results = List.map (fun e -> S.Runner.run ~seed:2014 e) entries in
+  Printf.printf "%-16s %-14s %8s %8s %6s %10s\n" "scenario" "detector"
+    "lat[win]" "false" "recov" "final";
+  List.iter
+    (fun (r : S.Runner.result) ->
+      let d = r.detection in
+      let detector, latency =
+        match d.D.detected with
+        | Some a -> (a.D.detector, string_of_int a.D.latency_windows)
+        | None -> ("-", "-")
+      in
+      Printf.printf "%-16s %-14s %8s %8d %6s %10s\n" r.name detector latency
+        d.D.false_alarms
+        (if d.D.recovered <> None then "yes" else "no")
+        (Ptrng_monitor.Verdict.status_string r.final_status))
+    results;
+  let total_periods =
+    List.fold_left (fun acc (r : S.Runner.result) -> acc + r.periods) 0 results
+  in
+  let count p = List.length (List.filter p results) in
+  let detected = count (fun r -> r.S.Runner.detection.D.detected <> None) in
+  let recovered = count (fun r -> r.S.Runner.detection.D.recovered <> None) in
+  let false_alarms =
+    List.fold_left
+      (fun acc (r : S.Runner.result) -> acc + r.detection.D.false_alarms)
+      0 results
+  in
+  let max_latency =
+    List.fold_left
+      (fun acc (r : S.Runner.result) ->
+        match r.detection.D.detected with
+        | Some a -> max acc a.D.latency_windows
+        | None -> acc)
+      0 results
+  in
+  [
+    ("periods", Tm.Json.Int total_periods);
+    ("scenarios", Tm.Json.Int (List.length results));
+    ("detected", Tm.Json.Int detected);
+    ("recovered", Tm.Json.Int recovered);
+    ("false_alarms", Tm.Json.Int false_alarms);
+    ("max_latency_windows", Tm.Json.Int max_latency);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel kernel benchmarks                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -725,6 +809,7 @@ let () =
   run_section "noise_synth" section_noise_synth;
   run_section "variance_curve" section_variance_curve;
   run_section "monitor" section_monitor;
+  run_section "scenario" section_scenario;
   let kernels = if no_perf then [] else Tm.Span.with_ ~name:"perf" section_perf in
   let total_s = Unix.gettimeofday () -. t0 in
   Printf.printf "\ntotal bench time: %.1f s\n" total_s;

@@ -191,9 +191,26 @@ let run_online seed attack strength =
   Printf.printf "attack = %s (strength %.2f); simulating %d oscillator cycles...\n%!"
     attack strength cycles;
   let n = cycles + 8192 in
-  let p1, p2 = Ptrng_osc.Pair.simulate (make_rng seed) attacked ~n in
-  let edges1 = Ptrng_osc.Oscillator.edges_of_periods p1 in
-  let edges2 = Ptrng_osc.Oscillator.edges_of_periods p2 in
+  (* Streamed trajectory: the online test wants global edge times, so
+     the cumulative sums run across chunk boundaries while the two
+     period buffers are reused — peak memory is two edge arrays
+     instead of two edge arrays plus two full period arrays. *)
+  let chunk = 262144 in
+  let stream = Ptrng_osc.Pair.stream ~flicker_block:chunk (make_rng seed) attacked in
+  let p1 = Float.Array.create chunk in
+  let p2 = Float.Array.create chunk in
+  let edges1 = Array.make (n + 1) 0.0 in
+  let edges2 = Array.make (n + 1) 0.0 in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min chunk (n - !pos) in
+    Ptrng_osc.Pair.fill stream ~p1 ~p2 ~len;
+    for i = 0 to len - 1 do
+      edges1.(!pos + i + 1) <- edges1.(!pos + i) +. Float.Array.get p1 i;
+      edges2.(!pos + i + 1) <- edges2.(!pos + i) +. Float.Array.get p2 i
+    done;
+    pos := !pos + len
+  done;
   let v =
     Ptrng_measure.Online_test.run cfg ~f0:paper_f0 ~reference_b_th:276.04 ~edges1
       ~edges2
@@ -442,6 +459,127 @@ let run_monitor seed duration periods attack strength divisor listen refresh
   | M.Verdict.Ok -> 0
   | M.Verdict.Degraded -> 1
   | M.Verdict.Failing -> 2
+
+(* ---------------------------------------------------------------- *)
+(* scenario                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let run_scenario names all list_only seed json_out expect_within expect_recover
+    expect_lie_r expect_clean =
+  let module S = Ptrng_scenario in
+  let module Sc = Ptrng_device.Scenario in
+  if list_only then begin
+    print_header "Scenario matrix";
+    List.iter
+      (fun (e : S.Registry.entry) ->
+        Printf.printf "%-16s %s\n%-16s expected: %s\n"
+          (Sc.name e.scenario) (Sc.description e.scenario) "" e.expected)
+      (S.Registry.all ());
+    0
+  end
+  else begin
+    let entries =
+      if all || names = [] then S.Registry.all ()
+      else
+        List.map
+          (fun n ->
+            match S.Registry.find n with
+            | Some e -> e
+            | None ->
+              failwith (Printf.sprintf "unknown scenario %S (try --list)" n))
+          names
+    in
+    print_header "Adversarial & environmental scenario engine";
+    let results =
+      List.map
+        (fun (e : S.Registry.entry) ->
+          Printf.printf "%-16s %s\n%!" (Sc.name e.scenario)
+            (Sc.description e.scenario);
+          let r = S.Runner.run ~seed e in
+          let d = r.S.Runner.detection in
+          (match d.detected with
+          | None -> Printf.printf "  detected : no\n"
+          | Some a ->
+            Printf.printf
+              "  detected : %s at period %d (latency %d periods, %d bits, %d \
+               windows)\n"
+              a.detector a.at_period a.latency_periods a.latency_bits
+              a.latency_windows);
+          (match d.recovered with
+          | None -> ()
+          | Some x ->
+            Printf.printf "  recovered: verdict ok at period %d (window %d)\n"
+              x.at_period x.at_window);
+          Printf.printf "  pre-onset false alarms: %d\n" d.false_alarms;
+          if d.lie_margin_r > 0.0 || d.lie_margin_entropy > 0.0 then
+            Printf.printf
+              "  silent lie: static claims r=%.3f h=%.3f; live fell to \
+               r=%.3f h=%.3f (margin %.3f / %.3f)\n"
+              d.static_r d.static_entropy d.live_r d.live_entropy
+              d.lie_margin_r d.lie_margin_entropy;
+          Printf.printf "  final    : %s (r=%.3f, k=%.0f, %d bits, %d \
+                         recoveries)\n"
+            (Ptrng_monitor.Verdict.status_string r.final_status)
+            r.final_r r.final_k r.bits r.recoveries;
+          r)
+        entries
+    in
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Ptrng_telemetry.Json.to_string_pretty (S.Runner.report_json ~seed results));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\nwrote %s\n" path);
+    (* Expectation gates: applied to every selected scenario, so they
+       are meant for single-scenario invocations (the smoke gate). *)
+    let failures = ref 0 in
+    let fail fmt =
+      incr failures;
+      Printf.printf fmt
+    in
+    List.iter
+      (fun (r : S.Runner.result) ->
+        let d = r.detection in
+        (match expect_within with
+        | None -> ()
+        | Some budget -> (
+          match d.detected with
+          | Some a when a.latency_periods <= budget -> ()
+          | Some a ->
+            fail "FAIL %s: detection latency %d periods exceeds budget %d\n"
+              r.name a.latency_periods budget
+          | None ->
+            fail "FAIL %s: no detection within the run (budget %d periods)\n"
+              r.name budget));
+        if expect_recover && d.recovered = None then
+          fail "FAIL %s: verdict never recovered to ok\n" r.name;
+        (match expect_lie_r with
+        | None -> ()
+        | Some m ->
+          if not (d.lie_margin_r >= m) then
+            fail "FAIL %s: r_N lie margin %.4f below the required %.4f\n"
+              r.name d.lie_margin_r m);
+        if expect_clean then begin
+          (match d.detected with
+          | None -> ()
+          | Some a -> fail "FAIL %s: unexpected %s alarm\n" r.name a.detector);
+          if d.false_alarms > 0 then
+            fail "FAIL %s: %d false alarms on a clean run\n" r.name
+              d.false_alarms;
+          if r.final_status <> Ptrng_monitor.Verdict.Ok then
+            fail "FAIL %s: final verdict %s on a clean run\n" r.name
+              (Ptrng_monitor.Verdict.status_string r.final_status)
+        end)
+      results;
+    if !failures > 0 then 1
+    else begin
+      Printf.printf "\nall expectations met\n";
+      0
+    end
+  end
 
 (* ---------------------------------------------------------------- *)
 (* selftest                                                         *)
@@ -804,6 +942,72 @@ let monitor_cmd =
          $ seed_arg $ duration_arg $ periods_arg $ attack_arg $ strength_arg
          $ divisor_arg $ listen_arg $ refresh_arg $ no_dashboard_arg))
 
+let scenario_cmd =
+  let doc =
+    "Run named adversarial/environmental scenarios (time-varying noise and \
+     frequency schedules plus fault injections) through the full pipeline and \
+     score detection latency, false alarms, silent-lie margins and fail-safe \
+     recovery.  Exits non-zero when an $(b,--expect-*) gate fails."
+  in
+  let names_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"NAME" ~doc:"Scenario names to run (see $(b,--list)).")
+  in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ] ~doc:"Run the whole scenario matrix.")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the matrix and exit.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the deterministic ptrng-scenario/1 JSON report to $(docv) \
+             (no wall-clock fields — byte-identical for a fixed seed under \
+             any $(b,PTRNG_DOMAINS)).")
+  in
+  let expect_within_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "expect-detect-within" ] ~docv:"P"
+          ~doc:"Fail unless every selected run detects its fault within \
+                $(docv) periods of onset.")
+  in
+  let expect_recover_arg =
+    Arg.(
+      value & flag
+      & info [ "expect-recover" ]
+          ~doc:"Fail unless every selected run's verdict de-escalates back to \
+                ok after the detection.")
+  in
+  let expect_lie_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "expect-lie-r-min" ] ~docv:"X"
+          ~doc:"Fail unless the r_N silent-lie margin (stale static claim \
+                minus live fit) reaches $(docv).")
+  in
+  let expect_clean_arg =
+    Arg.(
+      value & flag
+      & info [ "expect-clean" ]
+          ~doc:"Fail on any detection, false alarm or non-ok final verdict.")
+  in
+  Cmd.v (Cmd.info "scenario" ~doc)
+    (instrument "scenario"
+       Term.(
+         const (fun names all list seed json w rec_ lie clean () ->
+             run_scenario names all list seed json w rec_ lie clean)
+         $ names_arg $ all_arg $ list_arg $ seed_arg $ json_arg
+         $ expect_within_arg $ expect_recover_arg $ expect_lie_arg
+         $ expect_clean_arg))
+
 let selftest_cmd =
   let doc = "Check eq. 11 against numeric integration of eq. 9." in
   Cmd.v (Cmd.info "selftest" ~doc)
@@ -816,6 +1020,6 @@ let main_cmd =
   in
   Cmd.group (Cmd.info "repro" ~version:"1.0.0" ~doc)
     [ fig7_cmd; extract_cmd; entropy_cmd; scaling_cmd; online_cmd; monitor_cmd;
-      trng_cmd; assess_cmd; allan_cmd; design_cmd; selftest_cmd ]
+      scenario_cmd; trng_cmd; assess_cmd; allan_cmd; design_cmd; selftest_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -32,6 +32,17 @@ let ewma_feed t x =
 let ewma_value t = t.e_value
 let ewma_crossed t = t.e_crossed
 
+let ewma_reset t =
+  t.e_value <- t.e_mean;
+  t.e_crossed <- false
+
+let ewma_clear_crossed t = t.e_crossed <- false
+
+let ewma_decay t ~keep =
+  if not (keep >= 0.0 && keep <= 1.0) then
+    invalid_arg "Control_chart.ewma_decay: keep outside [0,1]";
+  t.e_value <- t.e_mean +. (keep *. (t.e_value -. t.e_mean))
+
 type cusum = {
   c_mean : float;
   c_sigma : float;
@@ -69,3 +80,11 @@ let cusum_reset t =
   t.c_pos <- 0.0;
   t.c_neg <- 0.0;
   t.c_crossed <- false
+
+let cusum_clear_crossed t = t.c_crossed <- false
+
+let cusum_decay t ~keep =
+  if not (keep >= 0.0 && keep <= 1.0) then
+    invalid_arg "Control_chart.cusum_decay: keep outside [0,1]";
+  t.c_pos <- keep *. t.c_pos;
+  t.c_neg <- keep *. t.c_neg

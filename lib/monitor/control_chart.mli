@@ -34,6 +34,20 @@ val ewma_alarming : ewma -> bool
 val ewma_crossed : ewma -> bool
 (** Whether the chart ever alarmed (sticky). *)
 
+val ewma_reset : ewma -> unit
+(** Return the statistic to the in-control mean and clear the sticky
+    flag (restart after intervention or verified recovery). *)
+
+val ewma_clear_crossed : ewma -> unit
+(** Clear only the sticky flag, keeping the statistic — the monitor's
+    de-escalation policy, not the chart, decides when a crossing is
+    forgiven. *)
+
+val ewma_decay : ewma -> keep:float -> unit
+(** Pull the statistic toward the in-control mean, keeping [keep] in
+    [0,1] of its current departure.  The sticky flag is untouched.
+    @raise Invalid_argument if [keep] is outside [0,1]. *)
+
 type cusum
 (** Two-sided tabular CUSUM chart. *)
 
@@ -63,3 +77,11 @@ val cusum_crossed : cusum -> bool
 
 val cusum_reset : cusum -> unit
 (** Zero both sums and the sticky flag (restart after intervention). *)
+
+val cusum_clear_crossed : cusum -> unit
+(** Clear only the sticky flag, keeping both sums. *)
+
+val cusum_decay : cusum -> keep:float -> unit
+(** Scale both one-sided sums by [keep] in [0,1].  The sticky flag is
+    untouched.
+    @raise Invalid_argument if [keep] is outside [0,1]. *)

@@ -1,0 +1,180 @@
+(* The scorer is a pure observer: the scenario runner feeds it one
+   monitor snapshot per chunk and it keeps the deltas needed to
+   attribute the first post-onset alarm to a detector, count pre-onset
+   false alarms, time the verdict's recovery, and track the silent-lie
+   margins against the stale static claims. *)
+
+type alarm = {
+  detector : string;
+  at_period : int;
+  at_bit : int;
+  at_window : int;
+  latency_periods : int;
+  latency_bits : int;
+  latency_windows : int;
+}
+
+type recovery = { at_period : int; at_window : int }
+
+type t = {
+  onset_period : int option;
+  static_r : float;
+  static_entropy : float;
+  mutable observations : int;
+  mutable pre_alarms : int;
+  mutable pre_nonok : int;
+  mutable onset_bit : int;
+  mutable onset_window : int;
+  mutable onset_seen : bool;
+  mutable detected : alarm option;
+  mutable recovered : recovery option;
+  mutable lie_r : float;
+  mutable lie_entropy : float;
+  mutable last_status : Verdict.status;
+  mutable live_r : float;
+  mutable live_entropy : float;
+  mutable prev_rct : int;
+  mutable prev_apt : int;
+  mutable prev_ais31 : int;
+  mutable prev_ewma : bool;
+  mutable prev_cusum : bool;
+}
+
+let create ?onset_period ?(static_r = nan) ?(static_entropy = nan) () =
+  (match onset_period with
+  | Some o when o < 0 -> invalid_arg "Detection.create: onset_period < 0"
+  | _ -> ());
+  {
+    onset_period;
+    static_r;
+    static_entropy;
+    observations = 0;
+    pre_alarms = 0;
+    pre_nonok = 0;
+    onset_bit = 0;
+    onset_window = 0;
+    onset_seen = false;
+    detected = None;
+    recovered = None;
+    lie_r = 0.0;
+    lie_entropy = 0.0;
+    last_status = Verdict.Ok;
+    live_r = nan;
+    live_entropy = nan;
+    prev_rct = 0;
+    prev_apt = 0;
+    prev_ais31 = 0;
+    prev_ewma = false;
+    prev_cusum = false;
+  }
+
+let has_reason (v : Verdict.t) code =
+  List.exists (fun (r : Verdict.reason) -> r.Verdict.code = code) v.reasons
+
+(* Attribution order, checked at the first alarming observation: the
+   raw per-bit tests fire inside the window the charts only see at its
+   close, and the model-level independence verdict is the slowest
+   consumer of all — so raw tests, then charts, then model reasons. *)
+let first_detector t (s : Monitor.snapshot) =
+  if s.rct_alarms > t.prev_rct then Some "rct"
+  else if s.apt_alarms > t.prev_apt then Some "apt"
+  else if s.ais31_alarms > t.prev_ais31 then Some "ais31"
+  else if s.ewma_crossed && not t.prev_ewma then Some "ewma"
+  else if s.cusum_crossed && not t.prev_cusum then Some "cusum"
+  else if s.verdict.status <> Verdict.Ok && has_reason s.verdict "independence"
+  then Some "independence"
+  else if
+    s.verdict.status <> Verdict.Ok
+    && (has_reason s.verdict "min-entropy-collapse"
+       || has_reason s.verdict "min-entropy")
+  then Some "min-entropy"
+  else None
+
+let observe t ?(live_entropy = nan) (s : Monitor.snapshot) =
+  t.observations <- t.observations + 1;
+  t.last_status <- s.verdict.status;
+  if Float.is_finite s.r_judge then t.live_r <- s.r_judge;
+  if Float.is_finite live_entropy then t.live_entropy <- live_entropy;
+  let tests = s.rct_alarms + s.apt_alarms + s.ais31_alarms in
+  let pre =
+    match t.onset_period with None -> true | Some o -> s.periods <= o
+  in
+  if pre then begin
+    t.pre_alarms <- tests;
+    if s.verdict.status <> Verdict.Ok then t.pre_nonok <- t.pre_nonok + 1;
+    t.onset_bit <- s.bits;
+    t.onset_window <- s.windows
+  end
+  else begin
+    if not t.onset_seen then t.onset_seen <- true;
+    (match (t.detected, t.onset_period) with
+    | None, Some onset -> (
+      match first_detector t s with
+      | Some detector ->
+        t.detected <-
+          Some
+            {
+              detector;
+              at_period = s.periods;
+              at_bit = s.bits;
+              at_window = s.windows;
+              latency_periods = s.periods - onset;
+              latency_bits = s.bits - t.onset_bit;
+              latency_windows = s.windows - t.onset_window;
+            }
+      | None -> ())
+    | _ -> ());
+    (* Recovery is the start of the terminal ok streak: a later non-ok
+       snapshot clears it, so a persistent fault whose verdict merely
+       flaps through ok is not scored as recovered. *)
+    (match t.detected with
+    | Some _ ->
+      if s.verdict.status = Verdict.Ok then begin
+        if t.recovered = None then
+          t.recovered <- Some { at_period = s.periods; at_window = s.windows }
+      end
+      else t.recovered <- None
+    | None -> ());
+    if Float.is_finite t.static_r && Float.is_finite s.r_judge then
+      t.lie_r <- Float.max t.lie_r (t.static_r -. s.r_judge);
+    if Float.is_finite t.static_entropy && Float.is_finite live_entropy then
+      t.lie_entropy <- Float.max t.lie_entropy (t.static_entropy -. live_entropy)
+  end;
+  t.prev_rct <- s.rct_alarms;
+  t.prev_apt <- s.apt_alarms;
+  t.prev_ais31 <- s.ais31_alarms;
+  t.prev_ewma <- s.ewma_crossed;
+  t.prev_cusum <- s.cusum_crossed
+
+type summary = {
+  onset_period : int option;
+  observations : int;
+  false_alarms : int;
+  pre_onset_nonok : int;
+  detected : alarm option;
+  recovered : recovery option;
+  static_r : float;
+  static_entropy : float;
+  live_r : float;
+  live_entropy : float;
+  lie_margin_r : float;
+  lie_margin_entropy : float;
+  final_status : Verdict.status;
+}
+
+let summary (t : t) : summary =
+  {
+    onset_period = t.onset_period;
+    observations = t.observations;
+    false_alarms = t.pre_alarms;
+    pre_onset_nonok = t.pre_nonok;
+    detected = t.detected;
+    recovered = t.recovered;
+    static_r = t.static_r;
+    static_entropy = t.static_entropy;
+    live_r = t.live_r;
+    live_entropy = t.live_entropy;
+    lie_margin_r = t.lie_r;
+    lie_margin_entropy = t.lie_entropy;
+    final_status = t.last_status;
+  }

@@ -1,0 +1,83 @@
+(** Detection-latency scoring for scenario runs.
+
+    A scorer observes the {!Monitor} snapshots a scenario runner takes
+    once per chunk and reduces them to the numbers the scenario matrix
+    reports: how many windows and output bits passed between the fault
+    onset and the first alarm, which detector fired first, how many
+    test alarms the clean pre-onset prefix produced (false alarms),
+    whether and when the verdict de-escalated back to ok after a
+    transient, and the {e silent-lie margins} — the gap between what
+    the stale static calibration still claims (r_N at the judged N,
+    model min-entropy per bit) and what the live pipeline measures.
+
+    Attribution granularity is the observation cadence: an alarm is
+    timed at the first snapshot that shows it, so feeding snapshots
+    every chunk bounds the timing error by one chunk. *)
+
+type alarm = {
+  detector : string;
+      (** Which detector fired first: ["rct"], ["apt"], ["ais31"],
+          ["ewma"], ["cusum"], ["independence"] or ["min-entropy"]. *)
+  at_period : int;   (** Jitter samples consumed when first seen. *)
+  at_bit : int;      (** Output bits consumed when first seen. *)
+  at_window : int;   (** Chart windows closed when first seen. *)
+  latency_periods : int;  (** [at_period] minus the schedule onset. *)
+  latency_bits : int;     (** Bits since the last pre-onset snapshot. *)
+  latency_windows : int;  (** Windows since the last pre-onset snapshot. *)
+}
+(** The first post-onset alarm. *)
+
+type recovery = {
+  at_period : int;  (** Jitter samples consumed at de-escalation. *)
+  at_window : int;  (** Windows closed at de-escalation. *)
+}
+(** Start of the terminal ok streak after a detection — cleared again
+    if the verdict later degrades, so a persistent fault that flaps
+    through ok is not scored as recovered. *)
+
+type t
+(** One scorer, observing one scenario run. *)
+
+val create :
+  ?onset_period:int -> ?static_r:float -> ?static_entropy:float -> unit -> t
+(** [create ~onset_period ~static_r ~static_entropy ()] scores a run
+    whose schedule departs from calibration at [onset_period] (omit
+    for a calm scenario — everything is then pre-onset and only false
+    alarms are counted).  [static_r] and [static_entropy] are the
+    stale claims of the static calibration, used for the lie margins;
+    omitted (nan) claims disable the corresponding margin.
+    @raise Invalid_argument if [onset_period < 0]. *)
+
+val observe : t -> ?live_entropy:float -> Monitor.snapshot -> unit
+(** Feed the next snapshot (snapshots must be taken in stream order).
+    [live_entropy] is the runner's model min-entropy claim rebuilt
+    from the live fit, compared against [static_entropy] for the
+    entropy lie margin. *)
+
+type summary = {
+  onset_period : int option;  (** Echo of the schedule onset. *)
+  observations : int;         (** Snapshots observed. *)
+  false_alarms : int;
+      (** Health-test alarms (RCT + APT + AIS-31) on the pre-onset
+          prefix. *)
+  pre_onset_nonok : int;
+      (** Pre-onset snapshots whose verdict was not ok. *)
+  detected : alarm option;    (** First post-onset alarm, if any. *)
+  recovered : recovery option;
+      (** Terminal de-escalation to ok after the detection (the ok
+          streak still standing at the last snapshot). *)
+  static_r : float;           (** Stale claimed r_N at the judged N. *)
+  static_entropy : float;     (** Stale claimed model min-entropy/bit. *)
+  live_r : float;             (** Last finite live r_N seen. *)
+  live_entropy : float;       (** Last finite live model claim seen. *)
+  lie_margin_r : float;
+      (** Max over post-onset snapshots of [static_r - live r]; 0 when
+          the live fit never fell below the stale claim. *)
+  lie_margin_entropy : float;
+      (** Max of [static_entropy - live claim] post-onset. *)
+  final_status : Verdict.status;  (** Verdict at the last snapshot. *)
+}
+(** Everything the scenario report serializes. *)
+
+val summary : t -> summary
+(** The scores accumulated so far. *)

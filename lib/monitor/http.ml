@@ -19,6 +19,8 @@ let status_text = function
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 431 -> "Request Header Fields Too Large"
   | 500 -> "Internal Server Error"
   | _ -> "Status"
 
@@ -46,57 +48,88 @@ let respond fd ~head_only { status; content_type; body } =
   if not head_only then write_all fd body
 
 (* The request line is all we need: "<METHOD> <path> HTTP/1.x".  GET
-   requests have no body, so one read of the socket is enough for any
-   client that is not trickling bytes on purpose. *)
-let parse_request buf len =
-  match String.index_opt (String.sub buf 0 len) '\n' with
-  | None -> None
-  | Some eol ->
-    let line = String.trim (String.sub buf 0 eol) in
-    (match String.split_on_char ' ' line with
-    | meth :: target :: _ ->
-      let path =
-        match String.index_opt target '?' with
-        | Some q -> String.sub target 0 q
-        | None -> target
-      in
-      Some (meth, path)
-    | _ -> None)
+   requests have no body, so we read until the first newline arrives,
+   the request-line budget is exhausted, or the per-connection receive
+   timeout fires — a trickling or silent client cannot pin the
+   listener. *)
+let max_request_line = 4096
 
-let serve_connection handler fd =
-  let buf = Bytes.create 8192 in
-  let n = Unix.recv fd buf 0 (Bytes.length buf) [] in
-  if n > 0 then begin
-    match parse_request (Bytes.to_string buf) n with
+let parse_request_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | meth :: target :: _ when meth <> "" && target <> "" ->
+    let path =
+      match String.index_opt target '?' with
+      | Some q -> String.sub target 0 q
+      | None -> target
+    in
+    Some (meth, path)
+  | _ -> None
+
+let read_request_line fd =
+  let buf = Bytes.create max_request_line in
+  let rec go off =
+    if off >= max_request_line then `Too_large
+    else
+      match Unix.recv fd buf off (max_request_line - off) [] with
+      | 0 -> if off = 0 then `Closed else `Truncated
+      | n -> (
+        match Bytes.index_from_opt buf off '\n' with
+        | Some eol when eol < off + n -> `Line (Bytes.sub_string buf 0 eol)
+        | Some _ | None -> go (off + n))
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+        ->
+        `Timeout
+  in
+  go 0
+
+let serve_connection handler ~read_timeout fd =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO read_timeout
+   with Unix.Unix_error _ -> ());
+  match read_request_line fd with
+  | `Closed -> ()
+  | `Timeout ->
+    respond fd ~head_only:false (response ~status:408 "request timeout\n")
+  | `Too_large ->
+    respond fd ~head_only:false
+      (response ~status:431 "request line too long\n")
+  | `Truncated ->
+    respond fd ~head_only:false (response ~status:400 "truncated request\n")
+  | `Line line -> (
+    match parse_request_line line with
     | None -> respond fd ~head_only:false (response ~status:400 "bad request\n")
     | Some (meth, path) when meth = "GET" || meth = "HEAD" -> (
       let head_only = meth = "HEAD" in
       match handler path with
       | Some r -> respond fd ~head_only r
       | None ->
-        respond fd ~head_only (response ~status:404 ("no such path: " ^ path ^ "\n")))
+        respond fd ~head_only
+          (response ~status:404 ("no such path: " ^ path ^ "\n")))
     | Some _ ->
-      respond fd ~head_only:false (response ~status:405 "only GET and HEAD\n")
-  end
+      respond fd ~head_only:false (response ~status:405 "only GET and HEAD\n"))
 
 (* Accept loop: select with a short timeout so the stop flag is
-   honoured promptly; per-connection failures (client went away,
-   malformed bytes) must never take the listener down. *)
-let listen_loop t handler =
+   honoured promptly; no per-iteration failure (client went away,
+   malformed bytes, accept error under fd pressure) may take the
+   listener down — {!stop} joins this domain, so an escaped exception
+   would resurface there and leak the socket. *)
+let listen_loop t handler ~read_timeout =
   while not (Atomic.get t.stop_flag) do
-    match Unix.select [ t.sock ] [] [] 0.05 with
-    | [], _, _ -> ()
-    | _ :: _, _, _ ->
-      let fd, _ = Unix.accept t.sock in
-      Fun.protect
-        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-        (fun () ->
-          try serve_connection handler fd
-          with Unix.Unix_error _ | Exit | Failure _ -> ())
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    try
+      match Unix.select [ t.sock ] [] [] 0.05 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ ->
+        let fd, _ = Unix.accept t.sock in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            try serve_connection handler ~read_timeout fd
+            with Unix.Unix_error _ | Exit | Failure _ -> ())
+    with Unix.Unix_error _ | Sys_error _ -> ()
   done
 
-let start ?(host = "127.0.0.1") ?(port = 0) ~handler () =
+let start ?(host = "127.0.0.1") ?(port = 0) ?(read_timeout = 5.0) ~handler () =
+  if not (read_timeout > 0.0) then invalid_arg "Http.start: read_timeout <= 0";
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt sock Unix.SO_REUSEADDR true;
@@ -113,7 +146,13 @@ let start ?(host = "127.0.0.1") ?(port = 0) ~handler () =
   let t =
     { sock; host; bound_port; stop_flag = Atomic.make false; listener = None }
   in
-  t.listener <- Some (Domain.spawn (fun () -> listen_loop t handler));
+  t.listener <-
+    Some
+      (Domain.spawn (fun () ->
+           (* Last-resort belt: the loop already swallows per-iteration
+              errors, but nothing may escape the domain body — [stop]
+              re-raises pending exceptions from [Domain.join]. *)
+           try listen_loop t handler ~read_timeout with _ -> ()));
   t
 
 let port t = t.bound_port
@@ -125,6 +164,10 @@ let stop t =
   | None -> ()
   | Some d ->
     Atomic.set t.stop_flag true;
-    Domain.join d;
-    t.listener <- None;
-    (try Unix.close t.sock with Unix.Unix_error _ -> ())
+    (* Even if the join re-raises, the listener slot is cleared and
+       the socket closed — stop never leaks either. *)
+    Fun.protect
+      ~finally:(fun () ->
+        t.listener <- None;
+        try Unix.close t.sock with Unix.Unix_error _ -> ())
+      (fun () -> Domain.join d)

@@ -28,10 +28,18 @@ type handler = string -> response option
 type t
 (** A running server. *)
 
-val start : ?host:string -> ?port:int -> handler:handler -> unit -> t
+val start :
+  ?host:string -> ?port:int -> ?read_timeout:float -> handler:handler ->
+  unit -> t
 (** Bind [host] (default ["127.0.0.1"]) at [port] (default 0 = pick an
     ephemeral port), spawn the listener domain and start serving.
-    @raise Unix.Unix_error if the socket cannot be bound. *)
+    [read_timeout] (seconds, default 5.0) bounds how long one
+    connection may take to deliver its request line — a silent client
+    gets a 408, a trickling one at most [max] 4096 bytes before a 431;
+    malformed request lines get a 400 and non-[GET]/[HEAD] methods a
+    405.
+    @raise Unix.Unix_error if the socket cannot be bound.
+    @raise Invalid_argument if [read_timeout <= 0]. *)
 
 val port : t -> int
 (** The actually bound port — the one to scrape when [port:0] was

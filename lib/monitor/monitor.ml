@@ -22,6 +22,7 @@ type config = {
   entropy_floor : float;
   entropy_fail : float;
   history : int;
+  recovery_windows : int;
 }
 
 (* judge_n = 64 sits inside the default grid with margin on both
@@ -52,6 +53,7 @@ let default_config ~f0 =
     entropy_floor = 0.6;
     entropy_fail = 0.2;
     history = 64;
+    recovery_windows = 64;
   }
 
 type t = {
@@ -74,6 +76,8 @@ type t = {
   recent_alarms : Window.t;
   mutable est : Rn_estimator.estimate option;
   mutable since_fit : int;
+  mutable clean_streak : int;
+  mutable recoveries : int;
 }
 
 let g_r = T.Registry.Gauge.v ~help:"Live independence ratio r_N at the judged N" "ptrng_monitor_r_n"
@@ -112,6 +116,8 @@ let create cfg =
   if not (cfg.entropy_fail <= cfg.entropy_floor) then
     invalid_arg "Monitor.create: entropy_fail above entropy_floor";
   if cfg.history < 2 then invalid_arg "Monitor.create: history < 2";
+  if cfg.recovery_windows < 0 then
+    invalid_arg "Monitor.create: recovery_windows < 0";
   {
     cfg;
     lock = Mutex.create ();
@@ -142,6 +148,8 @@ let create cfg =
     recent_alarms = Window.create ~capacity:cfg.history;
     est = None;
     since_fit = 0;
+    clean_streak = 0;
+    recoveries = 0;
   }
 
 let config t = t.cfg
@@ -243,6 +251,38 @@ let close_window t =
   t.windows <- t.windows + 1;
   T.Registry.Counter.incr c_windows;
   if e_alarm || c_alarm then T.Registry.Counter.incr c_chart_alarms;
+  (* Fail-safe recovery: a window is clean when no test alarmed and
+     the entropy trend is above the floor.  Cleanliness is judged on
+     the raw alarm stream, not on the charts — their lingering level
+     is exactly the memory a streak forgives.  A streak of
+     [recovery_windows] clean windows forgives one level of sticky
+     chart state — failing (both charts) drops to degraded first, then
+     to ok on the next streak — so a transient fault de-escalates
+     instead of latching forever, while a persistent one keeps
+     alarming, never accrues a streak, and never climbs down. *)
+  let clean = t.win_alarms = 0 && h >= t.cfg.entropy_floor in
+  if clean then t.clean_streak <- t.clean_streak + 1 else t.clean_streak <- 0;
+  let ewma_on = Control_chart.ewma_crossed t.ewma in
+  let cusum_on = Control_chart.cusum_crossed t.cusum in
+  if
+    t.cfg.recovery_windows > 0
+    && t.clean_streak >= t.cfg.recovery_windows
+    && (ewma_on || cusum_on)
+  then begin
+    if ewma_on && cusum_on then Control_chart.cusum_reset t.cusum
+    else begin
+      Control_chart.ewma_reset t.ewma;
+      Control_chart.cusum_reset t.cusum
+    end;
+    t.recoveries <- t.recoveries + 1;
+    t.clean_streak <- 0;
+    T.Event_log.emit ~kind:"monitor"
+      [
+        ("what", T.Json.String "recovered");
+        ("window", T.Json.Int t.windows);
+        ("recoveries", T.Json.Int t.recoveries);
+      ]
+  end;
   T.Registry.Gauge.set g_ewma (Control_chart.ewma_value t.ewma);
   T.Registry.Gauge.set g_cusum (Control_chart.cusum_pos t.cusum);
   T.Registry.Gauge.set g_entropy h;
@@ -318,6 +358,8 @@ type snapshot = {
   cusum_neg : float;
   cusum_crossed : bool;
   min_entropy : float;
+  clean_streak : int;
+  recoveries : int;
   recent_r : float array;
   recent_entropy : float array;
   recent_alarms : float array;
@@ -355,6 +397,8 @@ let snapshot_unlocked t =
     cusum_neg = Control_chart.cusum_neg t.cusum;
     cusum_crossed = Control_chart.cusum_crossed t.cusum;
     min_entropy = t.last_entropy;
+    clean_streak = t.clean_streak;
+    recoveries = t.recoveries;
     recent_r = Window.to_array t.recent_r;
     recent_entropy = Window.to_array t.recent_entropy;
     recent_alarms = Window.to_array t.recent_alarms;
@@ -412,6 +456,12 @@ let health_json t =
             ("cusum_crossed", Bool s.cusum_crossed);
           ] );
       ("min_entropy", num s.min_entropy);
+      ( "recovery",
+        Obj
+          [
+            ("clean_streak", Int s.clean_streak);
+            ("recoveries", Int s.recoveries);
+          ] );
     ]
 
 let http_handler t path =

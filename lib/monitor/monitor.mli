@@ -46,6 +46,12 @@ type config = {
   entropy_floor : float;  (** Windowed min-entropy below this: degraded. *)
   entropy_fail : float;   (** ... below this: failing. *)
   history : int;          (** Samples kept per trend (sparklines). *)
+  recovery_windows : int;
+  (** Consecutive clean windows (no test alarms and entropy above the
+      floor — judged on the raw alarm stream, not the charts' lingering
+      level) after which one level of sticky chart state is forgiven —
+      failing drops to degraded, then to ok on the next streak.  0
+      keeps crossings latched forever. *)
 }
 (** Observatory tuning.  Build from {!default_config} and override
     fields as needed. *)
@@ -115,6 +121,8 @@ type snapshot = {
   cusum_neg : float;
   cusum_crossed : bool;   (** Sticky: CUSUM chart ever alarmed. *)
   min_entropy : float;    (** Last window's MCV estimate; [nan] before. *)
+  clean_streak : int;     (** Consecutive clean windows so far. *)
+  recoveries : int;       (** De-escalations granted since creation. *)
   recent_r : float array;       (** r_N trend, oldest first. *)
   recent_entropy : float array; (** Min-entropy trend, oldest first. *)
   recent_alarms : float array;  (** Alarms-per-window trend, oldest first. *)

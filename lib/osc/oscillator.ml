@@ -200,6 +200,29 @@ let fill_periods src ?len buf =
     FA.set src.rw_carry 0 !y);
   src.s_pos <- src.s_pos + len
 
+(* The scenario path needs the two noise components separately — the
+   schedule rescales them per sample before they are combined — so this
+   writes the raw thermal jitter (seconds, baseline sigma included) and
+   the fractional flicker frequency y_k into caller buffers, drawing
+   from the same sources in the same order as {!fill_periods}. *)
+let fill_components src ?len ~thermal ~flicker () =
+  let len =
+    match len with Some l -> l | None -> min (FA.length thermal) (FA.length flicker)
+  in
+  if len < 0 || len > FA.length thermal || len > FA.length flicker then
+    invalid_arg "Oscillator.fill_components: bad len";
+  if Option.is_some src.rw then
+    invalid_arg
+      "Oscillator.fill_components: random-walk FM sources are not \
+       scenario-capable (express aging as a Scenario drift profile)";
+  (match src.thermal with
+  | Some th -> Source.fill_range th thermal ~pos:0 ~len
+  | None -> FA.fill thermal 0 len 0.0);
+  (match src.flicker with
+  | Some fl -> Source.fill_range fl flicker ~pos:0 ~len
+  | None -> FA.fill flicker 0 len 0.0);
+  src.s_pos <- src.s_pos + len
+
 let source_position src = src.s_pos
 
 let source_skip src n =

@@ -72,6 +72,22 @@ val fill_periods : source -> ?len:int -> Float.Array.t -> unit
     length) simulated periods into [buf.(0 .. len-1)], seconds.
     @raise Invalid_argument if [len] exceeds the buffer length. *)
 
+val fill_components :
+  source -> ?len:int -> thermal:Float.Array.t -> flicker:Float.Array.t ->
+  unit -> unit
+(** [fill_components src ~thermal ~flicker ()] advances the stream by
+    [len] (default the shorter buffer) samples, writing the raw
+    thermal period jitter g_k (seconds, baseline sigma included) into
+    [thermal] and the fractional flicker frequency y_k into [flicker]
+    — the two components {!fill_periods} would have combined as
+    [t0 + g_k + t0 y_k].  A scenario-aware consumer
+    ({!Ptrng_osc.Pair.fill} under a schedule) rescales them per sample
+    before combining; the identity schedule reproduces {!fill_periods}
+    bit for bit.
+    @raise Invalid_argument if [len] exceeds a buffer, or for sources
+    with random-walk FM (express aging as a scenario drift profile
+    instead). *)
+
 val source_skip : source -> int -> unit
 (** Advance the stream without materializing periods (the random-walk
     integrator still consumes its draws).

@@ -30,21 +30,121 @@ let simulate ?domains rng pair ~n =
   let p2 = Oscillator.periods ?domains rng2 pair.osc2 ~n in
   (p1, p2)
 
+module FA = Float.Array
+module Scenario = Ptrng_device.Scenario
+
+(* Scenario fills stage the per-ring noise components through fixed
+   scratch segments, mirroring the flicker staging inside
+   Oscillator.fill_periods. *)
+let sc_seg = 4096
+
 type stream = {
   s1 : Oscillator.source;
   s2 : Oscillator.source;
+  scen : Scenario.t option;
+  sc_state : Scenario.state;
+  sc_th1 : FA.t;
+  sc_fl1 : FA.t;
+  sc_th2 : FA.t;
+  sc_fl2 : FA.t;
+  sc_f1 : float;      (* nominal (unscaled) per-ring frequencies *)
+  sc_f2 : float;
+  mutable sc_pos : int;
 }
 
-let stream ?flicker_block rng pair =
+let stream ?flicker_block ?scenario rng pair =
   (* Same substream discipline as [simulate]: two splits, one per
      oscillator, so a stream replays the batch traces bit for bit. *)
   let rng1 = Ptrng_prng.Rng.split rng in
   let rng2 = Ptrng_prng.Rng.split rng in
+  let scratch () =
+    match scenario with Some _ -> FA.create sc_seg | None -> FA.create 0
+  in
   {
     s1 = Oscillator.source ?flicker_block rng1 pair.osc1;
     s2 = Oscillator.source ?flicker_block rng2 pair.osc2;
+    scen = scenario;
+    sc_state = Scenario.state ();
+    sc_th1 = scratch ();
+    sc_fl1 = scratch ();
+    sc_th2 = scratch ();
+    sc_fl2 = scratch ();
+    sc_f1 = pair.osc1.Oscillator.f0;
+    sc_f2 = pair.osc2.Oscillator.f0;
+    sc_pos = 0;
   }
 
+let sources st = (st.s1, st.s2)
+
+let position st =
+  match st.scen with
+  | Some _ -> st.sc_pos
+  | None -> Oscillator.source_position st.s1
+
+(* One scheduled sample.  With the schedule at identity (all
+   multipliers 1, no coupling, no tone) every factor below is exactly
+   1.0 and the combination order matches fill_periods —
+   [(t0 +. g) +. (t0 *. y)] — so the scenario path is bit-identical to
+   the plain stream.  Under a schedule, scaling b_th by u and f0 by r
+   scales the thermal period jitter sigma = sqrt(b_th / f^3) by
+   [sqrt u / r^1.5] and the flicker fractional-frequency amplitude
+   sqrt(h_-1) = sqrt(2 b_fl / f^2) by [sqrt v / r]; coupling c pulls
+   both frequencies and both jitter deviations toward their common
+   mean (injection locking: the relative process collapses while each
+   ring keeps oscillating); the tone adds deterministic jitter to the
+   sampled ring only. *)
+let fill_scenario st scen ~p1 ~p2 ~len =
+  let state = st.sc_state in
+  let f1n = st.sc_f1 and f2n = st.sc_f2 in
+  let off = ref 0 in
+  while !off < len do
+    let seg = min sc_seg (len - !off) in
+    Oscillator.fill_components st.s1 ~len:seg ~thermal:st.sc_th1
+      ~flicker:st.sc_fl1 ();
+    Oscillator.fill_components st.s2 ~len:seg ~thermal:st.sc_th2
+      ~flicker:st.sc_fl2 ();
+    let base = !off in
+    for j = 0 to seg - 1 do
+      Scenario.eval scen (st.sc_pos + base + j) state;
+      let f1 = f1n *. state.f0_mult and f2 = f2n *. state.f0_mult in
+      let c = state.coupling in
+      let f1e, f2e =
+        if c > 0.0 then begin
+          let fm = 0.5 *. (f1 +. f2) in
+          (f1 +. (c *. (fm -. f1)), f2 +. (c *. (fm -. f2)))
+        end
+        else (f1, f2)
+      in
+      let t01 = 1.0 /. f1e and t02 = 1.0 /. f2e in
+      let r1 = f1e /. f1n and r2 = f2e /. f2n in
+      let sth = sqrt state.th_mult and sfl = sqrt state.fl_mult in
+      let g1 = sth /. (r1 *. sqrt r1) *. FA.unsafe_get st.sc_th1 j
+      and g2 = sth /. (r2 *. sqrt r2) *. FA.unsafe_get st.sc_th2 j in
+      let y1 = sfl /. r1 *. FA.unsafe_get st.sc_fl1 j
+      and y2 = sfl /. r2 *. FA.unsafe_get st.sc_fl2 j in
+      if c > 0.0 then begin
+        let d1 = g1 +. (t01 *. y1) and d2 = g2 +. (t02 *. y2) in
+        let m = 0.5 *. (d1 +. d2) in
+        FA.unsafe_set p1 (base + j)
+          (t01 +. (d1 +. (c *. (m -. d1))) +. (t01 *. state.tone));
+        FA.unsafe_set p2 (base + j) (t02 +. (d2 +. (c *. (m -. d2))))
+      end
+      else begin
+        FA.unsafe_set p1 (base + j)
+          ((t01 +. g1) +. (t01 *. y1) +. (t01 *. state.tone));
+        FA.unsafe_set p2 (base + j) ((t02 +. g2) +. (t02 *. y2))
+      end
+    done;
+    off := !off + seg
+  done;
+  st.sc_pos <- st.sc_pos + len
+
 let fill st ~p1 ~p2 ~len =
-  Oscillator.fill_periods st.s1 ~len p1;
-  Oscillator.fill_periods st.s2 ~len p2
+  match st.scen with
+  | None ->
+    Oscillator.fill_periods st.s1 ~len p1;
+    Oscillator.fill_periods st.s2 ~len p2
+  | Some scen ->
+    if len < 0 || len > FA.length p1 || len > FA.length p2 then
+      invalid_arg "Pair.fill: bad len";
+    fill_scenario st scen ~p1 ~p2 ~len

@@ -45,19 +45,42 @@ val simulate :
     oscillator's thermal and flicker synthesis runs over a
     {!Ptrng_exec.Pool}; traces are bit-identical for every [?domains]. *)
 
-type stream = {
-  s1 : Oscillator.source;  (** Streaming simulator of [osc1]. *)
-  s2 : Oscillator.source;  (** Streaming simulator of [osc2]. *)
-}
+type stream
+(** A streaming simulator of the pair, optionally driven by a
+    deterministic {!Ptrng_device.Scenario} schedule. *)
 
-val stream : ?flicker_block:int -> Ptrng_prng.Rng.t -> t -> stream
+val stream :
+  ?flicker_block:int ->
+  ?scenario:Ptrng_device.Scenario.t ->
+  Ptrng_prng.Rng.t ->
+  t ->
+  stream
 (** [stream rng pair] is the streaming form of {!simulate}: the same
     two generator splits, one {!Oscillator.source} per ring, so with
     [`Spectral] flicker and [flicker_block = n] the chunk-wise fills
     reproduce [simulate rng pair ~n] bit for bit while allocating
-    nothing per chunk.  See {!Oscillator.source} for [flicker_block]. *)
+    nothing per chunk.  See {!Oscillator.source} for [flicker_block].
+
+    With [?scenario] the stream re-derives the per-sample noise
+    scaling from the schedule: b_th, b_fl and f0 multipliers rescale
+    the thermal jitter by [sqrt u / r^1.5] and the flicker
+    fractional frequency by [sqrt v / r] (for coefficient multipliers
+    u, v and frequency ratio r), coupling pulls both rings toward
+    their common mean, and the injected tone adds deterministic jitter
+    to the sampled ring.  The identity schedule is bit-identical to
+    the plain stream, and the whole path draws single-threaded from
+    the two split sources, so scheduled fills are bit-identical for
+    every domain count and chunk partitioning. *)
+
+val sources : stream -> Oscillator.source * Oscillator.source
+(** The two underlying ring sources, sampled then sampling. *)
+
+val position : stream -> int
+(** Periods delivered so far. *)
 
 val fill : stream -> p1:Float.Array.t -> p2:Float.Array.t -> len:int -> unit
 (** [fill st ~p1 ~p2 ~len] writes the next [len] periods of each
     oscillator into the caller's buffers.
-    @raise Invalid_argument if [len] exceeds either buffer. *)
+    @raise Invalid_argument if [len] exceeds either buffer, or under a
+    scenario if a ring has random-walk FM (see
+    {!Oscillator.fill_components}). *)

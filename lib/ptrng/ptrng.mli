@@ -54,5 +54,13 @@ module Nist22 = Ptrng_nist22
 module Report = Ptrng_report
 (** Machine-readable report emission. *)
 
+module Monitor = Ptrng_monitor
+(** Live health observatory: streaming r_N, control charts, HTTP
+    endpoints, detection-latency scoring. *)
+
+module Scenario = Ptrng_scenario
+(** Adversarial & environmental scenario engine: the named workload
+    matrix and the scored runner. *)
+
 module Telemetry = Ptrng_telemetry
 (** Metrics registry, span tracing, event log. *)

@@ -1,0 +1,242 @@
+module Scenario = Ptrng_device.Scenario
+
+type entry = {
+  scenario : Scenario.t;
+  periods : int;
+  divisor : int;
+  expected : string;
+}
+
+(* Shared workload geometry.  One period is about 10 ns of device
+   time, so a run covers ~42 ms of simulated operation.  The divisor
+   matches the monitor's proven operating point (1000): the detuning
+   beat then advances 0.1 T0 per bit, an order of magnitude faster
+   than the sampling phase diffuses, so a calm run produces no
+   false alarms.  Faults start ten chart windows in (divisor 1000 x
+   128 bits = 128000 periods per window) and the transient block
+   spans four windows, leaving an ~18-window tail for the de-escalation
+   streaks. *)
+let default_periods = 4_194_304
+let default_divisor = 1000
+let fault_onset = 1_280_000
+let fault_duration = 512_000
+
+let entry ?(periods = default_periods) ?(divisor = default_divisor) ~expected
+    scenario =
+  { scenario; periods; divisor; expected }
+
+let calm () =
+  entry ~expected:"clean run; counts the false-alarm baseline"
+    (Scenario.make ~name:"calm"
+       ~description:
+         "calibrated pair, identity schedule — the false-alarm baseline" ())
+
+let temp_cycle () =
+  (* A +-35% swing in thermal noise power and a 50 ppm frequency
+     wobble, both over ~10 ms: a device breathing with ambient
+     temperature.  r_N = k/(k+N) moves with the ratio a/b, which this
+     modulates by at most ~1.5x — never near the judged threshold. *)
+  entry ~expected:"benign environmental cycling; verdict stays ok"
+    (Scenario.make ~name:"temp-cycle"
+       ~description:
+         "sinusoidal thermal-noise and frequency cycling within the \
+          independence margin"
+       ~b_th:
+         (Scenario.Sine
+            { period = 1_048_576; mean = 1.0; amplitude = 0.35; phase = 0.0 })
+       ~f0:
+         (Scenario.Sine
+            {
+              period = 1_048_576;
+              mean = 1.0;
+              amplitude = 5e-5;
+              phase = 1.5707963267948966;
+            })
+       ())
+
+let supply_droop () =
+  (* Both rings sit on the same rail, so the droop scales both
+     frequencies by the same factor: the relative detuning — and with
+     it the sampler's beat — is unchanged, and a/b moves by ~1.2x.
+     Every bit-level test and r_N itself are blind to it. *)
+  entry
+    ~expected:
+      "stealth: a symmetric rail droop is invisible to bit-level tests and \
+       to r_N"
+    (Scenario.make ~name:"supply-droop"
+       ~description:
+         "transient 12% symmetric supply droop slowing both rings together"
+       ~faults:
+         [
+           Scenario.Supply_droop
+             { onset = fault_onset; duration = fault_duration; depth = 0.12 };
+         ]
+       ())
+
+let thermal_quench () =
+  (* The classic cooling attack from lib/trng/attack.ml, made
+     transient: thermal noise drops to 2% of calibration for one fault
+     block.  The bits stay balanced (the detuning beat still dithers
+     the sampling phase), so the health tests stay silent — only the
+     live variance curve sees the small-N points collapse, the fitted
+     k crash, and r_N fall through the confidence floor. *)
+    entry
+      ~expected:
+        "silent at bit level; detected by the independence ratio, verdict \
+         recovers after the fault clears"
+      (Scenario.make ~name:"thermal-quench"
+         ~description:"transient thermal quench to 2% of calibrated b_th"
+         ~faults:
+           [
+             Scenario.Thermal_quench
+               { onset = fault_onset; duration = fault_duration; factor = 0.02 };
+           ]
+         ())
+
+let thermal_aging () =
+  (* Slow exponential decay of thermal noise: b_th is down to ~9% of
+     calibration by the end of the run.  Nothing alarms for most of
+     the run while the static calibration still claims the paper's
+     r_N — the silent-lie scenario. *)
+  entry
+    ~expected:
+      "slow drift: online tests lag, the stale static claim lies about r_N"
+    (Scenario.make ~name:"thermal-aging"
+       ~description:
+         "exponential thermal-noise decay to ~9% of calibration over the run"
+       ~b_th:(Scenario.Drift { rate = -5.5e-7 })
+       ())
+
+let flicker_surge () =
+  (* Ramping flicker power 25x moves the curve's quadratic term:
+     k = a/b collapses from 5354 to ~214, dragging r_64 far below
+     95%.  A pure model-level detection with moderate latency. *)
+  entry ~expected:"ramping flicker shrinks k = a/b; independence detects"
+    (Scenario.make ~name:"flicker-surge"
+       ~description:"flicker noise power ramping 1x -> 25x mid-run"
+       ~b_fl:
+         (Scenario.Ramp
+            { start = fault_onset; stop = 3_200_000; from_ = 1.0; to_ = 25.0 })
+       ())
+
+let tone_burst () =
+  (* An injected tone sized so its accumulated phase drift per bit
+     (divisor x amplitude = 0.12 T0) slightly exceeds the detuning
+     beat (0.1 T0 per bit): twice per slow tone cycle the two cancel,
+     the beat stalls for tens of bits and the repetition-count test
+     fires.  The tone also pumps the accumulated variance at large N,
+     so the independence ratio may fire first — either way the fault
+     is caught, and after the burst the verdict de-escalates.  The
+     burst spans two full tone cycles (1M periods) so it covers
+     several stall opportunities. *)
+  entry
+    ~expected:
+      "RCT fires during the burst, charts latch, verdict de-escalates back \
+       to ok"
+    (Scenario.make ~name:"tone-burst"
+       ~description:
+         "transient injected tone at the detuning amplitude, stalling the \
+          sampler beat"
+       ~faults:
+         [
+           Scenario.Tone_injection
+             {
+               onset = fault_onset;
+               duration = 1_024_000;
+               freq = 2e-6;
+               amplitude = 1.2e-4;
+             };
+         ]
+       ())
+
+let tone_lock () =
+  (* The same tone, never removed: the beat keeps stalling, the tests
+     keep alarming, no clean streak ever accrues and the sticky chart
+     state is never forgiven. *)
+  entry ~expected:"persistent tone keeps alarming; verdict stays latched"
+    (Scenario.make ~name:"tone-lock"
+       ~description:"persistent injected tone at the detuning amplitude"
+       ~faults:
+         [
+           Scenario.Tone_injection
+             {
+               onset = fault_onset;
+               duration = Scenario.forever;
+               freq = 2e-6;
+               amplitude = 1.2e-4;
+             };
+         ]
+       ())
+
+let lock_burst () =
+  (* Transient injection locking: for four chart windows the rings
+     pull together, the beat stalls and the output freezes solid —
+     RCT fires continuously, the min-entropy window collapses and
+     both charts cross (failing).  When the aggressor is removed the
+     raw stream is clean again and the fail-safe streaks walk the
+     verdict back: failing -> degraded (CUSUM forgiven) -> ok. *)
+  entry
+    ~expected:
+      "hard failure during the burst; staged de-escalation failing -> \
+       degraded -> ok afterwards"
+    (Scenario.make ~name:"lock-burst"
+       ~description:
+         "transient 95% inter-ring coupling freezing the output for four \
+          windows"
+       ~faults:
+         [
+           Scenario.Coupling
+             { onset = fault_onset; duration = fault_duration; strength = 0.95 };
+         ]
+       ())
+
+let injection_lock () =
+  (* Strong inter-ring coupling pulls both rings onto a common
+     frequency and correlates their jitter: the relative jitter and
+     the beat both collapse, the output freezes, and the bit-level
+     tests plus the entropy floor fail hard. *)
+  entry ~expected:"locking collapses relative jitter; failing, no recovery"
+    (Scenario.make ~name:"injection-lock"
+       ~description:"persistent 95% inter-ring coupling (injection locking)"
+       ~faults:
+         [
+           Scenario.Coupling
+             { onset = fault_onset; duration = Scenario.forever; strength = 0.95 };
+         ]
+       ())
+
+let brownout_step () =
+  (* A permanent operating-point step: the rail settles 7% low and
+     the thermal noise drops to 8% of calibration (a cold, starved
+     die).  k falls to ~320, r_32 to ~0.91 — detected by the
+     independence ratio and never recovering, because the step never
+     reverts. *)
+  entry
+    ~expected:"permanent step; independence detects and the verdict stays \
+               degraded"
+    (Scenario.make ~name:"brownout-step"
+       ~description:
+         "permanent 7% frequency and 92% thermal-noise step at the onset"
+       ~f0:(Scenario.Step { at = fault_onset; before = 1.0; after = 0.93 })
+       ~b_th:(Scenario.Step { at = fault_onset; before = 1.0; after = 0.08 })
+       ())
+
+let all () =
+  [
+    calm ();
+    temp_cycle ();
+    supply_droop ();
+    thermal_quench ();
+    thermal_aging ();
+    flicker_surge ();
+    tone_burst ();
+    tone_lock ();
+    lock_burst ();
+    injection_lock ();
+    brownout_step ();
+  ]
+
+let names () = List.map (fun e -> Scenario.name e.scenario) (all ())
+
+let find name =
+  List.find_opt (fun e -> Scenario.name e.scenario = name) (all ())

@@ -1,0 +1,43 @@
+(** The scenario matrix: named adversarial and environmental workloads
+    for the paper's demonstrator P-TRNG.
+
+    Every entry pairs a {!Ptrng_device.Scenario} schedule with the
+    workload geometry it is scored under (run length and sampler
+    divisor) and a one-line statement of the expected outcome.  The
+    matrix spans the interesting quadrants: clean baselines, benign
+    environmental variation, stealthy degradations only the live
+    variance-curve fit can see, transient faults the verdict must
+    recover from, and persistent faults that must stay latched. *)
+
+type entry = {
+  scenario : Ptrng_device.Scenario.t;  (** The schedule itself. *)
+  periods : int;   (** Jitter samples to stream (run length). *)
+  divisor : int;   (** Sampler divisor (output bit every [divisor]
+                       periods of the sampled ring). *)
+  expected : string;  (** One-line expected outcome, for reports. *)
+}
+(** One named workload. *)
+
+val default_periods : int
+(** Run length shared by the stock entries (2^22 periods). *)
+
+val default_divisor : int
+(** Sampler divisor shared by the stock entries (1000): the detuning
+    beat then outruns the sampling-phase diffusion by an order of
+    magnitude, so a calm run's RCT false-alarm baseline is zero. *)
+
+val fault_onset : int
+(** Period at which the stock faults switch on (a whole number of
+    chart windows into the run). *)
+
+val fault_duration : int
+(** Length of the stock transient fault block, periods. *)
+
+val all : unit -> entry list
+(** The full matrix, in presentation order (11 scenarios). *)
+
+val names : unit -> string list
+(** Scenario names, in the same order as {!all}. *)
+
+val find : string -> entry option
+(** Look an entry up by scenario name. *)

@@ -84,6 +84,40 @@ let chart_tests =
         M.Control_chart.cusum_reset c;
         Testkit.check_false "reset clears" (M.Control_chart.cusum_crossed c);
         Testkit.check_abs ~tol:1e-12 "sums zeroed" 0.0 (M.Control_chart.cusum_pos c));
+    Testkit.case "EWMA reset, clear_crossed and decay" (fun () ->
+        let e = M.Control_chart.ewma_create ~mean:2.0 ~sigma:1.0 () in
+        ignore (M.Control_chart.ewma_feed e 50.0);
+        Testkit.check_true "crossed" (M.Control_chart.ewma_crossed e);
+        let v = M.Control_chart.ewma_value e in
+        M.Control_chart.ewma_clear_crossed e;
+        Testkit.check_false "flag cleared" (M.Control_chart.ewma_crossed e);
+        Testkit.check_abs ~tol:1e-12 "statistic kept" v
+          (M.Control_chart.ewma_value e);
+        M.Control_chart.ewma_decay e ~keep:0.5;
+        (* Departure from the in-control mean halves. *)
+        Testkit.check_abs ~tol:1e-12 "decayed halfway"
+          (2.0 +. (0.5 *. (v -. 2.0)))
+          (M.Control_chart.ewma_value e);
+        M.Control_chart.ewma_reset e;
+        Testkit.check_abs ~tol:1e-12 "reset to mean" 2.0
+          (M.Control_chart.ewma_value e);
+        Alcotest.check_raises "decay rejects keep > 1"
+          (Invalid_argument "Control_chart.ewma_decay: keep outside [0,1]")
+          (fun () -> M.Control_chart.ewma_decay e ~keep:1.5));
+    Testkit.case "CUSUM clear_crossed and decay" (fun () ->
+        let c = M.Control_chart.cusum_create ~mean:0.0 ~sigma:1.0 () in
+        ignore (M.Control_chart.cusum_feed c 50.0);
+        Testkit.check_true "crossed" (M.Control_chart.cusum_crossed c);
+        let s = M.Control_chart.cusum_pos c in
+        M.Control_chart.cusum_clear_crossed c;
+        Testkit.check_false "flag cleared" (M.Control_chart.cusum_crossed c);
+        Testkit.check_abs ~tol:1e-12 "sum kept" s (M.Control_chart.cusum_pos c);
+        M.Control_chart.cusum_decay c ~keep:0.25;
+        Testkit.check_abs ~tol:1e-12 "sum quartered" (0.25 *. s)
+          (M.Control_chart.cusum_pos c);
+        Alcotest.check_raises "decay rejects negative keep"
+          (Invalid_argument "Control_chart.cusum_decay: keep outside [0,1]")
+          (fun () -> M.Control_chart.cusum_decay c ~keep:(-0.1)));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -295,6 +329,45 @@ let monitor_tests =
           (List.exists
              (fun (r : M.Verdict.reason) -> r.code = "independence")
              s.verdict.reasons));
+    Testkit.case "fail-safe recovery walks the verdict back to ok" (fun () ->
+        let mon =
+          M.Monitor.create { (test_config ()) with recovery_windows = 2 }
+        in
+        let rng = Testkit.rng ~seed:21L () in
+        feed_white mon rng ~samples:(1 lsl 16) ~sigma:1e-12;
+        feed_fair_bits mon rng ~bits:2048;
+        Testkit.check_true "healthy before the burst"
+          ((M.Monitor.snapshot mon).verdict.status = M.Verdict.Ok);
+        for _ = 1 to 1024 do
+          M.Monitor.feed_bit mon true
+        done;
+        let s = M.Monitor.snapshot mon in
+        Testkit.check_true "burst degrades" (s.verdict.status <> M.Verdict.Ok);
+        Testkit.check_true "cusum latched" s.cusum_crossed;
+        (* A clean tail: the de-escalation streaks forgive the charts
+           one level at a time until the verdict is ok again. *)
+        feed_fair_bits mon rng ~bits:4096;
+        let s = M.Monitor.snapshot mon in
+        Testkit.check_true "verdict recovered" (s.verdict.status = M.Verdict.Ok);
+        Testkit.check_true "de-escalations granted" (s.recoveries >= 1);
+        Testkit.check_false "charts forgiven"
+          (s.ewma_crossed || s.cusum_crossed));
+    Testkit.case "recovery_windows = 0 disables de-escalation" (fun () ->
+        let mon =
+          M.Monitor.create { (test_config ()) with recovery_windows = 0 }
+        in
+        let rng = Testkit.rng ~seed:22L () in
+        feed_white mon rng ~samples:(1 lsl 16) ~sigma:1e-12;
+        feed_fair_bits mon rng ~bits:1024;
+        for _ = 1 to 1024 do
+          M.Monitor.feed_bit mon true
+        done;
+        feed_fair_bits mon rng ~bits:4096;
+        let s = M.Monitor.snapshot mon in
+        Testkit.check_true "still latched" (s.cusum_crossed);
+        Testkit.check_true "never forgiven" (s.recoveries = 0);
+        Testkit.check_true "verdict stays non-ok"
+          (s.verdict.status <> M.Verdict.Ok));
     Testkit.case "health JSON round-trips and carries the verdict" (fun () ->
         let mon = M.Monitor.create (test_config ()) in
         let rng = Testkit.rng ~seed:9L () in
@@ -394,6 +467,36 @@ let http_tests =
             in
             Testkit.check_true "non-GET 405"
               (Testkit.contains ~needle:"HTTP/1.1 405" post)));
+    Testkit.case "hardened edges: 400, 431 and 408" (fun () ->
+        let srv =
+          M.Http.start ~read_timeout:0.3
+            ~handler:(fun path ->
+              if path = "/ok" then Some (M.Http.response "fine") else None)
+            ()
+        in
+        Fun.protect
+          ~finally:(fun () -> M.Http.stop srv)
+          (fun () ->
+            let port = M.Http.port srv in
+            let malformed = http_request port "BOGUS\r\n\r\n" in
+            Testkit.check_true "malformed line 400"
+              (Testkit.contains ~needle:"HTTP/1.1 400" malformed);
+            let huge =
+              http_request port
+                ("GET /" ^ String.make 5000 'a' ^ " HTTP/1.1\r\n\r\n")
+            in
+            Testkit.check_true "oversized line 431"
+              (Testkit.contains ~needle:"HTTP/1.1 431" huge);
+            (* A stalled client: request line never terminated, the
+               server must answer 408 after read_timeout instead of
+               hanging its only listener. *)
+            let stalled = http_request port "GET /ok" in
+            Testkit.check_true "stalled client 408"
+              (Testkit.contains ~needle:"HTTP/1.1 408" stalled);
+            (* And the server is still alive for the next client. *)
+            let after = http_get port "/ok" in
+            Testkit.check_true "listener survives"
+              (Testkit.contains ~needle:"HTTP/1.1 200 OK" after)));
   ]
 
 let () =

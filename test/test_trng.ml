@@ -281,7 +281,44 @@ let attack_tests =
         Alcotest.check_raises "1.0"
           (Invalid_argument "Attack.frequency_injection: lock_strength outside [0,1)")
           (fun () ->
-            ignore (Attack.frequency_injection ~lock_strength:1.0 (Ptrng_osc.Pair.paper_pair ()))));
+            ignore (Attack.frequency_injection ~lock_strength:1.0 (Ptrng_osc.Pair.paper_pair ())));
+        Alcotest.check_raises "negative lock"
+          (Invalid_argument "Attack.frequency_injection: lock_strength outside [0,1)")
+          (fun () ->
+            ignore
+              (Attack.frequency_injection ~lock_strength:(-0.1)
+                 (Ptrng_osc.Pair.paper_pair ())));
+        Alcotest.check_raises "zero factor"
+          (Invalid_argument "Attack.thermal_quench: factor outside (0,1]")
+          (fun () ->
+            ignore (Attack.thermal_quench ~factor:0.0 (Ptrng_osc.Pair.paper_pair ())));
+        Alcotest.check_raises "factor above one"
+          (Invalid_argument "Attack.thermal_quench: factor outside (0,1]")
+          (fun () ->
+            ignore (Attack.thermal_quench ~factor:1.5 (Ptrng_osc.Pair.paper_pair ()))));
+    Testkit.case "quench shrinks the fitted thermal coefficient" (fun () ->
+        (* The statistical face of the attack: the variance-curve fit
+           over the quenched pair's relative jitter must recover a
+           linear coefficient close to factor x the calibrated one. *)
+        let fitted_a pair seed =
+          let n = 1 lsl 15 in
+          let p1, p2 = Ptrng_osc.Pair.simulate (Testkit.rng ~seed ()) pair ~n in
+          let jitter = Array.init n (fun i -> p1.(i) -. p2.(i)) in
+          let ns = Ptrng_measure.Variance_curve.log2_grid ~n_min:4 ~n_max:256 in
+          let curve =
+            Ptrng_measure.Variance_curve.of_jitter
+              ~f0:Ptrng_osc.Pair.paper_f0 ~ns jitter
+          in
+          (Ptrng_measure.Fit.fit ~f0:Ptrng_osc.Pair.paper_f0 curve).a
+        in
+        let clean = fitted_a (Ptrng_osc.Pair.paper_pair ()) 31L in
+        let quenched =
+          fitted_a
+            (Attack.thermal_quench ~factor:0.05 (Ptrng_osc.Pair.paper_pair ()))
+            31L
+        in
+        Testkit.check_true "a collapsed with the quench"
+          (quenched < 0.2 *. clean));
   ]
 
 let () =
