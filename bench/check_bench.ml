@@ -31,6 +31,13 @@
                          snapshots from before the scenario engine are
                          exempt.  A scenario section that IS present is
                          always validated, flag or not.
+   --require-postmortem  fail if the report lacks a postmortem section
+                         (same grandfathering rule).  A postmortem
+                         section that IS present is always gated: the
+                         flight recorder's capture overhead must stay
+                         within 0.2 words per sample and per bit in
+                         both directions, and a calm feed must freeze
+                         zero incidents.
    --warn-only           print regressions but exit 0 (soft gate for
                          noisy 1-core CI runners).
 
@@ -61,6 +68,7 @@ type opts = {
   max_alloc_regression_pct : float option;
   max_fig7_bytes_per_period : float option;
   require_scenario : bool;
+  require_postmortem : bool;
   warn_only : bool;
 }
 
@@ -75,6 +83,7 @@ let parse_args () =
         max_alloc_regression_pct = None;
         max_fig7_bytes_per_period = None;
         require_scenario = false;
+        require_postmortem = false;
         warn_only = false;
       }
   in
@@ -108,6 +117,9 @@ let parse_args () =
       go rest
     | "--require-scenario" :: rest ->
       opts := { !opts with require_scenario = true };
+      go rest
+    | "--require-postmortem" :: rest ->
+      opts := { !opts with require_postmortem = true };
       go rest
     | "--warn-only" :: rest ->
       opts := { !opts with warn_only = true };
@@ -245,6 +257,65 @@ let validate_scenario ~path ~required report =
       "check_bench: %s scenario ok (%.0f scenarios, %.0f detected, %.0f \
        recovered)\n"
       path scenarios detected recovered
+
+(* ---------------- postmortem section ---------------- *)
+
+(* The postmortem section measures the flight recorder's marginal
+   capture cost as a delta against a bare monitor over the same calm
+   feed.  The recorder's contract is zero allocation per sample, so
+   the words/sample budget is a hair above zero — enough for GC noise,
+   tight enough that a boxing regression on the capture hot path fails
+   the build.  The bound is two-sided (Float.abs): a large negative
+   delta means the measurement itself broke, which must not pass as
+   "zero overhead".  A calm feed that freezes incidents means the
+   trigger wiring regressed. *)
+let postmortem_overhead_budget = 0.2
+
+let validate_postmortem ~path ~required report =
+  let sections =
+    match get "report" report "sections" with
+    | Json.List l -> l
+    | _ -> fail "sections is not a list"
+  in
+  match
+    List.find_opt
+      (fun s -> Json.member "name" s = Some (Json.String "postmortem"))
+      sections
+  with
+  | None ->
+    if required then fail "section postmortem missing (--require-postmortem)"
+    else
+      Printf.printf
+        "check_bench: %s has no postmortem section (pre-flight-recorder \
+         snapshot)\n"
+        path
+  | Some s ->
+    let results = get "postmortem" s "results" in
+    let ctx = "postmortem.results" in
+    if not (number ctx results "jitter_samples" >= 1.0) then
+      fail "postmortem.jitter_samples must be >= 1";
+    if not (number ctx results "bits" >= 1.0) then
+      fail "postmortem.bits must be >= 1";
+    let jitter_overhead = number ctx results "jitter_overhead_words_per_sample" in
+    if Float.abs jitter_overhead > postmortem_overhead_budget then
+      fail
+        "flight-recorder capture costs %.3f words/jitter sample (budget \
+         ±%.1f) — the zero-allocation capture path regressed"
+        jitter_overhead postmortem_overhead_budget;
+    let bit_overhead = number ctx results "bit_overhead_words_per_bit" in
+    if Float.abs bit_overhead > postmortem_overhead_budget then
+      fail
+        "flight-recorder capture costs %.3f words/bit (budget ±%.1f) — the \
+         zero-allocation capture path regressed"
+        bit_overhead postmortem_overhead_budget;
+    let incidents = number ctx results "incidents" in
+    if incidents <> 0.0 then
+      fail "calm bench feed froze %.0f incidents — the trigger wiring regressed"
+        incidents;
+    Printf.printf
+      "check_bench: %s postmortem ok (%+.3f words/sample, %+.3f words/bit, 0 \
+       incidents)\n"
+      path jitter_overhead bit_overhead
 
 (* ---------------- hot-path allocation budget ---------------- *)
 
@@ -384,6 +455,7 @@ let () =
   let report = read_json opts.report in
   validate_report opts.report report;
   validate_scenario ~path:opts.report ~required:opts.require_scenario report;
+  validate_postmortem ~path:opts.report ~required:opts.require_postmortem report;
   Option.iter
     (fun limit -> check_bytes_per_period ~path:opts.report ~limit report)
     opts.max_fig7_bytes_per_period;

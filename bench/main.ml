@@ -603,6 +603,82 @@ let section_scenario () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* POSTMORTEM: flight-recorder capture overhead                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The recorder promises zero allocation per captured sample, so the
+   figure of merit is a DELTA: the same calm feed through two identical
+   monitors, one with a flight recorder attached, one bare.  Everything
+   the monitor itself allocates (estimator growth, window closes)
+   cancels, leaving the recorder's marginal words/sample — which the
+   check_bench gate pins near zero in both directions.  A calm feed
+   must also freeze no incidents. *)
+let section_postmortem () =
+  banner "POSTMORTEM — flight-recorder capture overhead (delta vs bare monitor)";
+  let module M = Ptrng_monitor in
+  let jitter_n = if smoke then 1 lsl 16 else if quick then 1 lsl 19 else 1 lsl 21 in
+  let bits_n = if smoke then 1 lsl 13 else 1 lsl 16 in
+  let rng = Ptrng_prng.Rng.create ~seed:2014L () in
+  let jit =
+    Array.init jitter_n (fun _ -> (Ptrng_prng.Rng.float rng -. 0.5) *. 1e-11)
+  in
+  let bits = Array.init bits_n (fun _ -> Ptrng_prng.Rng.bool rng) in
+  let chunk = 8192 in
+  let buf = Float.Array.create chunk in
+  let feed_jitter mon =
+    let pos = ref 0 in
+    while !pos < jitter_n do
+      let len = min chunk (jitter_n - !pos) in
+      for i = 0 to len - 1 do
+        Float.Array.unsafe_set buf i (Array.unsafe_get jit (!pos + i))
+      done;
+      M.Monitor.feed_jitter_chunk mon buf ~len;
+      pos := !pos + len
+    done
+  in
+  let alloc f =
+    let w0 = Gc.minor_words () in
+    f ();
+    Gc.minor_words () -. w0
+  in
+  let bare = M.Monitor.create (M.Monitor.default_config ~f0:paper_f0) in
+  let wj_bare = alloc (fun () -> feed_jitter bare) in
+  let wb_bare = alloc (fun () -> M.Monitor.feed_bits bare bits) in
+  let recorded = M.Monitor.create (M.Monitor.default_config ~f0:paper_f0) in
+  let recorder =
+    M.Flight_recorder.create
+      ~provenance:
+        {
+          M.Flight_recorder.kind = "bench";
+          workload = "calm";
+          seed = 2014;
+          divisor = 1000;
+          chunk;
+          flicker_block = chunk;
+        }
+      ()
+  in
+  M.Monitor.attach_recorder recorded recorder;
+  let wj_rec = alloc (fun () -> feed_jitter recorded) in
+  let wb_rec = alloc (fun () -> M.Monitor.feed_bits recorded bits) in
+  let per value n = value /. float_of_int n in
+  let jitter_overhead = per (wj_rec -. wj_bare) jitter_n in
+  let bit_overhead = per (wb_rec -. wb_bare) bits_n in
+  let incidents = M.Flight_recorder.incident_count recorder in
+  Printf.printf "capture overhead  %+6.3f words/sample  (%d jitter samples)\n"
+    jitter_overhead jitter_n;
+  Printf.printf "capture overhead  %+6.3f words/bit     (%d bits)\n"
+    bit_overhead bits_n;
+  Printf.printf "incidents frozen on the calm feed: %d\n" incidents;
+  [
+    ("jitter_samples", Tm.Json.Int jitter_n);
+    ("bits", Tm.Json.Int bits_n);
+    ("jitter_overhead_words_per_sample", Tm.Json.num jitter_overhead);
+    ("bit_overhead_words_per_bit", Tm.Json.num bit_overhead);
+    ("incidents", Tm.Json.Int incidents);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel kernel benchmarks                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -810,6 +886,7 @@ let () =
   run_section "variance_curve" section_variance_curve;
   run_section "monitor" section_monitor;
   run_section "scenario" section_scenario;
+  run_section "postmortem" section_postmortem;
   let kernels = if no_perf then [] else Tm.Span.with_ ~name:"perf" section_perf in
   let total_s = Unix.gettimeofday () -. t0 in
   Printf.printf "\ntotal bench time: %.1f s\n" total_s;

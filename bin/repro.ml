@@ -387,22 +387,41 @@ let run_monitor seed duration periods attack strength divisor listen refresh
     | other -> failwith (Printf.sprintf "unknown attack %S" other)
   in
   let mon = M.Monitor.create (M.Monitor.default_config ~f0:paper_f0) in
-  let server =
-    match listen with
-    | None -> None
-    | Some port ->
-      let s = M.Monitor.serve ~port mon in
-      Printf.printf "monitor: serving %s/metrics and %s/health\n%!"
-        (M.Http.url s) (M.Http.url s);
-      Some s
-  in
-  let rng = make_rng seed in
   (* One continuous streamed trajectory: the flicker phase and the
      sampler's detuning beat carry across chunk boundaries (the old
      batch loop restarted the simulation each chunk and needed long
      chunks to balance the beat), and the jitter path reuses two fill
      buffers instead of allocating five arrays per chunk. *)
   let chunk = 262144 in
+  (* The flight recorder rides along on every monitor run: the
+     provenance records exactly how to rebuild this stream, so a frozen
+     incident can be replayed offline with `repro postmortem`. *)
+  let recorder =
+    M.Flight_recorder.create
+      ~provenance:
+        {
+          M.Flight_recorder.kind = "monitor";
+          workload =
+            (if attack = "none" then "none"
+             else Printf.sprintf "%s:%g" attack strength);
+          seed;
+          divisor;
+          chunk;
+          flicker_block = chunk;
+        }
+      ()
+  in
+  M.Monitor.attach_recorder mon recorder;
+  let server =
+    match listen with
+    | None -> None
+    | Some port ->
+      let s = M.Monitor.serve ~port mon in
+      Printf.printf "monitor: serving %s/metrics, %s/health and %s/incidents\n%!"
+        (M.Http.url s) (M.Http.url s) (M.Http.url s);
+      Some s
+  in
+  let rng = make_rng seed in
   let now () = Ptrng_telemetry.Clock.now () in
   let deadline = now () +. duration in
   let processed = ref 0 in
@@ -453,7 +472,9 @@ let run_monitor seed duration periods attack strength divisor listen refresh
   if dashboard then print_string M.Dashboard.clear_screen;
   print_header "Live entropy-health observatory — final state";
   print_string (M.Dashboard.render ~color:dashboard s);
-  Printf.printf "\nverdict: %s\n" (M.Verdict.status_string s.verdict.status);
+  Printf.printf "\nincidents captured: %d\n"
+    (M.Flight_recorder.incident_count recorder);
+  Printf.printf "verdict: %s\n" (M.Verdict.status_string s.verdict.status);
   Option.iter M.Http.stop server;
   match s.verdict.status with
   | M.Verdict.Ok -> 0
@@ -464,8 +485,8 @@ let run_monitor seed duration periods attack strength divisor listen refresh
 (* scenario                                                         *)
 (* ---------------------------------------------------------------- *)
 
-let run_scenario names all list_only seed json_out expect_within expect_recover
-    expect_lie_r expect_clean =
+let run_scenario names all list_only seed json_out incidents_out
+    expect_within expect_recover expect_lie_r expect_clean expect_incidents =
   let module S = Ptrng_scenario in
   let module Sc = Ptrng_device.Scenario in
   if list_only then begin
@@ -521,6 +542,10 @@ let run_scenario names all list_only seed json_out expect_within expect_recover
                          recoveries)\n"
             (Ptrng_monitor.Verdict.status_string r.final_status)
             r.final_r r.final_k r.bits r.recoveries;
+          if r.incidents <> [] then
+            Printf.printf "  incidents: %d frozen bundle%s\n"
+              (List.length r.incidents)
+              (if List.length r.incidents = 1 then "" else "s");
           r)
         entries
     in
@@ -533,6 +558,24 @@ let run_scenario names all list_only seed json_out expect_within expect_recover
       output_char oc '\n';
       close_out oc;
       Printf.printf "\nwrote %s\n" path);
+    (match incidents_out with
+    | None -> ()
+    | Some dir ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      List.iter
+        (fun (r : S.Runner.result) ->
+          List.iteri
+            (fun i bundle ->
+              let path =
+                Filename.concat dir (Printf.sprintf "%s-%d.json" r.name i)
+              in
+              let oc = open_out path in
+              output_string oc (Ptrng_telemetry.Json.to_string_pretty bundle);
+              output_char oc '\n';
+              close_out oc;
+              Printf.printf "wrote %s\n" path)
+            r.incidents)
+        results);
     (* Expectation gates: applied to every selected scenario, so they
        are meant for single-scenario invocations (the smoke gate). *)
     let failures = ref 0 in
@@ -562,6 +605,12 @@ let run_scenario names all list_only seed json_out expect_within expect_recover
           if not (d.lie_margin_r >= m) then
             fail "FAIL %s: r_N lie margin %.4f below the required %.4f\n"
               r.name d.lie_margin_r m);
+        (match expect_incidents with
+        | None -> ()
+        | Some n ->
+          let got = List.length r.incidents in
+          if got <> n then
+            fail "FAIL %s: %d incidents frozen, expected %d\n" r.name got n);
         if expect_clean then begin
           (match d.detected with
           | None -> ()
@@ -580,6 +629,42 @@ let run_scenario names all list_only seed json_out expect_within expect_recover
       0
     end
   end
+
+(* ---------------------------------------------------------------- *)
+(* postmortem                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let run_postmortem file json_out no_color =
+  let module S = Ptrng_scenario in
+  match S.Postmortem.load file with
+  | Error e ->
+    Printf.eprintf "repro postmortem: %s\n" e;
+    1
+  | Ok bundle ->
+    print_header (Printf.sprintf "Post-mortem replay — %s" file);
+    print_string (S.Postmortem.timeline ~color:(not no_color) bundle);
+    let v : S.Postmortem.verdict = S.Postmortem.verify bundle in
+    Printf.printf "\nsegment check (skip + refill) : %s\n"
+      (if v.segment_match then "match" else "MISMATCH");
+    Printf.printf "full replay (bundle bytes)    : %s\n"
+      (if v.bundle_match then "match" else "MISMATCH");
+    List.iter (fun e -> Printf.printf "  %s\n" e) v.errors;
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Ptrng_telemetry.Json.to_string_pretty (S.Postmortem.report_json ~file v));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+    if v.segment_match && v.bundle_match then begin
+      Printf.printf
+        "replay contract holds: incident %d (%s/%s) reproduces bit-identically\n"
+        v.id v.kind v.workload;
+      0
+    end
+    else 1
 
 (* ---------------------------------------------------------------- *)
 (* selftest                                                         *)
@@ -999,14 +1084,71 @@ let scenario_cmd =
       & info [ "expect-clean" ]
           ~doc:"Fail on any detection, false alarm or non-ok final verdict.")
   in
+  let incidents_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "incidents-out" ] ~docv:"DIR"
+          ~doc:
+            "Write every frozen ptrng-incident/1 bundle to \
+             $(docv)/<scenario>-<id>.json (replay them with $(b,repro \
+             postmortem)).")
+  in
+  let expect_incidents_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "expect-incidents" ] ~docv:"N"
+          ~doc:
+            "Fail unless every selected run freezes exactly $(docv) flight-\
+             recorder incidents.")
+  in
   Cmd.v (Cmd.info "scenario" ~doc)
     (instrument "scenario"
        Term.(
-         const (fun names all list seed json w rec_ lie clean () ->
-             run_scenario names all list seed json w rec_ lie clean)
-         $ names_arg $ all_arg $ list_arg $ seed_arg $ json_arg
+         const (fun names all list seed json inc w rec_ lie clean exp_inc () ->
+             run_scenario names all list seed json inc w rec_ lie clean exp_inc)
+         $ names_arg $ all_arg $ list_arg $ seed_arg $ json_arg $ incidents_arg
          $ expect_within_arg $ expect_recover_arg $ expect_lie_arg
-         $ expect_clean_arg))
+         $ expect_clean_arg $ expect_incidents_arg))
+
+let postmortem_cmd =
+  let doc =
+    "Load a frozen ptrng-incident/1 flight-recorder bundle, render the \
+     annotated incident timeline, and verify the deterministic replay \
+     contract: fast-forward the recorded stream with Pair.skip and compare \
+     the captured raw segment bit for bit, then re-run the whole pipeline \
+     from the recorded seed and check the re-frozen bundle is byte-identical \
+     (at any $(b,PTRNG_DOMAINS)).  Exits 1 on any mismatch."
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"INCIDENT"
+          ~doc:
+            "Incident bundle (JSON) to replay, as written by $(b,repro \
+             scenario --incidents-out) or fetched from GET /incidents/<n>.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the ptrng-postmortem/1 verification report (JSON) to \
+             $(docv).")
+  in
+  let no_color_arg =
+    Arg.(
+      value & flag
+      & info [ "no-color" ] ~doc:"Disable ANSI colors in the timeline.")
+  in
+  Cmd.v (Cmd.info "postmortem" ~doc)
+    (instrument "postmortem"
+       Term.(
+         const (fun file json nc () -> run_postmortem file json nc)
+         $ file_arg $ json_arg $ no_color_arg))
 
 let selftest_cmd =
   let doc = "Check eq. 11 against numeric integration of eq. 9." in
@@ -1020,6 +1162,7 @@ let main_cmd =
   in
   Cmd.group (Cmd.info "repro" ~version:"1.0.0" ~doc)
     [ fig7_cmd; extract_cmd; entropy_cmd; scaling_cmd; online_cmd; monitor_cmd;
-      scenario_cmd; trng_cmd; assess_cmd; allan_cmd; design_cmd; selftest_cmd ]
+      scenario_cmd; postmortem_cmd; trng_cmd; assess_cmd; allan_cmd; design_cmd;
+      selftest_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

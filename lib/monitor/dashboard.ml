@@ -65,6 +65,19 @@ let render ?(color = true) (s : Monitor.snapshot) =
     (if s.ewma_crossed then " CROSSED" else "")
     s.cusum_pos s.cusum_neg
     (if s.cusum_crossed then " CROSSED" else "");
+  line "  recoveries %d   windows since alarm %d %s" s.recoveries
+    s.windows_since_alarm
+    (spark s.recent_since_alarm);
+  if Array.length s.transitions > 0 then begin
+    line "  verdict history:";
+    Array.iter
+      (fun (tr : Monitor.transition) ->
+        line "    window %d: %s -> %s (period %d, bit %d)" tr.tr_window
+          (Verdict.status_string tr.tr_from)
+          (Verdict.status_string tr.tr_to)
+          tr.tr_period tr.tr_bit)
+      s.transitions
+  end;
   List.iter
     (fun (r : Verdict.reason) -> line "  ! %s: %s" r.code r.detail)
     s.verdict.Verdict.reasons;

@@ -1,10 +1,11 @@
 (** Terminal rendering of a monitor {!Monitor.snapshot}.
 
     A refreshing text dashboard for [repro monitor]: verdict banner,
-    live r_N against its threshold, alarm totals, control-chart state
-    and Unicode sparklines of the recent trends.  Pure string
-    construction — the caller owns the terminal (clearing, refresh
-    cadence). *)
+    live r_N against its threshold, alarm totals, control-chart state,
+    Unicode sparklines of the recent trends, the fail-safe recovery
+    counter with a windows-since-last-alarm sparkline, and the verdict
+    transition history.  Pure string construction — the caller owns
+    the terminal (clearing, refresh cadence). *)
 
 val spark : float array -> string
 (** Unicode sparkline of the samples, min-max normalised (so shape,

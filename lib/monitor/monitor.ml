@@ -56,6 +56,14 @@ let default_config ~f0 =
     recovery_windows = 64;
   }
 
+type transition = {
+  tr_window : int;
+  tr_period : int;
+  tr_bit : int;
+  tr_from : Verdict.status;
+  tr_to : Verdict.status;
+}
+
 type t = {
   cfg : config;
   lock : Mutex.t;
@@ -78,6 +86,11 @@ type t = {
   mutable since_fit : int;
   mutable clean_streak : int;
   mutable recoveries : int;
+  mutable last_status : Verdict.status;
+  mutable transitions : transition list; (* newest first, capped at history *)
+  mutable windows_since_alarm : int;
+  recent_since_alarm : Window.t;
+  mutable recorder : Flight_recorder.t option;
 }
 
 let g_r = T.Registry.Gauge.v ~help:"Live independence ratio r_N at the judged N" "ptrng_monitor_r_n"
@@ -150,9 +163,96 @@ let create cfg =
     since_fit = 0;
     clean_streak = 0;
     recoveries = 0;
+    last_status = Verdict.Ok;
+    transitions = [];
+    windows_since_alarm = 0;
+    recent_since_alarm = Window.create ~capacity:cfg.history;
+    recorder = None;
   }
 
 let config t = t.cfg
+
+(* Round-trippable configuration, embedded in incident bundles so a
+   post-mortem replay rebuilds an identically tuned monitor. *)
+let config_json c =
+  let open T.Json in
+  Obj
+    [
+      ("f0", num c.f0);
+      ("ns", List (Array.to_list (Array.map (fun n -> Int n) c.ns)));
+      ("realizations", Int c.realizations);
+      ("min_realizations", Int c.min_realizations);
+      ("confidence", num c.confidence);
+      ("judge_n", Int c.judge_n);
+      ("fit_stride", Int c.fit_stride);
+      ("h_claim", num c.h_claim);
+      ("sp_alpha_exp", Int c.sp_alpha_exp);
+      ("sp_window", Int c.sp_window);
+      ("bit_window", Int c.bit_window);
+      ("ais31_block", Int c.ais31_block);
+      ("ais31_alpha_exp", Int c.ais31_alpha_exp);
+      ("ewma_lambda", num c.ewma_lambda);
+      ("ewma_limit", num c.ewma_limit);
+      ("cusum_k", num c.cusum_k);
+      ("cusum_h", num c.cusum_h);
+      ("chart_sigma", num c.chart_sigma);
+      ("entropy_floor", num c.entropy_floor);
+      ("entropy_fail", num c.entropy_fail);
+      ("history", Int c.history);
+      ("recovery_windows", Int c.recovery_windows);
+    ]
+
+let config_of_json j =
+  let open T.Json in
+  try
+    let geti k =
+      match member k j with Some (Int n) -> n | _ -> raise Exit
+    in
+    let getf k =
+      match Option.bind (member k j) to_float with
+      | Some f -> f
+      | None -> raise Exit
+    in
+    let ns =
+      match member "ns" j with
+      | Some (List l) ->
+        Array.of_list
+          (List.map (function Int n -> n | _ -> raise Exit) l)
+      | _ -> raise Exit
+    in
+    Some
+      {
+        f0 = getf "f0";
+        ns;
+        realizations = geti "realizations";
+        min_realizations = geti "min_realizations";
+        confidence = getf "confidence";
+        judge_n = geti "judge_n";
+        fit_stride = geti "fit_stride";
+        h_claim = getf "h_claim";
+        sp_alpha_exp = geti "sp_alpha_exp";
+        sp_window = geti "sp_window";
+        bit_window = geti "bit_window";
+        ais31_block = geti "ais31_block";
+        ais31_alpha_exp = geti "ais31_alpha_exp";
+        ewma_lambda = getf "ewma_lambda";
+        ewma_limit = getf "ewma_limit";
+        cusum_k = getf "cusum_k";
+        cusum_h = getf "cusum_h";
+        chart_sigma = getf "chart_sigma";
+        entropy_floor = getf "entropy_floor";
+        entropy_fail = getf "entropy_fail";
+        history = geti "history";
+        recovery_windows = geti "recovery_windows";
+      }
+  with Exit -> None
+
+let attach_recorder t r =
+  Mutex.protect t.lock (fun () ->
+      t.recorder <- Some r;
+      Flight_recorder.set_monitor_config r (config_json t.cfg))
+
+let recorder t = Mutex.protect t.lock (fun () -> t.recorder)
 
 let r_judge_of t =
   match t.est with
@@ -161,11 +261,14 @@ let r_judge_of t =
 
 (* Verdict rules (docs/MONITORING.md): each watched statistic
    contributes a reason; min-entropy collapse — or both charts
-   alarming at once — escalates to failing. *)
-let compute_verdict t =
+   alarming at once — escalates to failing.  [est] is a parameter so a
+   wall-clock-cadence snapshot can judge a locally recomputed fit
+   without perturbing the stride-driven trajectory the flight recorder
+   captures. *)
+let compute_verdict t ~(est : Rn_estimator.estimate option) =
   let reasons = ref [] in
   let add code detail = reasons := { Verdict.code; detail } :: !reasons in
-  (match t.est with
+  (match est with
   | None -> ()
   | Some e ->
     let r = Rn_estimator.r_of_fit e.fit t.cfg.judge_n in
@@ -200,10 +303,61 @@ let compute_verdict t =
       r.code = "min-entropy-collapse"
       || (both_charts && (r.code = "ewma" || r.code = "cusum")))
 
-let publish_verdict t =
-  let v = compute_verdict t in
-  T.Registry.Gauge.set g_verdict (float_of_int (Verdict.severity v.status));
-  v
+let publish_verdict (v : Verdict.t) =
+  T.Registry.Gauge.set g_verdict (float_of_int (Verdict.severity v.status))
+
+let reason_pairs (v : Verdict.t) =
+  List.map (fun (r : Verdict.reason) -> (r.Verdict.code, r.Verdict.detail)) v.reasons
+
+(* Verdict-transition bookkeeping: remember the crossing for the
+   dashboard, hand it to the flight recorder, and arm an incident
+   capture when the severity went up (de-escalations are captured by
+   the recovery path in [close_window]). *)
+let note_verdict t (v : Verdict.t) =
+  if v.status <> t.last_status then begin
+    let from_s = t.last_status and to_s = v.status in
+    let at_period = Rn_estimator.samples t.rn in
+    let tr =
+      {
+        tr_window = t.windows;
+        tr_period = at_period;
+        tr_bit = t.bits;
+        tr_from = from_s;
+        tr_to = to_s;
+      }
+    in
+    t.transitions <-
+      tr :: List.filteri (fun i _ -> i < t.cfg.history - 1) t.transitions;
+    t.last_status <- to_s;
+    (match t.recorder with
+    | None -> ()
+    | Some r ->
+      Flight_recorder.record_transition r ~at_window:t.windows ~at_period
+        ~at_bit:t.bits
+        ~severity_from:(Verdict.severity from_s)
+        ~severity_to:(Verdict.severity to_s);
+      if Verdict.severity to_s > Verdict.severity from_s then
+        Flight_recorder.note_trigger r ~direction:"escalation"
+          ~severity_from:(Verdict.severity from_s)
+          ~severity_to:(Verdict.severity to_s) ~at_period ~at_bit:t.bits
+          ~at_window:t.windows ~reasons:(reason_pairs v));
+    T.Mark.emit "verdict.transition"
+      ~args:
+        [
+          ("from", T.Json.String (Verdict.status_string from_s));
+          ("to", T.Json.String (Verdict.status_string to_s));
+          ("window", T.Json.Int t.windows);
+        ];
+    T.Event_log.emit ~kind:"monitor"
+      [
+        ("what", T.Json.String "transition");
+        ("from", T.Json.String (Verdict.status_string from_s));
+        ("to", T.Json.String (Verdict.status_string to_s));
+        ("window", T.Json.Int t.windows);
+        ("periods", T.Json.Int at_period);
+        ("bits", T.Json.Int t.bits);
+      ]
+  end
 
 let refresh_fit t =
   t.est <- Rn_estimator.estimate ~confidence:t.cfg.confidence t.rn;
@@ -217,7 +371,9 @@ let refresh_fit t =
     if e.threshold_n < max_int then
       T.Registry.Gauge.set g_threshold (float_of_int e.threshold_n);
     T.Series.record s_r r;
-    ignore (publish_verdict t);
+    let v = compute_verdict t ~est:t.est in
+    publish_verdict v;
+    note_verdict t v;
     T.Event_log.emit ~kind:"monitor"
       [
         ("what", T.Json.String "fit");
@@ -228,6 +384,9 @@ let refresh_fit t =
       ]
 
 let feed_jitter_unlocked t x =
+  (match t.recorder with
+  | Some r -> Flight_recorder.record_jitter r x
+  | None -> ());
   Rn_estimator.feed t.rn x;
   t.since_fit <- t.since_fit + 1;
   if t.since_fit >= t.cfg.fit_stride then begin
@@ -236,6 +395,12 @@ let feed_jitter_unlocked t x =
   end
 
 let close_window t =
+  (* Advance the flight recorder's post-trigger countdown first: an
+     armed capture freezes at the start of a later window close, so
+     the frozen rings hold full windows of post-trigger context. *)
+  (match t.recorder with
+  | Some r -> Flight_recorder.tick_window r
+  | None -> ());
   let w = t.win_bits in
   let alarms = float_of_int t.win_alarms in
   let p_max = float_of_int (max t.win_ones (w - t.win_ones)) /. float_of_int w in
@@ -251,6 +416,10 @@ let close_window t =
   t.windows <- t.windows + 1;
   T.Registry.Counter.incr c_windows;
   if e_alarm || c_alarm then T.Registry.Counter.incr c_chart_alarms;
+  if t.win_alarms = 0 then
+    t.windows_since_alarm <- t.windows_since_alarm + 1
+  else t.windows_since_alarm <- 0;
+  Window.push t.recent_since_alarm (float_of_int t.windows_since_alarm);
   (* Fail-safe recovery: a window is clean when no test alarmed and
      the entropy trend is above the floor.  Cleanliness is judged on
      the raw alarm stream, not on the charts — their lingering level
@@ -264,6 +433,7 @@ let close_window t =
   if clean then t.clean_streak <- t.clean_streak + 1 else t.clean_streak <- 0;
   let ewma_on = Control_chart.ewma_crossed t.ewma in
   let cusum_on = Control_chart.cusum_crossed t.cusum in
+  let recovered = ref false in
   if
     t.cfg.recovery_windows > 0
     && t.clean_streak >= t.cfg.recovery_windows
@@ -276,6 +446,13 @@ let close_window t =
     end;
     t.recoveries <- t.recoveries + 1;
     t.clean_streak <- 0;
+    recovered := true;
+    T.Mark.emit "monitor.recovered"
+      ~args:
+        [
+          ("window", T.Json.Int t.windows);
+          ("recoveries", T.Json.Int t.recoveries);
+        ];
     T.Event_log.emit ~kind:"monitor"
       [
         ("what", T.Json.String "recovered");
@@ -290,7 +467,28 @@ let close_window t =
   T.Series.record s_ewma (Control_chart.ewma_value t.ewma);
   T.Series.record s_cusum (Control_chart.cusum_pos t.cusum);
   T.Series.record s_entropy h;
-  ignore (publish_verdict t);
+  let prev_status = t.last_status in
+  let v = compute_verdict t ~est:t.est in
+  publish_verdict v;
+  (match t.recorder with
+  | Some r ->
+    Flight_recorder.record_window r ~index:t.windows ~alarms:t.win_alarms
+      ~min_entropy:h
+      ~ewma:(Control_chart.ewma_value t.ewma)
+      ~cusum_pos:(Control_chart.cusum_pos t.cusum)
+      ~r_n:(r_judge_of t)
+      ~severity:(Verdict.severity v.status)
+  | None -> ());
+  note_verdict t v;
+  if !recovered then
+    (match t.recorder with
+    | Some r ->
+      Flight_recorder.note_trigger r ~direction:"recovery"
+        ~severity_from:(Verdict.severity prev_status)
+        ~severity_to:(Verdict.severity v.status)
+        ~at_period:(Rn_estimator.samples t.rn)
+        ~at_bit:t.bits ~at_window:t.windows ~reasons:(reason_pairs v)
+    | None -> ());
   T.Event_log.emit ~kind:"monitor"
     [
       ("what", T.Json.String "window");
@@ -305,6 +503,9 @@ let close_window t =
   t.win_alarms <- 0
 
 let feed_bit_unlocked t b =
+  (match t.recorder with
+  | Some r -> Flight_recorder.record_bit r b
+  | None -> ());
   t.bits <- t.bits + 1;
   t.win_bits <- t.win_bits + 1;
   if b then t.win_ones <- t.win_ones + 1;
@@ -323,6 +524,9 @@ let feed_jitter_array t xs =
 
 let feed_jitter_chunk t buf ~len =
   Mutex.protect t.lock (fun () ->
+      (match t.recorder with
+      | Some r -> Flight_recorder.record_jitter_chunk r buf ~len
+      | None -> ());
       Rn_estimator.feed_many t.rn buf ~len;
       t.since_fit <- t.since_fit + len;
       if t.since_fit >= t.cfg.fit_stride then begin
@@ -360,29 +564,43 @@ type snapshot = {
   min_entropy : float;
   clean_streak : int;
   recoveries : int;
+  windows_since_alarm : int;
   recent_r : float array;
   recent_entropy : float array;
   recent_alarms : float array;
+  recent_since_alarm : float array;
+  transitions : transition array;
   verdict : Verdict.t;
 }
 
 let snapshot_unlocked t =
-  t.est <- Rn_estimator.estimate ~confidence:t.cfg.confidence t.rn;
+  (* Pure read: the fit is recomputed locally instead of assigning
+     [t.est], so a wall-clock-cadence dashboard poll cannot perturb
+     the stride-driven verdict trajectory — the property the flight
+     recorder's replay contract depends on. *)
+  let est = Rn_estimator.estimate ~confidence:t.cfg.confidence t.rn in
   let rct_alarms, apt_alarms = Ptrng_sp90b.Health.monitor_alarms t.sp in
   let k_est, threshold_n =
-    match t.est with
+    match est with
     | None -> (nan, max_int)
     | Some e -> (e.k, e.threshold_n)
   in
+  let r_judge =
+    match est with
+    | None -> nan
+    | Some e -> Rn_estimator.r_of_fit e.fit t.cfg.judge_n
+  in
+  let v = compute_verdict t ~est in
+  publish_verdict v;
   {
     t_s = T.Clock.now ();
     periods = Rn_estimator.samples t.rn;
     bits = t.bits;
     windows = t.windows;
-    ready = t.est <> None;
+    ready = est <> None;
     judge_n = t.cfg.judge_n;
     confidence = t.cfg.confidence;
-    r_judge = r_judge_of t;
+    r_judge;
     k_est;
     threshold_n;
     points = Rn_estimator.points t.rn;
@@ -399,10 +617,13 @@ let snapshot_unlocked t =
     min_entropy = t.last_entropy;
     clean_streak = t.clean_streak;
     recoveries = t.recoveries;
+    windows_since_alarm = t.windows_since_alarm;
     recent_r = Window.to_array t.recent_r;
     recent_entropy = Window.to_array t.recent_entropy;
     recent_alarms = Window.to_array t.recent_alarms;
-    verdict = publish_verdict t;
+    recent_since_alarm = Window.to_array t.recent_since_alarm;
+    transitions = Array.of_list (List.rev t.transitions);
+    verdict = v;
   }
 
 let snapshot t = Mutex.protect t.lock (fun () -> snapshot_unlocked t)
@@ -464,6 +685,48 @@ let health_json t =
           ] );
     ]
 
+let index_body =
+  String.concat "\n"
+    [
+      "ptrng monitor";
+      "";
+      "  GET /               this index";
+      "  GET /metrics        Prometheus text exposition of every metric";
+      "  GET /health         current verdict with reasons \
+       (ptrng-monitor-health/1)";
+      "  GET /incidents      flight-recorder incident summaries \
+       (ptrng-incidents/1)";
+      "  GET /incidents/<n>  full frozen incident bundle n \
+       (ptrng-incident/1)";
+      "";
+    ]
+
+let incidents_index_json t =
+  Mutex.protect t.lock (fun () ->
+      let summaries =
+        match t.recorder with
+        | None -> []
+        | Some r ->
+          List.map (Flight_recorder.summary_json r) (Flight_recorder.incidents r)
+      in
+      T.Json.Obj
+        [
+          ("schema", T.Json.String "ptrng-incidents/1");
+          ("count", T.Json.Int (List.length summaries));
+          ("incidents", T.Json.List summaries);
+        ])
+
+let incident_body t id =
+  Mutex.protect t.lock (fun () ->
+      match t.recorder with
+      | None -> None
+      | Some r ->
+        Option.map
+          (fun i -> T.Json.to_string (Flight_recorder.incident_json r i) ^ "\n")
+          (Flight_recorder.incident r id))
+
+let incidents_prefix = "/incidents/"
+
 let http_handler t path =
   match path with
   | "/metrics" ->
@@ -475,8 +738,23 @@ let http_handler t path =
     Some
       (Http.response ~content_type:"application/json"
          (T.Json.to_string (health_json t) ^ "\n"))
-  | "/" ->
-    Some (Http.response "ptrng monitor: GET /metrics or /health\n")
+  | "/incidents" ->
+    Some
+      (Http.response ~content_type:"application/json"
+         (T.Json.to_string (incidents_index_json t) ^ "\n"))
+  | "/" -> Some (Http.response index_body)
+  | _ when String.starts_with ~prefix:incidents_prefix path -> (
+    let rest =
+      String.sub path
+        (String.length incidents_prefix)
+        (String.length path - String.length incidents_prefix)
+    in
+    match int_of_string_opt rest with
+    | Some id when id >= 0 ->
+      Option.map
+        (fun body -> Http.response ~content_type:"application/json" body)
+        (incident_body t id)
+    | Some _ | None -> None)
   | _ -> None
 
 let serve ?host ?port t = Http.start ?host ?port ~handler:(http_handler t) ()

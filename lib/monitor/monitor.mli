@@ -74,6 +74,26 @@ val create : config -> t
 val config : t -> config
 (** The configuration [t] was created with. *)
 
+val config_json : config -> Ptrng_telemetry.Json.t
+(** The configuration as a flat JSON object ([ns] as an int list) —
+    embedded in flight-recorder incident bundles so a post-mortem
+    replay rebuilds an identically tuned monitor. *)
+
+val config_of_json : Ptrng_telemetry.Json.t -> config option
+(** Inverse of {!config_json}; [None] on any missing or mistyped
+    field. *)
+
+val attach_recorder : t -> Flight_recorder.t -> unit
+(** Attach a black-box {!Flight_recorder}: every subsequent jitter
+    sample, bit, closed window and verdict transition is captured into
+    its rings, escalations (and fail-safe recoveries) arm an incident
+    freeze, and the monitor's configuration is stored for the bundle.
+    Attach before feeding — samples seen earlier are not in the
+    rings. *)
+
+val recorder : t -> Flight_recorder.t option
+(** The attached recorder, if any. *)
+
 val feed_jitter : t -> float -> unit
 (** Feed one period-jitter sample (seconds; any consistent unit works
     — r_N is scale-free).  Non-finite samples are dropped. *)
@@ -96,6 +116,16 @@ val feed_bit : t -> bool -> unit
 
 val feed_bits : t -> bool array -> unit
 (** Feed a chunk of bits under one lock acquisition. *)
+
+type transition = {
+  tr_window : int;          (** Chart windows closed when it happened. *)
+  tr_period : int;          (** Jitter samples consumed at that point. *)
+  tr_bit : int;             (** Bits consumed at that point. *)
+  tr_from : Verdict.status;
+  tr_to : Verdict.status;
+}
+(** One verdict status change, positioned by stream counters (no
+    wall clock — transitions replay deterministically). *)
 
 type snapshot = {
   t_s : float;            (** {!Ptrng_telemetry.Clock} timestamp. *)
@@ -123,17 +153,27 @@ type snapshot = {
   min_entropy : float;    (** Last window's MCV estimate; [nan] before. *)
   clean_streak : int;     (** Consecutive clean windows so far. *)
   recoveries : int;       (** De-escalations granted since creation. *)
+  windows_since_alarm : int;
+                          (** Closed windows since one last alarmed. *)
   recent_r : float array;       (** r_N trend, oldest first. *)
   recent_entropy : float array; (** Min-entropy trend, oldest first. *)
   recent_alarms : float array;  (** Alarms-per-window trend, oldest first. *)
+  recent_since_alarm : float array;
+                          (** Windows-since-last-alarm trend, oldest first. *)
+  transitions : transition array;
+                          (** Verdict transitions, oldest first (capped
+                              at [history]). *)
   verdict : Verdict.t;
 }
 (** One self-contained reading of the observatory, sufficient to
     render a dashboard without touching [t] again. *)
 
 val snapshot : t -> snapshot
-(** Read the current state (recomputing the fit from the live
-    windows). *)
+(** Read the current state.  The fit behind [r_judge]/[verdict] is
+    recomputed locally from the live windows without touching the
+    monitor's own stride-driven estimate, so polling at any cadence
+    never perturbs the verdict trajectory the flight recorder
+    captures. *)
 
 val health_json : t -> Ptrng_telemetry.Json.t
 (** The [/health] document, schema ["ptrng-monitor-health/1"]: the
@@ -141,9 +181,14 @@ val health_json : t -> Ptrng_telemetry.Json.t
     entropy numbers behind it.  {!Verdict.of_json} parses it back. *)
 
 val http_handler : t -> Http.handler
-(** Routes [GET /metrics] (Prometheus text exposition via
-    {!Ptrng_telemetry.Sink.to_prometheus}), [GET /health] (JSON) and
-    [GET /] (a hint); anything else is [None] (404). *)
+(** Routes [GET /] (a plain-text index of the endpoints below),
+    [GET /metrics] (Prometheus text exposition via
+    {!Ptrng_telemetry.Sink.to_prometheus}), [GET /health] (JSON),
+    [GET /incidents] (flight-recorder incident summaries, schema
+    ["ptrng-incidents/1"] — an empty list when no recorder is
+    attached) and [GET /incidents/<n>] (the full frozen
+    ["ptrng-incident/1"] bundle [n]); anything else is [None]
+    (404). *)
 
 val serve : ?host:string -> ?port:int -> t -> Http.t
 (** Start an {!Http} server on {!http_handler}.  [port] defaults to 0

@@ -139,6 +139,16 @@ let fill_scenario st scen ~p1 ~p2 ~len =
   done;
   st.sc_pos <- st.sc_pos + len
 
+(* Skipping a scenario stream needs no schedule evaluation: the
+   schedule is a pure function of the absolute sample index, so
+   advancing both sources and the position is enough — the next fill
+   picks the schedule up exactly where a continuous run would be. *)
+let skip st n =
+  if n < 0 then invalid_arg "Pair.skip: negative";
+  Oscillator.source_skip st.s1 n;
+  Oscillator.source_skip st.s2 n;
+  st.sc_pos <- st.sc_pos + n
+
 let fill st ~p1 ~p2 ~len =
   match st.scen with
   | None ->

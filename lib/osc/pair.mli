@@ -78,6 +78,18 @@ val sources : stream -> Oscillator.source * Oscillator.source
 val position : stream -> int
 (** Periods delivered so far. *)
 
+val skip : stream -> int -> unit
+(** [skip st n] advances the stream by [n] periods without
+    materializing them: both sources fast-forward
+    ({!Oscillator.source_skip}) and, under a scenario, the schedule
+    position moves with them (the schedule is a pure function of the
+    absolute index, so nothing needs evaluating).  A subsequent
+    {!fill} is bit-identical to a continuous run — this is what makes
+    post-mortem incident replay from a recorded stream position cheap
+    (see docs/POSTMORTEM.md).
+    @raise Invalid_argument if [n] is negative, or for a random-walk
+    FM source. *)
+
 val fill : stream -> p1:Float.Array.t -> p2:Float.Array.t -> len:int -> unit
 (** [fill st ~p1 ~p2 ~len] writes the next [len] periods of each
     oscillator into the caller's buffers.

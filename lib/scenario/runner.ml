@@ -22,6 +22,8 @@ type result = {
   apt_alarms : int;
   ais31_alarms : int;
   recoveries : int;
+  incidents : Json.t list;
+  incident_summaries : Json.t list;
 }
 
 (* Scored chunk: one snapshot is taken per chunk, which bounds the
@@ -70,10 +72,41 @@ let live_entropy_claim ~f0 ~divisor (snap : M.Monitor.snapshot) =
     Ptrng_model.Design.entropy_at ~extract ~divisor
   with Invalid_argument _ | Failure _ -> nan
 
+(* The detection scorer attributes the first alarm to one detector;
+   the frozen incident records the verdict reasons at its trigger.
+   When both exist, reporting whether they agree is the cross-check
+   the scorer cannot do alone ([Null] when the incident is a recovery
+   or nothing was detected). *)
+let attribution_match (d : M.Detection.summary) inc =
+  let direction, _, _ = M.Flight_recorder.incident_trigger inc in
+  if direction <> "escalation" then Json.Null
+  else
+    match d.detected with
+    | None -> Json.Null
+    | Some a ->
+      Json.Bool
+        (List.exists
+           (fun (code, _) -> code = a.detector)
+           (M.Flight_recorder.incident_reasons inc))
+
 let run ?(seed = 7) (e : Registry.entry) : result =
   let scen = e.Registry.scenario in
   let cfg = monitor_config () in
   let mon = M.Monitor.create cfg in
+  let recorder =
+    M.Flight_recorder.create
+      ~provenance:
+        {
+          kind = "scenario";
+          workload = Scenario.name scen;
+          seed;
+          divisor = e.divisor;
+          chunk;
+          flicker_block = chunk;
+        }
+      ()
+  in
+  M.Monitor.attach_recorder mon recorder;
   let static =
     Ptrng_measure.Thermal_extract.of_phase ~f0:Ptrng_osc.Pair.paper_f0
       Ptrng_osc.Pair.paper_relative
@@ -111,6 +144,17 @@ let run ?(seed = 7) (e : Registry.entry) : result =
       snap
   done;
   let snap = M.Monitor.snapshot mon in
+  let det_summary = M.Detection.summary det in
+  let frozen = M.Flight_recorder.incidents recorder in
+  let summaries =
+    List.map
+      (fun inc ->
+        match M.Flight_recorder.summary_json recorder inc with
+        | Json.Obj kvs ->
+          Json.Obj (kvs @ [ ("attribution_match", attribution_match det_summary inc) ])
+        | j -> j)
+      frozen
+  in
   {
     name = Scenario.name scen;
     description = Scenario.description scen;
@@ -119,7 +163,7 @@ let run ?(seed = 7) (e : Registry.entry) : result =
     periods = e.periods;
     divisor = e.divisor;
     onset;
-    detection = M.Detection.summary det;
+    detection = det_summary;
     final_status = snap.verdict.status;
     final_r = snap.r_judge;
     final_k = snap.k_est;
@@ -130,6 +174,8 @@ let run ?(seed = 7) (e : Registry.entry) : result =
     apt_alarms = snap.apt_alarms;
     ais31_alarms = snap.ais31_alarms;
     recoveries = snap.recoveries;
+    incidents = List.map (M.Flight_recorder.incident_json recorder) frozen;
+    incident_summaries = summaries;
   }
 
 let alarm_json (a : M.Detection.alarm) =
@@ -192,6 +238,7 @@ let result_json (r : result) =
             ("ais31", Json.Int r.ais31_alarms);
           ] );
       ("recoveries", Json.Int r.recoveries);
+      ("incidents", Json.List r.incident_summaries);
       ( "final",
         Json.Obj
           [

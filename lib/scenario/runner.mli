@@ -31,6 +31,16 @@ type result = {
   apt_alarms : int;           (** Total APT alarms over the run. *)
   ais31_alarms : int;         (** Total AIS31 monobit alarms. *)
   recoveries : int;           (** Fail-safe de-escalations granted. *)
+  incidents : Ptrng_telemetry.Json.t list;
+      (** Full frozen ["ptrng-incident/1"] bundles, in freeze order —
+          every run carries a {!Ptrng_monitor.Flight_recorder}, so an
+          escalating scenario leaves replayable evidence behind. *)
+  incident_summaries : Ptrng_telemetry.Json.t list;
+      (** One summary per bundle, augmented with
+          [attribution_match]: whether the {!Ptrng_monitor.Detection}
+          scorer's first-alarm detector appears among the incident
+          trigger's verdict reasons ([null] for recoveries or
+          undetected runs). *)
 }
 (** One scored scenario run. *)
 
@@ -49,6 +59,11 @@ val monitor_config : unit -> Ptrng_monitor.Monitor.config
 val run : ?seed:int -> Registry.entry -> result
 (** Execute and score one entry.  [seed] (default 7) seeds the noise
     PRNG; everything else is deterministic. *)
+
+val edges_of : Float.Array.t -> int -> float array
+(** [edges_of buf len] is the chunk-local edge-time array the sampler
+    consumes ([len + 1] cumulative sums starting at 0) — exposed so
+    {!Postmortem} replays bits with the identical discipline. *)
 
 val result_json : result -> Ptrng_telemetry.Json.t
 (** One scenario's JSON record (wall-clock-free). *)

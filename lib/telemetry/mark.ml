@@ -1,0 +1,25 @@
+type mark = {
+  m_name : string;
+  m_t_s : float;
+  m_args : (string * Json.t) list;
+}
+
+(* Newest first, like Series points; a single process-wide list is
+   enough — marks are rare (verdict transitions, recoveries, incident
+   freezes), so one mutex never contends with a hot path. *)
+let marks : mark list ref = ref []
+let mu = Mutex.create ()
+
+let emit_at ?(args = []) ~t_s name =
+  if !Registry.on && Float.is_finite t_s then
+    Mutex.protect mu (fun () ->
+        marks := { m_name = name; m_t_s = t_s; m_args = args } :: !marks)
+
+let emit ?args name = emit_at ?args ~t_s:(Clock.now ()) name
+
+let all () =
+  List.rev_map
+    (fun m -> (m.m_name, m.m_t_s, m.m_args))
+    (Mutex.protect mu (fun () -> !marks))
+
+let reset () = Mutex.protect mu (fun () -> marks := [])

@@ -1,0 +1,22 @@
+(** Named instant markers on the trace timeline.
+
+    Where {!Series} records trajectories (counter tracks), a mark
+    records a single event — a verdict transition, a fail-safe
+    recovery, an incident freeze — that {!Trace_export} renders as a
+    Perfetto instant (["i"]) event aligned with the span and counter
+    tracks.  Like every telemetry primitive, emitting is a no-op while
+    telemetry is disabled and is safe from any domain. *)
+
+val emit : ?args:(string * Json.t) list -> string -> unit
+(** Record one instant stamped with {!Clock.now}.  [args] become the
+    event's [args] object in the trace. *)
+
+val emit_at : ?args:(string * Json.t) list -> t_s:float -> string -> unit
+(** Same with an explicit timestamp (seconds, {!Clock.now} origin).
+    Non-finite timestamps are dropped. *)
+
+val all : unit -> (string * float * (string * Json.t) list) list
+(** Every recorded [(name, t_s, args)] mark, oldest first. *)
+
+val reset : unit -> unit
+(** Drop all recorded marks. *)

@@ -13,7 +13,7 @@ let word_mib = float_of_int (Sys.word_size / 8) /. 1048576.0
 (* Earliest timestamp across spans, samples and series: the trace
    origin, so ts values start near zero instead of at the wall-clock
    epoch. *)
-let origin_of ~spans ~samples ~series =
+let origin_of ~spans ~samples ~series ~marks =
   let t = ref infinity in
   let rec walk (s : Span.t) =
     if s.Span.start_s < !t then t := s.Span.start_s;
@@ -27,6 +27,7 @@ let origin_of ~spans ~samples ~series =
   List.iter
     (fun (_, pts) -> List.iter (fun (t_s, _) -> if t_s < !t then t := t_s) pts)
     series;
+  List.iter (fun (_, t_s, _) -> if t_s < !t then t := t_s) marks;
   if Float.is_finite !t then !t else 0.0
 
 let span_events ~pid ~origin spans =
@@ -111,6 +112,24 @@ let series_events ~pid ~origin series =
         pts)
     series
 
+(* Every Mark as a global-scope instant event: alarm and recovery
+   markers drawn as vertical flags across the counter tracks. *)
+let mark_events ~pid ~origin marks =
+  List.map
+    (fun (name, t_s, args) ->
+      Json.Obj
+        [
+          ("name", Json.String name);
+          ("cat", Json.String "mark");
+          ("ph", Json.String "i");
+          ("s", Json.String "g");
+          ("ts", Json.num (usec (t_s -. origin)));
+          ("pid", Json.Int pid);
+          ("tid", Json.Int 0);
+          ("args", Json.Obj args);
+        ])
+    marks
+
 (* Every registry gauge as a (single-point) counter track at the end
    of the trace, so values that are only set once still show up. *)
 let gauge_events ~pid ~ts =
@@ -147,7 +166,8 @@ let to_json () =
   let spans = Span.roots () @ Span.worker_roots () in
   let samples = Runtime_profile.samples () in
   let series = Series.all () in
-  let origin = origin_of ~spans ~samples ~series in
+  let marks = Mark.all () in
+  let origin = origin_of ~spans ~samples ~series ~marks in
   let tids =
     let rec collect acc (s : Span.t) =
       List.fold_left collect (s.Span.tid :: acc) s.Span.children
@@ -163,6 +183,7 @@ let to_json () =
     @ span_events ~pid ~origin spans
     @ sample_events ~pid ~origin samples
     @ series_events ~pid ~origin series
+    @ mark_events ~pid ~origin marks
     @ gauge_events ~pid ~ts:end_ts
   in
   Json.Obj

@@ -12,6 +12,9 @@
     - every {!Series} sample becomes a ["C"] counter event, one track
       per series — monitor state (live r_N, control-chart statistics)
       shows up as a curve aligned with the span timeline;
+    - every {!Mark} becomes a global-scope instant (["i"]) event — the
+      monitor's verdict transitions, recoveries and incident freezes
+      show up as vertical flags across the counter tracks;
     - every registry gauge is emitted as a final single-point counter
       track;
     - ["M"] metadata events name the process and the domain tracks.

@@ -32,6 +32,24 @@ let window_tests =
         List.iter (M.Window.push w) [ 1.0; nan; infinity; 2.0 ];
         Alcotest.(check int) "count" 2 (M.Window.count w);
         Testkit.check_abs ~tol:1e-12 "mean" 1.5 (M.Window.mean w));
+    Testkit.case "wraparound exactly at capacity" (fun () ->
+        (* The push that lands precisely on the capacity boundary must
+           still retain everything; only the next one evicts. *)
+        let w = M.Window.create ~capacity:4 in
+        List.iter (M.Window.push w) [ 1.0; 2.0; 3.0; 4.0 ];
+        Alcotest.(check int) "full at capacity" 4 (M.Window.count w);
+        Testkit.check_true "all retained in order"
+          (M.Window.to_array w = [| 1.0; 2.0; 3.0; 4.0 |]);
+        Testkit.check_abs ~tol:1e-12 "mean over the full ring" 2.5
+          (M.Window.mean w);
+        M.Window.push w 5.0;
+        Alcotest.(check int) "count pinned at capacity" 4 (M.Window.count w);
+        Alcotest.(check int) "lifetime total keeps counting" 5
+          (M.Window.total w);
+        Testkit.check_true "oldest evicted on the wrap"
+          (M.Window.to_array w = [| 2.0; 3.0; 4.0; 5.0 |]);
+        Testkit.check_abs ~tol:1e-12 "last survives the wrap" 5.0
+          (M.Window.last w));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -368,6 +386,27 @@ let monitor_tests =
         Testkit.check_true "never forgiven" (s.recoveries = 0);
         Testkit.check_true "verdict stays non-ok"
           (s.verdict.status <> M.Verdict.Ok));
+    Testkit.case "refit lands exactly on the fit_stride boundary" (fun () ->
+        (* test_config refits every 4096 jitter samples.  A feed count
+           one short of the stride must not refit; the sample landing
+           precisely on it must. *)
+        let mon = M.Monitor.create (test_config ()) in
+        let rng = Testkit.rng ~seed:23L () in
+        feed_white mon rng ~samples:8192 ~sigma:1e-12;
+        let refits () =
+          Array.length (M.Monitor.snapshot mon).M.Monitor.recent_r
+        in
+        let base = refits () in
+        Testkit.check_true "estimator ready after warm-up" (base >= 1);
+        feed_white mon rng ~samples:4095 ~sigma:1e-12;
+        Alcotest.(check int) "one short of the stride: no refit" base
+          (refits ());
+        feed_white mon rng ~samples:1 ~sigma:1e-12;
+        Alcotest.(check int) "landing on the stride refits" (base + 1)
+          (refits ());
+        feed_white mon rng ~samples:4096 ~sigma:1e-12;
+        Alcotest.(check int) "next full stride refits again" (base + 2)
+          (refits ()));
     Testkit.case "health JSON round-trips and carries the verdict" (fun () ->
         let mon = M.Monitor.create (test_config ()) in
         let rng = Testkit.rng ~seed:9L () in
@@ -392,6 +431,139 @@ let monitor_tests =
               (Option.is_some (Tm.Json.to_float r))
           | None -> Alcotest.fail "no r_n field")
         | None -> Alcotest.fail "no independence object"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fr_prov =
+  {
+    M.Flight_recorder.kind = "test";
+    workload = "unit";
+    seed = 1;
+    divisor = 10;
+    chunk = 16;
+    flicker_block = 16;
+  }
+
+let fr_config ?(post_windows = 0) ?(max_incidents = 2) () =
+  {
+    M.Flight_recorder.jitter_capacity = 4;
+    bit_capacity = 4;
+    window_capacity = 4;
+    post_windows;
+    max_incidents;
+  }
+
+let fr_trigger ?(at_period = 0) r =
+  M.Flight_recorder.note_trigger r ~direction:"escalation" ~severity_from:0
+    ~severity_to:1 ~at_period ~at_bit:0 ~at_window:0
+    ~reasons:[ ("independence", "test trigger") ]
+
+let recorder_tests =
+  [
+    Testkit.case "capacities are validated" (fun () ->
+        Alcotest.check_raises "zero jitter ring"
+          (Invalid_argument "Flight_recorder.create: jitter_capacity < 1")
+          (fun () ->
+            ignore
+              (M.Flight_recorder.create
+                 ~config:{ (fr_config ()) with jitter_capacity = 0 }
+                 ~provenance:fr_prov ()));
+        Alcotest.check_raises "negative post windows"
+          (Invalid_argument "Flight_recorder.create: post_windows < 0")
+          (fun () ->
+            ignore
+              (M.Flight_recorder.create
+                 ~config:{ (fr_config ()) with post_windows = -1 }
+                 ~provenance:fr_prov ())));
+    Testkit.case "jitter ring wraps; freeze keeps the newest with its start"
+      (fun () ->
+        let r =
+          M.Flight_recorder.create ~config:(fr_config ()) ~provenance:fr_prov ()
+        in
+        for i = 0 to 9 do
+          M.Flight_recorder.record_jitter r (float_of_int i)
+        done;
+        M.Flight_recorder.record_bit r true;
+        M.Flight_recorder.record_bit r false;
+        fr_trigger ~at_period:10 r;
+        Alcotest.(check int) "post_windows = 0 freezes immediately" 1
+          (M.Flight_recorder.incident_count r);
+        let inc = Option.get (M.Flight_recorder.incident r 0) in
+        let j = M.Flight_recorder.incident_json r inc in
+        let capture = Option.get (Tm.Json.member "capture" j) in
+        (match Tm.Json.member "jitter_start" capture with
+        | Some (Tm.Json.Int 6) -> ()
+        | _ -> Alcotest.fail "jitter_start should be total - capacity = 6");
+        (match Tm.Json.member "jitter" capture with
+        | Some (Tm.Json.List l) ->
+          Testkit.check_true "newest four samples in order"
+            (List.map Tm.Json.to_float l
+            = [ Some 6.0; Some 7.0; Some 8.0; Some 9.0 ])
+        | _ -> Alcotest.fail "no jitter payload");
+        (match Tm.Json.member "bits" capture with
+        | Some (Tm.Json.String "10") -> ()
+        | _ -> Alcotest.fail "bit ring should freeze to \"10\""));
+    Testkit.case "post_windows countdown, re-arm suppression, max_incidents"
+      (fun () ->
+        let r =
+          M.Flight_recorder.create
+            ~config:(fr_config ~post_windows:2 ())
+            ~provenance:fr_prov ()
+        in
+        fr_trigger r;
+        Alcotest.(check int) "armed, not yet frozen" 0
+          (M.Flight_recorder.incident_count r);
+        fr_trigger r (* ignored while armed *);
+        M.Flight_recorder.tick_window r;
+        Alcotest.(check int) "one window of post context" 0
+          (M.Flight_recorder.incident_count r);
+        M.Flight_recorder.tick_window r;
+        Alcotest.(check int) "frozen after post_windows ticks" 1
+          (M.Flight_recorder.incident_count r);
+        fr_trigger r;
+        M.Flight_recorder.tick_window r;
+        M.Flight_recorder.tick_window r;
+        Alcotest.(check int) "second incident frozen" 2
+          (M.Flight_recorder.incident_count r);
+        fr_trigger r (* over max_incidents = 2: dropped *);
+        M.Flight_recorder.tick_window r;
+        M.Flight_recorder.tick_window r;
+        Alcotest.(check int) "retention capped at max_incidents" 2
+          (M.Flight_recorder.incident_count r);
+        Testkit.check_true "ids are stable"
+          (M.Flight_recorder.incident_id
+             (Option.get (M.Flight_recorder.incident r 1))
+          = 1));
+    Testkit.case "bundle JSON reparses to identical bytes" (fun () ->
+        let r =
+          M.Flight_recorder.create ~config:(fr_config ()) ~provenance:fr_prov ()
+        in
+        M.Flight_recorder.set_monitor_config r
+          (M.Monitor.config_json (test_config ()));
+        for i = 0 to 7 do
+          M.Flight_recorder.record_jitter r (float_of_int i *. 0.125)
+        done;
+        M.Flight_recorder.record_window r ~index:0 ~alarms:1 ~min_entropy:0.93
+          ~ewma:0.5 ~cusum_pos:1.25 ~r_n:0.97 ~severity:0;
+        M.Flight_recorder.record_transition r ~at_window:0 ~at_period:80
+          ~at_bit:8 ~severity_from:0 ~severity_to:1;
+        fr_trigger ~at_period:80 r;
+        let inc = Option.get (M.Flight_recorder.incident r 0) in
+        let s =
+          Tm.Json.to_string (M.Flight_recorder.incident_json r inc)
+        in
+        Alcotest.(check string) "parse . print is the identity" s
+          (Tm.Json.to_string (Tm.Json.of_string s));
+        (match Tm.Json.member "schema" (Tm.Json.of_string s) with
+        | Some (Tm.Json.String "ptrng-incident/1") -> ()
+        | _ -> Alcotest.fail "schema tag missing");
+        let summary = M.Flight_recorder.summary_json r inc in
+        match Tm.Json.member "schema" summary with
+        | Some (Tm.Json.String "ptrng-incident-summary/1") -> ()
+        | _ -> Alcotest.fail "summary schema tag missing");
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -467,6 +639,58 @@ let http_tests =
             in
             Testkit.check_true "non-GET 405"
               (Testkit.contains ~needle:"HTTP/1.1 405" post)));
+    Testkit.case "GET / index and the /incidents routes" (fun () ->
+        let mon = M.Monitor.create (test_config ()) in
+        let srv = M.Monitor.serve ~port:0 mon in
+        Fun.protect
+          ~finally:(fun () -> M.Http.stop srv)
+          (fun () ->
+            let port = M.Http.port srv in
+            let index = http_get port "/" in
+            Testkit.check_true "index 200"
+              (Testkit.contains ~needle:"HTTP/1.1 200 OK" index);
+            List.iter
+              (fun needle ->
+                Testkit.check_true
+                  (Printf.sprintf "index lists %s" needle)
+                  (Testkit.contains ~needle index))
+              [ "/metrics"; "/health"; "/incidents"; "/incidents/<n>" ];
+            (* No recorder attached: the index is well-formed and empty,
+               bundle lookups are 404. *)
+            let empty = http_get port "/incidents" in
+            Testkit.check_true "incidents 200"
+              (Testkit.contains ~needle:"HTTP/1.1 200 OK" empty);
+            Testkit.check_true "incidents schema"
+              (Testkit.contains ~needle:"ptrng-incidents/1" empty);
+            Testkit.check_true "empty count"
+              (Testkit.contains ~needle:"\"count\":0" empty);
+            Testkit.check_true "missing bundle 404"
+              (Testkit.contains ~needle:"HTTP/1.1 404"
+                 (http_get port "/incidents/0"));
+            Testkit.check_true "negative id 404"
+              (Testkit.contains ~needle:"HTTP/1.1 404"
+                 (http_get port "/incidents/-1"));
+            Testkit.check_true "non-numeric id 404"
+              (Testkit.contains ~needle:"HTTP/1.1 404"
+                 (http_get port "/incidents/zero"));
+            (* With a recorder holding one frozen incident, both the
+               listing and the bundle route serve it. *)
+            let r =
+              M.Flight_recorder.create ~config:(fr_config ())
+                ~provenance:fr_prov ()
+            in
+            M.Monitor.attach_recorder mon r;
+            fr_trigger r;
+            let idx = http_get port "/incidents" in
+            Testkit.check_true "count reflects the freeze"
+              (Testkit.contains ~needle:"\"count\":1" idx);
+            Testkit.check_true "summary schema in the listing"
+              (Testkit.contains ~needle:"ptrng-incident-summary/1" idx);
+            let bundle = http_get port "/incidents/0" in
+            Testkit.check_true "bundle 200"
+              (Testkit.contains ~needle:"HTTP/1.1 200 OK" bundle);
+            Testkit.check_true "bundle schema"
+              (Testkit.contains ~needle:"ptrng-incident/1" bundle)));
     Testkit.case "hardened edges: 400, 431 and 408" (fun () ->
         let srv =
           M.Http.start ~read_timeout:0.3
@@ -507,5 +731,6 @@ let () =
       ("rn_estimator", rn_tests);
       ("verdict", verdict_tests);
       ("monitor", monitor_tests);
+      ("flight_recorder", recorder_tests);
       ("http", http_tests);
     ]

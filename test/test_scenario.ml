@@ -302,9 +302,12 @@ let snap ?(periods = 0) ?(bits = 0) ?(windows = 0) ?(rct = 0) ?(apt = 0)
     min_entropy = 0.95;
     clean_streak = 0;
     recoveries = 0;
+    windows_since_alarm = 0;
     recent_r = [||];
     recent_entropy = [||];
     recent_alarms = [||];
+    recent_since_alarm = [||];
+    transitions = [||];
     verdict;
   }
 
