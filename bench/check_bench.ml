@@ -38,6 +38,11 @@
                          within 0.2 words per sample and per bit in
                          both directions, and a calm feed must freeze
                          zero incidents.
+   --require-lint        fail if the report lacks a lint section (the
+                         in-process ptrng-lint run) or records it as
+                         skipped.  A lint section that IS present and
+                         ran is always gated, flag or not: unbaselined
+                         errors mean the analyzed tree is dirty.
    --warn-only           print regressions but exit 0 (soft gate for
                          noisy 1-core CI runners).
 
@@ -69,6 +74,7 @@ type opts = {
   max_fig7_bytes_per_period : float option;
   require_scenario : bool;
   require_postmortem : bool;
+  require_lint : bool;
   warn_only : bool;
 }
 
@@ -84,6 +90,7 @@ let parse_args () =
         max_fig7_bytes_per_period = None;
         require_scenario = false;
         require_postmortem = false;
+        require_lint = false;
         warn_only = false;
       }
   in
@@ -120,6 +127,9 @@ let parse_args () =
       go rest
     | "--require-postmortem" :: rest ->
       opts := { !opts with require_postmortem = true };
+      go rest
+    | "--require-lint" :: rest ->
+      opts := { !opts with require_lint = true };
       go rest
     | "--warn-only" :: rest ->
       opts := { !opts with warn_only = true };
@@ -317,6 +327,59 @@ let validate_postmortem ~path ~required report =
        incidents)\n"
       path jitter_overhead bit_overhead
 
+(* ---------------- lint section ---------------- *)
+
+(* The lint section is the static analyzer run as a measured workload:
+   its counts prove the analyzed tree was clean when the bench ran.
+   Unbaselined errors always fail — a report advertising a lint run
+   with errors is worse than no lint section at all.  Reports from
+   environments without .cmt artifacts record skipped=true; that
+   passes unless --require-lint insists on a real run. *)
+let validate_lint ~path ~required report =
+  let sections =
+    match get "report" report "sections" with
+    | Json.List l -> l
+    | _ -> fail "sections is not a list"
+  in
+  match
+    List.find_opt
+      (fun s -> Json.member "name" s = Some (Json.String "lint"))
+      sections
+  with
+  | None ->
+    if required then fail "section lint missing (--require-lint)"
+    else
+      Printf.printf "check_bench: %s has no lint section (pre-lint snapshot)\n"
+        path
+  | Some s ->
+    let results = get "lint" s "results" in
+    if Json.member "skipped" results = Some (Json.Bool true) then begin
+      if required then
+        fail "lint section ran without artifacts (--require-lint)"
+      else
+        Printf.printf "check_bench: %s lint section skipped (no artifacts)\n"
+          path
+    end
+    else begin
+      let ctx = "lint.results" in
+      if not (number ctx results "units" >= 1.0) then
+        fail "lint.units must be >= 1";
+      if not (number ctx results "rules" >= 1.0) then
+        fail "lint.rules must be >= 1";
+      let errors = number ctx results "errors" in
+      if errors <> 0.0 then
+        fail "lint section records %.0f unbaselined error(s) — the tree is dirty"
+          errors;
+      if number ctx results "warnings" < 0.0 then fail "lint.warnings negative";
+      if number ctx results "baselined" < 0.0 then fail "lint.baselined negative";
+      Printf.printf
+        "check_bench: %s lint ok (%.0f units, 0 errors, %.0f warnings, %.0f \
+         baselined)\n"
+        path (number ctx results "units")
+        (number ctx results "warnings")
+        (number ctx results "baselined")
+    end
+
 (* ---------------- hot-path allocation budget ---------------- *)
 
 (* fig7 drives Multilevel.characterize over the whole simulated trace,
@@ -456,6 +519,7 @@ let () =
   validate_report opts.report report;
   validate_scenario ~path:opts.report ~required:opts.require_scenario report;
   validate_postmortem ~path:opts.report ~required:opts.require_postmortem report;
+  validate_lint ~path:opts.report ~required:opts.require_lint report;
   Option.iter
     (fun limit -> check_bytes_per_period ~path:opts.report ~limit report)
     opts.max_fig7_bytes_per_period;

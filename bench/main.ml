@@ -49,9 +49,12 @@ let sha = flag_value "--sha" "unknown"
 
 (* --lint-summary "ptrng-lint: ..." stamps the history record with the
    lint state of the tree that was benched (CI passes the @lint
-   summary line through). *)
+   summary line through).  When the flag is absent, the lint section
+   below fills it from its own in-process analyzer run, so every
+   history record carries the finding counts alongside the analyzer
+   wall time. *)
 let lint_summary =
-  match flag_value "--lint-summary" "" with "" -> None | s -> Some s
+  Atomic.make (match flag_value "--lint-summary" "" with "" -> None | s -> Some s)
 
 let perfetto_out =
   match flag_value "--perfetto-out" "" with "" -> None | path -> Some path
@@ -776,6 +779,66 @@ let section_perf () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* LINT: the static analyzer as a measured workload                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs ptrng-lint in process over the built .cmt artifacts, so the
+   analyzer's own wall time is a tracked bench section and the finding
+   counts land in the report (and, via the summary line, in the
+   history record).  Roots cover every launch style: "." for an
+   artifact tree, ".." for the dune action cwd (_build/default/bench),
+   _build/default for `dune exec` from the repo root.  Without
+   artifacts the section records skipped=true rather than failing:
+   the bench must run on a bare checkout too. *)
+let section_lint () =
+  banner "LINT — static analyzer over the built artifacts";
+  let module A = Ptrng_analysis in
+  let scan_dirs = [ "lib"; "bin"; "bench" ] in
+  let loader =
+    List.fold_left
+      (fun acc root ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          let l = A.Loader.load_dirs ~root scan_dirs in
+          if l.A.Loader.units = [] then None else Some l)
+      None
+      [ "."; ".."; "_build/default" ]
+  in
+  match loader with
+  | None ->
+    Printf.printf "no .cmt/.cmti artifacts found — section skipped\n";
+    [ ("skipped", Tm.Json.Bool true) ]
+  | Some loader ->
+    let baseline =
+      List.fold_left
+        (fun acc path ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+            if not (Sys.file_exists path) then None
+            else match A.Baseline.load ~path with Ok b -> Some b | Error _ -> None))
+        None
+        [ "lint_baseline.json"; "../lint_baseline.json" ]
+      |> Option.value ~default:A.Baseline.empty
+    in
+    let rules =
+      match A.Rules.select "all" with Ok r -> r | Error _ -> []
+    in
+    let report, _all = A.Engine.lint ~rules ~baseline loader in
+    let summary = A.Report.summary_line report in
+    print_endline summary;
+    if Atomic.get lint_summary = None then Atomic.set lint_summary (Some summary);
+    [
+      ("units", Tm.Json.Int report.A.Report.units);
+      ("errors", Tm.Json.Int (A.Report.errors report));
+      ("warnings", Tm.Json.Int (A.Report.warnings report));
+      ("info", Tm.Json.Int (A.Report.infos report));
+      ("baselined", Tm.Json.Int report.A.Report.suppressed);
+      ("rules", Tm.Json.Int (List.length rules));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* JSON report                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -844,7 +907,7 @@ let write_report ~kernels ~total_s =
    is on disk.  Unwritable history is a warning, not a failed bench. *)
 let append_history report =
   match
-    History.record_of_report ~sha ~time_unix:(Unix.time ()) ?lint:lint_summary
+    History.record_of_report ~sha ~time_unix:(Unix.time ()) ?lint:(Atomic.get lint_summary)
       report
   with
   | Error e -> Printf.eprintf "bench: cannot summarize report for history: %s\n" e
@@ -887,6 +950,7 @@ let () =
   run_section "monitor" section_monitor;
   run_section "scenario" section_scenario;
   run_section "postmortem" section_postmortem;
+  run_section "lint" section_lint;
   let kernels = if no_perf then [] else Tm.Span.with_ ~name:"perf" section_perf in
   let total_s = Unix.gettimeofday () -. t0 in
   Printf.printf "\ntotal bench time: %.1f s\n" total_s;

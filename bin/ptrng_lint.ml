@@ -3,8 +3,10 @@
 
    Usage:
      ptrng-lint [--root DIR] [--baseline FILE] [--update-baseline]
-                [--rules R1,R3] [--json-out FILE] [--gate] [--summary]
-                [--quiet] [--list]
+                [--prune-baseline] [--rules R1,R3] [--json-out FILE]
+                [--sarif-out FILE] [--graph-out FILE] [--gate]
+                [--summary] [--quiet] [--list]
+     ptrng-lint --check-sarif FILE
 
    --root defaults to "." and falls back to _build/default when the
    tree under "." holds no annotation artifacts, so both `dune exec`
@@ -17,16 +19,22 @@ module A = Ptrng_analysis
 let usage () =
   prerr_endline
     "usage: ptrng-lint [--root DIR] [--baseline FILE] [--update-baseline]\n\
-    \                  [--rules R1,R3|all] [--json-out FILE] [--gate]\n\
-    \                  [--summary] [--quiet] [--list]";
+    \                  [--prune-baseline] [--rules R1,R3|all] [--json-out FILE]\n\
+    \                  [--sarif-out FILE] [--graph-out FILE] [--gate]\n\
+    \                  [--summary] [--quiet] [--list]\n\
+    \       ptrng-lint --check-sarif FILE";
   exit 1
 
 let () =
   let root = ref "." in
   let baseline_path = ref None in
   let update_baseline = ref false in
+  let prune_baseline = ref false in
   let rules_spec = ref "all" in
   let json_out = ref None in
+  let sarif_out = ref None in
+  let graph_out = ref None in
+  let check_sarif = ref None in
   let gate = ref false in
   let summary_only = ref false in
   let quiet = ref false in
@@ -36,8 +44,12 @@ let () =
     | "--root" :: v :: rest -> root := v; parse rest
     | "--baseline" :: v :: rest -> baseline_path := Some v; parse rest
     | "--update-baseline" :: rest -> update_baseline := true; parse rest
+    | "--prune-baseline" :: rest -> prune_baseline := true; parse rest
     | "--rules" :: v :: rest -> rules_spec := v; parse rest
     | "--json-out" :: v :: rest -> json_out := Some v; parse rest
+    | "--sarif-out" :: v :: rest -> sarif_out := Some v; parse rest
+    | "--graph-out" :: v :: rest -> graph_out := Some v; parse rest
+    | "--check-sarif" :: v :: rest -> check_sarif := Some v; parse rest
     | "--gate" :: rest -> gate := true; parse rest
     | "--summary" :: rest -> summary_only := true; parse rest
     | "--quiet" :: rest -> quiet := true; parse rest
@@ -47,6 +59,30 @@ let () =
       usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
+
+  (* --check-sarif is a standalone mode: validate a SARIF file this
+     tool (or anything else) wrote, without loading any artifacts. *)
+  (match !check_sarif with
+  | None -> ()
+  | Some path ->
+    (match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error e ->
+      Printf.eprintf "ptrng-lint: cannot read %s: %s\n" path e;
+      exit 1
+    | contents -> (
+      match Ptrng_telemetry.Json.of_string contents with
+      | exception Failure e ->
+        Printf.eprintf "ptrng-lint: %s is not JSON: %s\n" path e;
+        exit 1
+      | j -> (
+        match A.Sarif.validate j with
+        | Ok n ->
+          Printf.printf "ptrng-lint: %s is structurally valid SARIF %s (%d results)\n"
+            path "2.1.0" n;
+          exit 0
+        | Error e ->
+          Printf.eprintf "ptrng-lint: %s failed SARIF validation: %s\n" path e;
+          exit 1))));
 
   if !list_rules then begin
     List.iter
@@ -96,6 +132,39 @@ let () =
 
   let report, all = A.Engine.lint ~rules ~baseline loader in
 
+  (match !graph_out with
+  | None -> ()
+  | Some path ->
+    let graph = A.Callgraph.build loader in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc
+          (Ptrng_telemetry.Json.to_string_pretty (A.Callgraph.to_json graph));
+        Out_channel.output_char oc '\n'));
+
+  if !prune_baseline then begin
+    match !baseline_path with
+    | None ->
+      prerr_endline "ptrng-lint: --prune-baseline needs --baseline FILE";
+      exit 1
+    | Some path -> (
+      let next, pruned = A.Baseline.prune baseline all in
+      match A.Baseline.save ~path next with
+      | Ok () ->
+        List.iter
+          (fun (fp, n) ->
+            Printf.printf "ptrng-lint: pruned %d stale occurrence(s) of %s\n" n fp)
+          pruned;
+        Printf.printf
+          "ptrng-lint: baseline %s pruned %d occurrence(s), now absorbs %d\n"
+          path
+          (List.fold_left (fun acc (_, n) -> acc + n) 0 pruned)
+          (A.Baseline.count next);
+        exit 0
+      | Error e ->
+        Printf.eprintf "ptrng-lint: cannot write baseline %s: %s\n" path e;
+        exit 1)
+  end;
+
   if !update_baseline then begin
     match !baseline_path with
     | None ->
@@ -119,6 +188,21 @@ let () =
     Out_channel.with_open_text path (fun oc ->
         Out_channel.output_string oc
           (Ptrng_telemetry.Json.to_string_pretty (A.Report.to_json report));
+        Out_channel.output_char oc '\n'));
+
+  (match !sarif_out with
+  | None -> ()
+  | Some path ->
+    let sarif = A.Sarif.of_report ~rules report in
+    (* Never emit a document the gate would reject. *)
+    (match A.Sarif.validate sarif with
+    | Ok _ -> ()
+    | Error e ->
+      Printf.eprintf "ptrng-lint: internal error: emitted SARIF invalid: %s\n" e;
+      exit 1);
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc
+          (Ptrng_telemetry.Json.to_string_pretty sarif);
         Out_channel.output_char oc '\n'));
 
   if !summary_only then print_endline (A.Report.summary_line report)

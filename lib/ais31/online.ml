@@ -33,10 +33,13 @@ let create ?(block_bits = Procedure_a.block_bits) ?(alpha_exp = 20) () =
 
 let bounds t = (t.lo, t.hi)
 
-let feed t bit =
+(* -1 = mid-block, 0 = block passed, 1 = block alarmed.  The int
+   spelling keeps the per-bit feed path allocation-free; [feed] wraps
+   it for callers that want the option. *)
+let feed_flag t bit =
   t.seen <- t.seen + 1;
   if bit then t.ones <- t.ones + 1;
-  if t.seen < t.block_bits then None
+  if t.seen < t.block_bits then -1
   else begin
     let alarm = t.ones < t.lo || t.ones > t.hi in
     t.seen <- 0;
@@ -45,8 +48,11 @@ let feed t bit =
     if alarm then t.alarms <- t.alarms + 1;
     Tm.Counter.incr blocks_total;
     if alarm then Tm.Counter.incr alarms_total;
-    Some alarm
+    if alarm then 1 else 0
   end
+
+let feed t bit =
+  match feed_flag t bit with -1 -> None | f -> Some (f = 1)
 
 let blocks t = t.blocks
 let alarms t = t.alarms

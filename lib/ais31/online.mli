@@ -34,7 +34,13 @@ val bounds : t -> int * int
 val feed : t -> bool -> bool option
 (** Feed one bit.  [None] mid-block; [Some alarm] when this bit
     completed a block ([true] = the block's ones count left
-    {!bounds}). *)
+    {!bounds}).  Allocates the [Some] at block boundaries; per-bit hot
+    loops should use {!feed_flag}. *)
+
+val feed_flag : t -> bool -> int
+(** As {!feed}, but the verdict is an int — [-1] mid-block, [0] block
+    passed, [1] block alarmed — so the per-bit feed path
+    ({!Ptrng_monitor}) stays allocation-free. *)
 
 val blocks : t -> int
 (** Completed blocks so far. *)

@@ -31,6 +31,25 @@ let of_findings ?(prev = empty) findings =
       (fp, { count = Option.value ~default:1 (Hashtbl.find_opt tbl fp); note }))
     fingerprints
 
+let prune t findings =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let fp = Finding.fingerprint f in
+      Hashtbl.replace tbl fp (1 + Option.value ~default:0 (Hashtbl.find_opt tbl fp)))
+    findings;
+  let pruned = ref [] in
+  let kept =
+    List.filter_map
+      (fun (fp, e) ->
+        let live = Option.value ~default:0 (Hashtbl.find_opt tbl fp) in
+        let keep = min e.count live in
+        if keep < e.count then pruned := (fp, e.count - keep) :: !pruned;
+        if keep = 0 then None else Some (fp, { e with count = keep }))
+      t
+  in
+  (kept, List.rev !pruned)
+
 let apply t findings =
   let remaining = Hashtbl.create 64 in
   List.iter (fun (fp, e) -> Hashtbl.replace remaining fp e.count) t;

@@ -22,6 +22,15 @@ val of_findings : ?prev:t -> Finding.t list -> t
 (** Baseline absorbing exactly the given findings; notes of [prev]
     entries whose fingerprint survives are carried over. *)
 
+val prune : t -> Finding.t list -> t * (string * int) list
+(** [prune t findings] shrinks the baseline to what the current
+    findings still exercise: each entry keeps
+    [min count occurrences], entries with no surviving occurrence are
+    dropped, and notes are preserved.  Returns the pruned baseline and
+    the per-fingerprint number of absorbed-but-dead occurrences that
+    were removed — unlike {!of_findings} it never absorbs a {e new}
+    finding, so pruning cannot mask a regression. *)
+
 val apply : t -> Finding.t list -> Finding.t list * Finding.t list
 (** [(fresh, suppressed)]: per fingerprint, the first [count]
     occurrences (in report order) are suppressed, the rest are

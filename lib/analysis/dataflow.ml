@@ -1,0 +1,79 @@
+(* Generic bottom-up effect inference over the call graph's SCC DAG.
+
+   A rule supplies a join-semilattice of per-function facts and a
+   [direct] function computing a node's own contribution; [solve]
+   propagates facts from callees to callers.  Because Callgraph emits
+   SCCs callees-first, a single pass over the SCC list suffices for the
+   DAG part; within one SCC (mutual recursion) the members iterate to a
+   local fixpoint, which terminates as long as the lattice has finite
+   height — every domain in this repo is a small powerset or a bool.
+
+   The solver only consults callee facts; what a node's [direct] fact
+   means (allocates, draws from an Rng, ...) is entirely the rule's
+   business, as is any decision to cut propagation (a rule cuts an edge
+   by filtering inside [transfer]). *)
+
+module type DOMAIN = sig
+  type fact
+
+  val bottom : fact
+  (** Identity of [join]; the fact of an unknown or absent callee. *)
+
+  val join : fact -> fact -> fact
+  val equal : fact -> fact -> bool
+end
+
+module Make (D : DOMAIN) = struct
+  type summary = (string, D.fact) Hashtbl.t
+
+  let get (s : summary) name =
+    match Hashtbl.find_opt s name with Some f -> f | None -> D.bottom
+
+  let solve (g : Callgraph.t)
+      ~(direct : Callgraph.node -> D.fact)
+      ?(transfer =
+        fun ~caller:_ ~callee:_ (fact : D.fact) -> fact)
+      () : summary =
+    let summary = Hashtbl.create (List.length g.order * 2 + 1) in
+    let flow_into caller_name =
+      match Callgraph.find g caller_name with
+      | None -> D.bottom
+      | Some caller ->
+        List.fold_left
+          (fun acc callee_name ->
+            match Callgraph.find g callee_name with
+            | None -> acc
+            | Some callee ->
+              D.join acc
+                (transfer ~caller ~callee (get summary callee_name)))
+          D.bottom caller.callees
+    in
+    List.iter
+      (fun members ->
+        (* Seed each member with its direct fact, then iterate the SCC
+           to a fixpoint.  For the common singleton SCC the loop body
+           runs once and stabilizes immediately. *)
+        List.iter
+          (fun name ->
+            match Callgraph.find g name with
+            | Some node -> Hashtbl.replace summary name (direct node)
+            | None -> ())
+          members;
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          List.iter
+            (fun name ->
+              match Callgraph.find g name with
+              | None -> ()
+              | Some node ->
+                let next = D.join (direct node) (flow_into name) in
+                if not (D.equal next (get summary name)) then begin
+                  Hashtbl.replace summary name next;
+                  changed := true
+                end)
+            members
+        done)
+      g.sccs;
+    summary
+end

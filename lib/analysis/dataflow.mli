@@ -1,0 +1,36 @@
+(** Generic bottom-up dataflow over the call graph's SCC condensation.
+
+    Instantiate with a join-semilattice of per-function facts; the
+    solver computes, for every node, the join of its own [direct] fact
+    with the (transferred) facts of everything it calls, iterating
+    mutual-recursion SCCs to a local fixpoint.  Termination needs a
+    finite-height lattice — all domains in this repo are small
+    powersets or booleans. *)
+
+module type DOMAIN = sig
+  type fact
+
+  val bottom : fact
+  (** Identity of [join]; also the fact assumed for unknown callees. *)
+
+  val join : fact -> fact -> fact
+  val equal : fact -> fact -> bool
+end
+
+module Make (D : DOMAIN) : sig
+  type summary = (string, D.fact) Hashtbl.t
+
+  val get : summary -> string -> D.fact
+  (** Solved fact for a node name; [D.bottom] when absent. *)
+
+  val solve :
+    Callgraph.t ->
+    direct:(Callgraph.node -> D.fact) ->
+    ?transfer:
+      (caller:Callgraph.node -> callee:Callgraph.node -> D.fact -> D.fact) ->
+    unit ->
+    summary
+  (** [solve g ~direct ()] runs the fixpoint.  [transfer] (default:
+      identity) rewrites a callee's fact as it flows into a caller — a
+      rule cuts propagation along an edge by returning [D.bottom]. *)
+end

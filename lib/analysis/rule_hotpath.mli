@@ -1,0 +1,36 @@
+(** R7 — interprocedural proof of the zero-allocation hot path.
+
+    Builds the {!Callgraph}, walks everything reachable from a manifest
+    of hot entry points, and infers each reached function's direct
+    allocation effects under the classic ocamlopt model (closure
+    capture of locals, heap construction, boxed numeric returns,
+    polymorphic compare/hash, partial application, unknown extern
+    calls).  Any reached function with a non-empty effect set is a
+    finding carrying the witness call path; registered amortized cuts
+    stop traversal but each emits an [Info] finding so the exemption is
+    baselined with a note, never silent.  Manifest entries or cuts that
+    name nothing are [Error]s — the proof must not go vacuous when code
+    moves. *)
+
+type manifest = {
+  entries : string list;
+      (** Normalized fully-qualified hot entry points, e.g.
+          ["Ptrng_noise.Source.fill"]. *)
+  cuts : (string * string) list;
+      (** [(name, why)] — functions where traversal stops because their
+          work is amortized (once per window/incident, not per sample). *)
+}
+
+val default_manifest : manifest
+(** The repo's steady-state write paths: [Source.fill], [Pair.fill],
+    [Gaussian.fill_fa], [Rn_estimator.feed_many], the [Monitor] feed
+    entries and the [Flight_recorder] record path.  Creation-time
+    constructors ([Pair.stream], [Source.create]) allocate by design
+    and are not entries. *)
+
+val make : ?manifest:manifest -> unit -> Rule.t
+(** Build the rule against a custom manifest — used by the fixture
+    tests to point the proof at fixture-local entries. *)
+
+val rule : Rule.t
+(** R7 over {!default_manifest}. *)

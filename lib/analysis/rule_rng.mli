@@ -1,0 +1,14 @@
+(** R8 — RNG-stream discipline, tracked interprocedurally.
+
+    Four checks over the {!Callgraph}: (a) no module-level binding
+    whose type contains [Rng.t]; (b) no draw from a parent stream
+    after splitting it — directly or via a callee that "may draw",
+    computed by a bottom-up {!Dataflow} fixpoint; (c) no [Rng.t]
+    captured by a task closure handed to a [Pool] combinator (an
+    [Rng.t array] of pre-split children stays allowed); (d) no
+    [Rng.split] inside a sequential iterator lambda, where the stream
+    assignment silently depends on evaluation order ([Warning] — a
+    frozen, documented order is baselined with a note). *)
+
+val rule : Rule.t
+(** The R8 rule value, registered in {!Rules.all}. *)

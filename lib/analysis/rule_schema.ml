@@ -1,0 +1,63 @@
+(* R9: every "ptrng-<name>/<version>" wire-format tag in the code must
+   match the central registry (Ptrng_telemetry.Schema).  Emitters are
+   expected to build tags via [Schema.id]; any literal that still looks
+   like a tag is checked against the registry, so an unregistered
+   document type or a version-skewed emitter/parser cannot drift
+   silently past review.  Registered, current-version literals are
+   allowed — parsers legitimately match on them. *)
+
+module Schema = Ptrng_telemetry.Schema
+
+let check ~rule (loader : Loader.t) =
+  let findings = ref [] in
+  List.iter
+    (fun (unit : Loader.unit_info) ->
+      match unit.impl with
+      | None -> ()
+      | Some str ->
+        Tast_util.iter_structure_expressions str (fun ~symbol e ->
+            match e.exp_desc with
+            | Typedtree.Texp_constant (Asttypes.Const_string (s, _, _)) ->
+              List.iter
+                (fun (name, version) ->
+                  let tag = Schema.tag name version in
+                  match Schema.find name with
+                  | None ->
+                    findings :=
+                      Rule.make_finding ~rule ~unit ~loc:e.exp_loc ~symbol
+                        ~detail:("unregistered:" ^ tag)
+                        (Printf.sprintf
+                           "schema tag %S is not in the central registry; \
+                            add an entry to Ptrng_telemetry.Schema.all and \
+                            emit it via Schema.id"
+                           tag)
+                      :: !findings
+                  | Some entry when entry.Schema.version <> version ->
+                    findings :=
+                      Rule.make_finding ~rule ~unit ~loc:e.exp_loc ~symbol
+                        ~detail:
+                          (Printf.sprintf "skew:%s@%d!=%d" name version
+                             entry.Schema.version)
+                        (Printf.sprintf
+                           "schema tag %S disagrees with the registry \
+                            (current version %d); update the emitter or \
+                            bump the registry entry"
+                           tag entry.Schema.version)
+                      :: !findings
+                  | Some _ -> ())
+                (Schema.scan s)
+            | _ -> ()))
+    loader.units;
+  List.rev !findings
+
+let rec rule =
+  {
+    Rule.id = "R9";
+    name = "schema-registry";
+    severity = Finding.Error;
+    doc =
+      "every ptrng-<name>/<version> wire-format literal must match the \
+       central registry (Ptrng_telemetry.Schema); unregistered names and \
+       version skews are errors";
+    check = (fun loader -> check ~rule loader);
+  }

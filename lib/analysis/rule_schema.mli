@@ -1,0 +1,11 @@
+(** R9 — wire-format schema tags must match the central registry.
+
+    Scans every string literal for ["ptrng-<name>/<version>"]
+    occurrences and checks them against {!Ptrng_telemetry.Schema}:
+    unregistered names and version skews are errors.  Registered,
+    current-version literals are allowed (parsers match on them);
+    emitters should build tags with [Schema.id] so a version bump is a
+    one-line change. *)
+
+val rule : Rule.t
+(** The R9 rule value, registered in {!Rules.all}. *)

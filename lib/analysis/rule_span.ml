@@ -11,11 +11,43 @@ let protect_heads =
 let is_paired name =
   List.exists (fun suffix -> Tast_util.has_suffix ~suffix name) paired_suffixes
 
-(* Granularity: the top-level definition.  The safe idiom opens the
-   pair and immediately hands the closing half to a protect wrapper
-   ([Span.enter ...; Fun.protect ~finally:(fun () -> Span.exit ...)]),
-   so a definition that applies a protect head anywhere is sanctioned;
-   one that uses paired calls with no protect in sight cannot be
+(* The closure-free spelling used on zero-allocation hot entries —
+   [Mutex.lock m; (try body with e -> Mutex.unlock m; raise e);
+   Mutex.unlock m] — is exception-safe without a protect wrapper
+   ([Mutex.protect] builds a fresh closure per call, which R7 forbids
+   on those entries).  Sanction it by its shape: a [try] whose handler
+   both releases the pair and re-raises. *)
+let closing_suffixes = [ "Mutex.unlock"; "Span.exit" ]
+
+let handler_releases_and_reraises (cases : Typedtree.value Typedtree.case list) =
+  List.exists
+    (fun (c : Typedtree.value Typedtree.case) ->
+      let releases = ref false and reraises = ref false in
+      let it_ref = ref Tast_iterator.default_iterator in
+      let expr _sub (e : Typedtree.expression) =
+        (match Tast_util.ident_name e with
+        | Some name ->
+          if
+            List.exists
+              (fun suffix -> Tast_util.has_suffix ~suffix name)
+              closing_suffixes
+          then releases := true;
+          if Tast_util.has_suffix ~suffix:"Stdlib.raise" name then
+            reraises := true
+        | None -> ());
+        Tast_iterator.default_iterator.expr !it_ref e
+      in
+      it_ref := { Tast_iterator.default_iterator with expr };
+      !it_ref.expr !it_ref c.c_rhs;
+      !releases && !reraises)
+    cases
+
+(* Granularity: the top-level definition.  The safe idioms open the
+   pair and either hand the closing half to a protect wrapper
+   ([Span.enter ...; Fun.protect ~finally:(fun () -> Span.exit ...)])
+   or release-and-reraise by hand, so a definition that applies a
+   protect head or contains the manual idiom anywhere is sanctioned;
+   one that uses paired calls with neither in sight cannot be
    exception-safe. *)
 let item_uses_protect (item : Typedtree.structure_item) =
   let found = ref false in
@@ -23,6 +55,10 @@ let item_uses_protect (item : Typedtree.structure_item) =
   let expr _sub (e : Typedtree.expression) =
     (match Tast_util.ident_name e with
     | Some name when List.mem name protect_heads -> found := true
+    | _ -> ());
+    (match e.exp_desc with
+    | Typedtree.Texp_try (_, cases) when handler_releases_and_reraises cases ->
+      found := true
     | _ -> ());
     Tast_iterator.default_iterator.expr !it_ref e
   in

@@ -6,6 +6,9 @@ let all =
     Rule_span.rule;
     Rule_interface.rule;
     Rule_alloc.rule;
+    Rule_hotpath.rule;
+    Rule_rng.rule;
+    Rule_schema.rule;
   ]
 
 let find id =

@@ -1,0 +1,210 @@
+(* SARIF 2.1.0 export of a lint report.
+
+   Only the stable core of the format is emitted: one run, a driver
+   with one reportingDescriptor per selected rule, and one result per
+   finding with a physical location and the line-free fingerprint
+   under partialFingerprints (so SARIF consumers track findings across
+   edits exactly like the committed baseline does).  [validate] is the
+   structural inverse used by the @lint gate and the tests: it checks
+   the invariants this emitter guarantees, not the full SARIF JSON
+   schema. *)
+
+module Json = Ptrng_telemetry.Json
+
+let version = "2.1.0"
+let schema_uri = "https://json.schemastore.org/sarif-2.1.0.json"
+let fingerprint_key = "ptrngLintFingerprint/v1"
+
+let level_of_severity (s : Finding.severity) =
+  match s with
+  | Finding.Error -> "error"
+  | Finding.Warning -> "warning"
+  | Finding.Info -> "note"
+
+let rule_descriptor (r : Rule.t) =
+  Json.Obj
+    [
+      ("id", Json.String r.id);
+      ("name", Json.String r.name);
+      ("shortDescription", Json.Obj [ ("text", Json.String r.doc) ]);
+      ( "defaultConfiguration",
+        Json.Obj [ ("level", Json.String (level_of_severity r.severity)) ] );
+    ]
+
+let result_of_finding (f : Finding.t) =
+  let message =
+    if f.symbol = "" then f.message
+    else Printf.sprintf "%s (in %s)" f.message f.symbol
+  in
+  let region =
+    (* SARIF regions are 1-based; a finding without a source position
+       (line 0) gets a location without a region. *)
+    if f.line >= 1 then
+      [
+        ( "region",
+          Json.Obj
+            (("startLine", Json.Int f.line)
+            :: (if f.col >= 1 then [ ("startColumn", Json.Int f.col) ] else [])
+            ) );
+      ]
+    else []
+  in
+  Json.Obj
+    [
+      ("ruleId", Json.String f.rule);
+      ("level", Json.String (level_of_severity f.severity));
+      ("message", Json.Obj [ ("text", Json.String message) ]);
+      ( "locations",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "physicalLocation",
+                  Json.Obj
+                    (( "artifactLocation",
+                       Json.Obj [ ("uri", Json.String f.file) ] )
+                    :: region) );
+              ];
+          ] );
+      ( "partialFingerprints",
+        Json.Obj [ (fingerprint_key, Json.String (Finding.fingerprint f)) ] );
+    ]
+
+let of_report ~rules (report : Report.t) =
+  Json.Obj
+    [
+      ("$schema", Json.String schema_uri);
+      ("version", Json.String version);
+      ( "runs",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "tool",
+                  Json.Obj
+                    [
+                      ( "driver",
+                        Json.Obj
+                          [
+                            ("name", Json.String "ptrng-lint");
+                            ( "informationUri",
+                              Json.String
+                                "https://example.invalid/ptrng/docs/STATIC_ANALYSIS.md"
+                            );
+                            ("rules", Json.List (List.map rule_descriptor rules));
+                          ] );
+                    ] );
+                ("results", Json.List (List.map result_of_finding report.findings));
+              ];
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Structural validation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let str j key =
+  match Json.member key j with Some (Json.String s) -> Some s | _ -> None
+
+let obj_member j key = Json.member key j
+
+let valid_levels = [ "error"; "warning"; "note"; "none" ]
+
+let validate_result ~rule_ids i r =
+  let where = Printf.sprintf "results[%d]" i in
+  let* rule_id =
+    match str r "ruleId" with
+    | Some id -> Ok id
+    | None -> Error (where ^ ": missing ruleId")
+  in
+  let* () =
+    if List.mem rule_id rule_ids then Ok ()
+    else Error (Printf.sprintf "%s: ruleId %s not declared by the driver" where rule_id)
+  in
+  let* () =
+    match str r "level" with
+    | Some l when List.mem l valid_levels -> Ok ()
+    | Some l -> Error (Printf.sprintf "%s: invalid level %s" where l)
+    | None -> Error (where ^ ": missing level")
+  in
+  let* () =
+    match Option.bind (obj_member r "message") (fun m -> str m "text") with
+    | Some _ -> Ok ()
+    | None -> Error (where ^ ": missing message.text")
+  in
+  let* locs =
+    match obj_member r "locations" with
+    | Some (Json.List (_ :: _ as l)) -> Ok l
+    | _ -> Error (where ^ ": missing or empty locations")
+  in
+  let* () =
+    List.fold_left
+      (fun acc loc ->
+        let* () = acc in
+        let phys = obj_member loc "physicalLocation" in
+        match Option.bind phys (fun p -> obj_member p "artifactLocation") with
+        | None -> Error (where ^ ": location without physicalLocation.artifactLocation")
+        | Some art -> (
+          match str art "uri" with
+          | None -> Error (where ^ ": artifactLocation without uri")
+          | Some _ -> (
+            match Option.bind phys (fun p -> obj_member p "region") with
+            | None -> Ok ()
+            | Some region -> (
+              match obj_member region "startLine" with
+              | Some (Json.Int n) when n >= 1 -> Ok ()
+              | _ -> Error (where ^ ": region without positive startLine")))))
+      (Ok ()) locs
+  in
+  let* () =
+    match obj_member r "partialFingerprints" with
+    | Some pf when str pf fingerprint_key <> None -> Ok ()
+    | _ -> Error (Printf.sprintf "%s: missing partialFingerprints.%s" where fingerprint_key)
+  in
+  Ok ()
+
+let validate j =
+  let* () =
+    match str j "version" with
+    | Some v when v = version -> Ok ()
+    | Some v -> Error (Printf.sprintf "sarif version %s, expected %s" v version)
+    | None -> Error "missing sarif version"
+  in
+  let* runs =
+    match obj_member j "runs" with
+    | Some (Json.List (_ :: _ as runs)) -> Ok runs
+    | _ -> Error "missing or empty runs"
+  in
+  List.fold_left
+    (fun acc run ->
+      let* total = acc in
+      let driver =
+        Option.bind (obj_member run "tool") (fun t -> obj_member t "driver")
+      in
+      let* () =
+        match Option.bind driver (fun d -> str d "name") with
+        | Some _ -> Ok ()
+        | None -> Error "run without tool.driver.name"
+      in
+      let rule_ids =
+        match Option.bind driver (fun d -> obj_member d "rules") with
+        | Some (Json.List rules) -> List.filter_map (fun r -> str r "id") rules
+        | _ -> []
+      in
+      let* results =
+        match obj_member run "results" with
+        | Some (Json.List results) -> Ok results
+        | _ -> Error "run without results list"
+      in
+      let* () =
+        List.fold_left
+          (fun acc (i, r) ->
+            let* () = acc in
+            validate_result ~rule_ids i r)
+          (Ok ())
+          (List.mapi (fun i r -> (i, r)) results)
+      in
+      Ok (total + List.length results))
+    (Ok 0) runs

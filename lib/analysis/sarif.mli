@@ -1,0 +1,23 @@
+(** SARIF 2.1.0 export of a lint report.
+
+    One run, a [reportingDescriptor] per selected rule, one [result]
+    per finding; the line-free {!Finding.fingerprint} travels in
+    [partialFingerprints] so external SARIF consumers track findings
+    across unrelated edits exactly like the committed baseline.
+    See docs/STATIC_ANALYSIS.md. *)
+
+val fingerprint_key : string
+(** The [partialFingerprints] property name carrying
+    {!Finding.fingerprint} ([ptrngLintFingerprint/v1]). *)
+
+val of_report : rules:Rule.t list -> Report.t -> Ptrng_telemetry.Json.t
+(** The SARIF 2.1.0 document for a report produced with [rules]. *)
+
+val validate : Ptrng_telemetry.Json.t -> (int, string) result
+(** Structural validation of the invariants {!of_report} guarantees:
+    version 2.1.0, at least one run with a named driver, every result
+    carrying a declared [ruleId], a valid [level], [message.text], a
+    non-empty location list with artifact URIs and 1-based regions,
+    and the fingerprint property.  Returns the total number of
+    results.  This is the check behind [ptrng-lint --check-sarif] and
+    the [@lint] gate — not a full JSON-schema validation. *)

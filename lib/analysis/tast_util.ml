@@ -12,6 +12,29 @@ let has_suffix ~suffix s =
   && String.sub s (ls - lx) lx = suffix
   && (ls = lx || s.[ls - lx - 1] = '.')
 
+(* Dune mangles the modules of a wrapped library: the compilation unit
+   of [Ptrng_noise.Source] is [Ptrng_noise__Source], and resolved paths
+   in the typedtree may use either spelling.  Normalizing "__" to "."
+   gives every definition and reference one canonical name, so the call
+   graph can match them up.  (User identifiers containing "__" would be
+   mangled too — the repo has none, and the lint only ever compares
+   normalized forms against each other, so the approximation is safe.) *)
+let normalize_path s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && s.[!i] = '_' && s.[!i + 1] = '_' then begin
+      Buffer.add_char b '.';
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
 let is_float_type ty =
   match Types.get_desc ty with
   | Types.Tconstr (p, [], _) -> Path.same p Predef.path_float
@@ -87,6 +110,140 @@ let iter_toplevel_bindings str f =
           vbs
       | _ -> ())
     str.Typedtree.str_items
+
+let has_inline_attr (attrs : Parsetree.attributes) =
+  List.exists
+    (fun (a : Parsetree.attribute) ->
+      a.attr_name.txt = "inline" || a.attr_name.txt = "ocaml.inline")
+    attrs
+
+(* Idents bound by any pattern inside [e] — let bindings, function
+   parameters, match cases — as [(Ident.unique_name, Ident.name)].
+   Stamped names make the set shadow-proof. *)
+let expr_bound_idents (e : Typedtree.expression) =
+  let acc = ref [] in
+  let record id = acc := (Ident.unique_name id, Ident.name id) :: !acc in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      pat =
+        (fun (type k) sub (p : k Typedtree.general_pattern) ->
+          List.iter record (Typedtree.pat_bound_idents p);
+          Tast_iterator.default_iterator.pat sub p);
+    }
+  in
+  it.expr it e;
+  !acc
+
+(* Every use of a locally bound ident inside [e]:
+   [(unique_name, display_name, type, loc)].  Module-level and external
+   references resolve to [Path.Pdot] and are not included. *)
+let expr_local_uses (e : Typedtree.expression) =
+  let acc = ref [] in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+          (match e.Typedtree.exp_desc with
+           | Typedtree.Texp_ident (Path.Pident id, _, _) ->
+             acc :=
+               (Ident.unique_name id, Ident.name id, e.exp_type, e.exp_loc)
+               :: !acc
+           | _ -> ());
+          Tast_iterator.default_iterator.expr sub e);
+    }
+  in
+  it.expr it e;
+  List.rev !acc
+
+(* Free variables of [lambda] relative to [enclosing]: uses inside the
+   lambda of idents bound in the enclosing function body but not inside
+   the lambda itself.  These are exactly the captures that force a heap
+   closure in classic (non-flambda) ocamlopt — a lambda with no captures
+   compiles to a static closure and never allocates. *)
+let lambda_captures ~enclosing_bound (lambda : Typedtree.expression) =
+  let inside = expr_bound_idents lambda in
+  let is_outer u =
+    List.mem_assoc u enclosing_bound && not (List.mem_assoc u inside)
+  in
+  let seen = ref [] in
+  List.filter_map
+    (fun (u, display, ty, loc) ->
+      if is_outer u && not (List.mem u !seen) then begin
+        seen := u :: !seen;
+        Some (display, ty, loc)
+      end
+      else None)
+    (expr_local_uses lambda)
+
+(* Mirrors the compiler's [Simplif.eliminate_ref] + cmmgen unboxing: a
+   [let r = ref e] whose every use is [!r], [r := _], [incr r] or
+   [decr r], at the same lambda depth as the binding, is compiled to a
+   mutable local variable — the cell is never allocated, and for
+   float/int64/int32/nativeint contents the variable is unboxed too.
+   A use under a nested lambda, or any bare use (passed, stored,
+   returned), defeats the optimization.  Returns the [ref e]
+   application expressions (physical nodes) of the eliminable
+   bindings, so an allocation scan can skip exactly those. *)
+let deref_heads = [ "Stdlib.!"; "Stdlib.:="; "Stdlib.incr"; "Stdlib.decr" ]
+
+let eliminable_refs (root : Typedtree.expression) =
+  let candidates :
+      (string * (Typedtree.expression * int * bool ref)) list ref =
+    ref []
+  in
+  let safe_nodes : Typedtree.expression list ref = ref [] in
+  let depth = ref 0 in
+  let head_is (f : Typedtree.expression) names =
+    match ident_name f with
+    | Some n -> List.exists (fun h -> has_suffix ~suffix:h n) names
+    | None -> false
+  in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+          match e.Typedtree.exp_desc with
+          | Typedtree.Texp_function _ ->
+            incr depth;
+            Tast_iterator.default_iterator.expr sub e;
+            decr depth
+          | Typedtree.Texp_let (Asttypes.Nonrecursive, vbs, _) ->
+            List.iter
+              (fun (vb : Typedtree.value_binding) ->
+                match (vb.vb_pat.pat_desc, vb.vb_expr.exp_desc) with
+                | ( Typedtree.Tpat_var (id, _),
+                    Typedtree.Texp_apply (f, [ _ ]) )
+                  when head_is f [ "Stdlib.ref" ] ->
+                  candidates :=
+                    (Ident.unique_name id, (vb.vb_expr, !depth, ref false))
+                    :: !candidates
+                | _ -> ())
+              vbs;
+            Tast_iterator.default_iterator.expr sub e
+          | Typedtree.Texp_apply (f, args) when head_is f deref_heads ->
+            (match List.filter_map snd args with
+             | ({ exp_desc = Typedtree.Texp_ident (Path.Pident _, _, _); _ }
+                as a)
+               :: _ ->
+               safe_nodes := a :: !safe_nodes
+             | _ -> ());
+            Tast_iterator.default_iterator.expr sub e
+          | Typedtree.Texp_ident (Path.Pident id, _, _) -> (
+            match List.assoc_opt (Ident.unique_name id) !candidates with
+            | Some (_, cdepth, bad) ->
+              if not (List.memq e !safe_nodes && !depth = cdepth) then
+                bad := true
+            | None -> ())
+          | _ -> Tast_iterator.default_iterator.expr sub e);
+    }
+  in
+  it.expr it root;
+  List.filter_map
+    (fun (_, (rhs, _, bad)) -> if !bad then None else Some rhs)
+    !candidates
 
 let is_doc_attribute (a : Parsetree.attribute) =
   a.attr_name.txt = "ocaml.doc" || a.attr_name.txt = "doc"

@@ -12,6 +12,41 @@ val has_suffix : suffix:string -> string -> bool
 val has_prefix : prefix:string -> string -> bool
 (** Plain string-prefix test, e.g. on directory paths. *)
 
+val normalize_path : string -> string
+(** Canonical spelling of a resolved path: dune's wrapped-library
+    mangling ["Ptrng_noise__Source"] becomes ["Ptrng_noise.Source"], so
+    definitions and references compare equal regardless of which
+    spelling the typedtree recorded. *)
+
+val has_inline_attr : Parsetree.attributes -> bool
+(** The attribute list carries [[@inline]] (or [[@ocaml.inline]]). *)
+
+val expr_bound_idents : Typedtree.expression -> (string * string) list
+(** Idents bound by any pattern inside the expression (let bindings,
+    function parameters, match cases) as
+    [(Ident.unique_name, Ident.name)]. *)
+
+val expr_local_uses :
+  Typedtree.expression ->
+  (string * string * Types.type_expr * Location.t) list
+(** Every use of a locally bound ident ([Path.Pident]) inside the
+    expression: [(unique_name, display_name, type, loc)]. *)
+
+val lambda_captures :
+  enclosing_bound:(string * string) list ->
+  Typedtree.expression ->
+  (string * Types.type_expr * Location.t) list
+(** Free variables of the lambda relative to the enclosing bound set —
+    the captures that force a heap-allocated closure in classic
+    ocamlopt.  Deduplicated, in first-use order. *)
+
+val eliminable_refs : Typedtree.expression -> Typedtree.expression list
+(** The [ref e] application expressions (physical nodes) of let-bound
+    references that the compiler erases: every use is [!]/[:=]/
+    [incr]/[decr] at the binding's own lambda depth, so
+    [Simplif.eliminate_ref] turns the cell into a mutable local and
+    cmmgen unboxes numeric contents — no allocation survives. *)
+
 val is_float_type : Types.type_expr -> bool
 (** The expression's type is the predefined [float] constructor. *)
 

@@ -95,7 +95,9 @@ let faults t = t.faults
 
 let two_pi = 2.0 *. Float.pi
 
-let eval_profile p k =
+(* [@inline]: called three times per sample from [eval]; without it
+   every evaluation returns a boxed float across the call boundary. *)
+let[@inline] eval_profile p k =
   match p with
   | Const v -> v
   | Step { at; before; after } -> if k < at then before else after
@@ -168,8 +170,9 @@ let rec apply_faults st k = function
         st.tone <-
           st.tone +. (amplitude *. sin (two_pi *. freq *. float_of_int (k - onset)))
     | Coupling { onset; duration; strength } ->
-      if k >= onset && k - onset < duration then
-        st.coupling <- Float.max st.coupling strength);
+      if k >= onset && k - onset < duration && strength > st.coupling then
+        (* if/else instead of Float.max: max re-boxes its result *)
+        st.coupling <- strength);
     apply_faults st k rest
 
 let eval t k st =

@@ -79,7 +79,7 @@ let run_tasks ~domains ~n_tasks task =
   if n_tasks > 0 then begin
     if !Tm.on then begin
       Tm.Counter.incr sections_total;
-      Tm.Counter.incr ~by:n_tasks tasks_total
+      Tm.Counter.add tasks_total n_tasks
     end;
     let workers = max 1 (min domains n_tasks) in
     Tm.Gauge.set domains_gauge (float_of_int workers);

@@ -17,7 +17,7 @@ let q_counts ~edges1 ~edges2 ~n =
   done;
   let windows = !windows in
   if windows < 2 then invalid_arg "Counter.q_counts: fewer than 2n covered Osc2 cycles";
-  Ptrng_telemetry.Registry.Counter.incr ~by:windows windows_total;
+  Ptrng_telemetry.Registry.Counter.add windows_total windows;
   let counts = Array.make windows 0 in
   let p = ref 0 in
   for w = 0 to windows - 1 do

@@ -29,8 +29,8 @@ let realizations ?(stride = 1) ~n j =
   let c = cumulative j in
   let count = ((len - (2 * n)) / stride) + 1 in
   if !Tm.on then begin
-    Tm.Counter.incr ~by:(count * n) periods_total;
-    Tm.Counter.incr ~by:count realizations_total;
+    Tm.Counter.add periods_total (count * n);
+    Tm.Counter.add realizations_total count;
     Tm.Hist.observe accumulation_n (float_of_int n)
   end;
   Array.init count (fun k ->

@@ -196,8 +196,8 @@ module Jitter_acc = struct
       for s = 0 to k - 1 do
         let delta = t.counts.(s) - t.tm_counts.(s) in
         if delta > 0 then begin
-          Tm.Counter.incr ~by:(delta * t.ns.(s)) periods_total;
-          Tm.Counter.incr ~by:delta realizations_total;
+          Tm.Counter.add periods_total (delta * t.ns.(s));
+          Tm.Counter.add realizations_total delta;
           t.tm_counts.(s) <- t.counts.(s)
         end
       done
@@ -409,7 +409,7 @@ module Counter_acc = struct
       for s = 0 to Array.length t.ns - 1 do
         let delta = t.closed.(s) - t.tm_closed.(s) in
         if delta > 0 then begin
-          Tm.Counter.incr ~by:delta windows_total;
+          Tm.Counter.add windows_total delta;
           t.tm_closed.(s) <- t.closed.(s)
         end
       done

@@ -509,12 +509,13 @@ let feed_bit_unlocked t b =
   t.bits <- t.bits + 1;
   t.win_bits <- t.win_bits + 1;
   if b then t.win_ones <- t.win_ones + 1;
-  let a = Ptrng_sp90b.Health.monitor_feed t.sp b in
-  if a.rct_alarm then t.win_alarms <- t.win_alarms + 1;
-  if a.apt_alarm then t.win_alarms <- t.win_alarms + 1;
-  (match Ptrng_ais31.Online.feed t.ais b with
-  | Some true -> t.win_alarms <- t.win_alarms + 1
-  | Some false | None -> ());
+  (* Flag-returning feeds: the record/option verdicts of
+     [monitor_feed]/[feed] would be a heap block per bit here (R7). *)
+  let flags = Ptrng_sp90b.Health.monitor_feed_flags t.sp b in
+  if flags land 1 <> 0 then t.win_alarms <- t.win_alarms + 1;
+  if flags land 2 <> 0 then t.win_alarms <- t.win_alarms + 1;
+  if Ptrng_ais31.Online.feed_flag t.ais b = 1 then
+    t.win_alarms <- t.win_alarms + 1;
   if t.win_bits >= t.cfg.bit_window then close_window t
 
 let feed_jitter t x = Mutex.protect t.lock (fun () -> feed_jitter_unlocked t x)
@@ -522,19 +523,34 @@ let feed_jitter t x = Mutex.protect t.lock (fun () -> feed_jitter_unlocked t x)
 let feed_jitter_array t xs =
   Mutex.protect t.lock (fun () -> Array.iter (feed_jitter_unlocked t) xs)
 
+(* The two per-chunk/per-bit entries take the lock by hand:
+   [Mutex.protect] would build a fresh closure over [t]/[buf]/[len] on
+   every call, and these are the only monitor entries on the
+   zero-allocation hot path (R7). *)
 let feed_jitter_chunk t buf ~len =
-  Mutex.protect t.lock (fun () ->
-      (match t.recorder with
-      | Some r -> Flight_recorder.record_jitter_chunk r buf ~len
-      | None -> ());
-      Rn_estimator.feed_many t.rn buf ~len;
-      t.since_fit <- t.since_fit + len;
-      if t.since_fit >= t.cfg.fit_stride then begin
-        t.since_fit <- 0;
-        refresh_fit t
-      end)
+  Mutex.lock t.lock;
+  (try
+     (match t.recorder with
+     | Some r -> Flight_recorder.record_jitter_chunk r buf ~len
+     | None -> ());
+     Rn_estimator.feed_many t.rn buf ~len;
+     t.since_fit <- t.since_fit + len;
+     if t.since_fit >= t.cfg.fit_stride then begin
+       t.since_fit <- 0;
+       refresh_fit t
+     end
+   with e ->
+     Mutex.unlock t.lock;
+     raise e);
+  Mutex.unlock t.lock
 
-let feed_bit t b = Mutex.protect t.lock (fun () -> feed_bit_unlocked t b)
+let feed_bit t b =
+  Mutex.lock t.lock;
+  (try feed_bit_unlocked t b
+   with e ->
+     Mutex.unlock t.lock;
+     raise e);
+  Mutex.unlock t.lock
 
 let feed_bits t bs =
   Mutex.protect t.lock (fun () -> Array.iter (feed_bit_unlocked t) bs)

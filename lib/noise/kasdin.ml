@@ -16,7 +16,7 @@ let coefficients ~alpha n =
 
 let generate_block ?domains rng ~alpha ~sigma_w n =
   if n <= 0 then invalid_arg "Kasdin.generate_block: n <= 0";
-  Tm.Counter.incr ~by:n samples_total;
+  Tm.Counter.add samples_total n;
   (* The white input is chunked over the pool (one child stream per
      fixed chunk); the fractional-integration filter itself is one FFT
      convolution on the calling domain. *)

@@ -164,7 +164,7 @@ type t = {
    single-block stream is bit-identical to Spectral_synth.generate. *)
 let spectral_block_salt = 1 lsl 30
 
-let spectral_block_root ~root b =
+let[@inline] spectral_block_root ~root b =
   if b = 0 then root else Rng.derive_seed root (spectral_block_salt + b)
 
 let spectral_sync st ~backend ~root b =
@@ -214,7 +214,7 @@ let position t = t.pos
 let fill_range t dst ~pos ~len =
   if len < 0 || pos < 0 || pos + len > FA.length dst then
     invalid_arg "Source.fill_range: bad range";
-  Ptrng_telemetry.Registry.Counter.incr ~by:len samples_total;
+  Ptrng_telemetry.Registry.Counter.add samples_total len;
   (match t.impl with
   | IWhite st ->
     white_fill st ~backend:t.backend ~root:t.root ~abs:t.pos ~dst ~dst_pos:pos

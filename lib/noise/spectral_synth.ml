@@ -11,18 +11,21 @@ let samples_total =
    bit-identical for every domain count (see docs/PARALLELISM.md). *)
 let bin_chunk = 4096
 
-let generate_with_root ?domains ~backend ~root ~psd ~fs n =
+(* [domains] is a required resolved count (no option at hot call
+   sites): the streaming resynthesis path passes [~domains:1]
+   directly, and [generate] resolves its own [?domains]. *)
+let generate_with_root ~domains ~backend ~root ~psd ~fs n =
   if not (Ptrng_signal.Fft.is_pow2 n) then
     invalid_arg "Spectral_synth.generate: n must be a power of two";
   if fs <= 0.0 then invalid_arg "Spectral_synth.generate: fs <= 0";
-  Ptrng_telemetry.Registry.Counter.incr ~by:n samples_total;
+  Ptrng_telemetry.Registry.Counter.add samples_total n;
   let re = Array.make n 0.0 and im = Array.make n 0.0 in
   let half = n / 2 in
   (* E[|X_k|^2] = S(f_k) fs n / 2 for interior bins of an unscaled DFT. *)
   let nbins = half - 1 in
   let nchunks = (nbins + bin_chunk - 1) / bin_chunk in
   if nbins > 0 then
-    Pool.run_tasks ~domains:(Pool.resolve ?domains ()) ~n_tasks:nchunks (fun ci ->
+    Pool.run_tasks ~domains ~n_tasks:nchunks (fun ci ->
         let child = Rng.child ~backend ~root ~index:ci () in
         let g = Ptrng_prng.Gaussian.create child in
         let k_lo = 1 + (ci * bin_chunk) in
@@ -32,7 +35,7 @@ let generate_with_root ?domains ~backend ~root ~psd ~fs n =
            same draw order as the former per-bin pair of draws, but
            allocation-free (Gaussian.fill_fa). *)
         let draws = Float.Array.create (2 * bins) in
-        Ptrng_prng.Gaussian.fill_fa g draws ~pos:0 ~len:(2 * bins);
+        Ptrng_prng.Gaussian.fill_fa g ~sigma:1.0 draws ~pos:0 ~len:(2 * bins);
         for k = k_lo to k_hi do
           let f = float_of_int k *. fs /. float_of_int n in
           let amp = sqrt (psd f *. fs *. float_of_int n /. 4.0) in
@@ -60,7 +63,7 @@ let generate_with_root ?domains ~backend ~root ~psd ~fs n =
 let generate ?domains rng ~psd ~fs n =
   let root = Rng.bits64 rng in
   let backend = Rng.backend rng in
-  generate_with_root ?domains ~backend ~root ~psd ~fs n
+  generate_with_root ~domains:(Pool.resolve ?domains ()) ~backend ~root ~psd ~fs n
 
 let generate_frac_freq ?domains rng ~model ~fs n =
   let open Psd_model in

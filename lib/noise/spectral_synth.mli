@@ -30,19 +30,24 @@ val generate :
     power of two or [fs <= 0]. *)
 
 val generate_with_root :
-  ?domains:int ->
+  domains:int ->
   backend:Ptrng_prng.Rng.backend ->
   root:int64 ->
   psd:(float -> float) ->
   fs:float ->
   int ->
   float array
-(** [generate_with_root ~backend ~root ~psd ~fs n] is {!generate} with
-    the root draw supplied explicitly instead of taken from a live
-    generator — the resynthesizable form used by {!Source} to rebuild
-    any block of a stream from its recorded root.  [generate rng] is
-    exactly [generate_with_root ~backend:(backend rng)
-    ~root:(bits64 rng)].  @raise Invalid_argument as {!generate}. *)
+(** [generate_with_root ~domains ~backend ~root ~psd ~fs n] is
+    {!generate} with the root draw supplied explicitly instead of taken
+    from a live generator — the resynthesizable form used by {!Source}
+    to rebuild any block of a stream from its recorded root.
+    [domains] is a required, already-resolved worker count (the
+    streaming hot path passes [~domains:1]; an optional argument here
+    would allocate a [Some] per block).  The output is bit-identical
+    for every [domains] value.  [generate rng] is exactly
+    [generate_with_root ~domains:(Pool.resolve ()) ~backend:(backend
+    rng) ~root:(bits64 rng)].  @raise Invalid_argument as
+    {!generate}. *)
 
 val generate_frac_freq :
   ?domains:int ->

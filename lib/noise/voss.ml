@@ -16,7 +16,10 @@ let create rng ~octaves =
   let sources = Array.init octaves (fun _ -> Ptrng_prng.Gaussian.draw g) in
   { g; sources; counter = 0 }
 
-let next t =
+(* [@inline] erases the boxed float return at fill-loop call sites;
+   the accumulator ref is erased by Simplif.eliminate_ref (summing
+   with Array.fold_left would box every partial sum instead). *)
+let[@inline] next t =
   Tm.Counter.incr samples_total;
   let octaves = Array.length t.sources in
   for j = 0 to octaves - 1 do
@@ -25,7 +28,11 @@ let next t =
       t.sources.(j) <- Ptrng_prng.Gaussian.draw t.g
   done;
   t.counter <- t.counter + 1;
-  Array.fold_left ( +. ) 0.0 t.sources
+  let sum = ref 0.0 in
+  for j = 0 to octaves - 1 do
+    sum := !sum +. Array.unsafe_get t.sources j
+  done;
+  !sum
 
 let generate t n = Array.init n (fun _ -> next t)
 

@@ -161,8 +161,9 @@ let source ?(flicker_block = default_flicker_block) rng cfg =
     s_pos = 0;
   }
 
-let fill_periods src ?len buf =
-  let len = match len with Some l -> l | None -> FA.length buf in
+(* Option-free core: the streaming pair path calls this per segment,
+   and a [?len] there would build a [Some] block per call (R7). *)
+let fill_periods_n src ~len buf =
   if len < 0 || len > FA.length buf then
     invalid_arg "Oscillator.fill_periods: bad len";
   let t0 = src.s_t0 in
@@ -200,15 +201,19 @@ let fill_periods src ?len buf =
     FA.set src.rw_carry 0 !y);
   src.s_pos <- src.s_pos + len
 
+let fill_periods src ?len buf =
+  fill_periods_n src
+    ~len:(match len with Some l -> l | None -> FA.length buf)
+    buf
+
 (* The scenario path needs the two noise components separately — the
    schedule rescales them per sample before they are combined — so this
    writes the raw thermal jitter (seconds, baseline sigma included) and
    the fractional flicker frequency y_k into caller buffers, drawing
    from the same sources in the same order as {!fill_periods}. *)
-let fill_components src ?len ~thermal ~flicker () =
-  let len =
-    match len with Some l -> l | None -> min (FA.length thermal) (FA.length flicker)
-  in
+(* [len] is required: the scenario loop calls this per segment, and an
+   optional argument would allocate a [Some] block each time (R7). *)
+let fill_components src ~len ~thermal ~flicker =
   if len < 0 || len > FA.length thermal || len > FA.length flicker then
     invalid_arg "Oscillator.fill_components: bad len";
   if Option.is_some src.rw then

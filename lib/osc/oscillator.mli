@@ -72,11 +72,15 @@ val fill_periods : source -> ?len:int -> Float.Array.t -> unit
     length) simulated periods into [buf.(0 .. len-1)], seconds.
     @raise Invalid_argument if [len] exceeds the buffer length. *)
 
+val fill_periods_n : source -> len:int -> Float.Array.t -> unit
+(** {!fill_periods} with a required [len] — the allocation-free
+    spelling for per-segment callers (no [Some] built at the call
+    site); [fill_periods] is a thin wrapper over it. *)
+
 val fill_components :
-  source -> ?len:int -> thermal:Float.Array.t -> flicker:Float.Array.t ->
-  unit -> unit
-(** [fill_components src ~thermal ~flicker ()] advances the stream by
-    [len] (default the shorter buffer) samples, writing the raw
+  source -> len:int -> thermal:Float.Array.t -> flicker:Float.Array.t -> unit
+(** [fill_components src ~len ~thermal ~flicker] advances the stream by
+    [len] samples, writing the raw
     thermal period jitter g_k (seconds, baseline sigma included) into
     [thermal] and the fractional flicker frequency y_k into [flicker]
     — the two components {!fill_periods} would have combined as

@@ -100,20 +100,22 @@ let fill_scenario st scen ~p1 ~p2 ~len =
   while !off < len do
     let seg = min sc_seg (len - !off) in
     Oscillator.fill_components st.s1 ~len:seg ~thermal:st.sc_th1
-      ~flicker:st.sc_fl1 ();
+      ~flicker:st.sc_fl1;
     Oscillator.fill_components st.s2 ~len:seg ~thermal:st.sc_th2
-      ~flicker:st.sc_fl2 ();
+      ~flicker:st.sc_fl2;
     let base = !off in
     for j = 0 to seg - 1 do
       Scenario.eval scen (st.sc_pos + base + j) state;
       let f1 = f1n *. state.f0_mult and f2 = f2n *. state.f0_mult in
       let c = state.coupling in
-      let f1e, f2e =
-        if c > 0.0 then begin
-          let fm = 0.5 *. (f1 +. f2) in
-          (f1 +. (c *. (fm -. f1)), f2 +. (c *. (fm -. f2)))
-        end
-        else (f1, f2)
+      (* Two scalar ifs, not one returning a pair: a tuple here is a
+         fresh 2-block per sample (R7).  Same float expressions, same
+         results. *)
+      let f1e =
+        if c > 0.0 then f1 +. (c *. ((0.5 *. (f1 +. f2)) -. f1)) else f1
+      in
+      let f2e =
+        if c > 0.0 then f2 +. (c *. ((0.5 *. (f1 +. f2)) -. f2)) else f2
       in
       let t01 = 1.0 /. f1e and t02 = 1.0 /. f2e in
       let r1 = f1e /. f1n and r2 = f2e /. f2n in
@@ -152,8 +154,8 @@ let skip st n =
 let fill st ~p1 ~p2 ~len =
   match st.scen with
   | None ->
-    Oscillator.fill_periods st.s1 ~len p1;
-    Oscillator.fill_periods st.s2 ~len p2
+    Oscillator.fill_periods_n st.s1 ~len p1;
+    Oscillator.fill_periods_n st.s2 ~len p2
   | Some scen ->
     if len < 0 || len > FA.length p1 || len > FA.length p2 then
       invalid_arg "Pair.fill: bad len";

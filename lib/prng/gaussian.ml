@@ -33,7 +33,11 @@ let zig_x, zig_y =
   done;
   (x, y)
 
-let create ?(method_ = Ziggurat) rng = { method_; rng; spare = 0.0; has_spare = false }
+(* No default on [?method_]: a defaulted optional splits the currying
+   chain and allocates the inner closure per call (R7). *)
+let create ?method_ rng =
+  let method_ = match method_ with None -> Ziggurat | Some m -> m in
+  { method_; rng; spare = 0.0; has_spare = false }
 
 let draw_tail rng =
   (* Marsaglia's exponential-rejection sampler for the normal tail x > r. *)
@@ -108,7 +112,7 @@ module FA = Float.Array
 
 (* Small enough for the inliner, so the recurrence below runs on
    unboxed int64 locals. *)
-let rotl x k =
+let[@inline] rotl x k =
   Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
 (* The ziggurat of [draw], draw-for-draw: every [xo_next] below is one
@@ -224,12 +228,22 @@ let fill_fa_xoshiro xs ~sigma dst ~pos ~len =
   st.(3) <- !s3;
   Xoshiro256.restore xs st
 
-let fill_fa t ?(sigma = 1.0) dst ~pos ~len =
+(* [sigma] is a required label: an optional argument would make every
+   hot caller build a [Some] block, and a defaulted one would split
+   the currying chain into per-call closures.  The match nests instead
+   of pairing so no scrutinee tuple is allocated per call. *)
+let fill_fa t ~sigma dst ~pos ~len =
   if len < 0 || pos < 0 || pos + len > FA.length dst then
     invalid_arg "Gaussian.fill_fa: bad range";
-  match (t.method_, Rng.xoshiro_state t.rng) with
-  | Ziggurat, Some xs -> fill_fa_xoshiro xs ~sigma dst ~pos ~len
-  | _ ->
+  match t.method_ with
+  | Ziggurat -> (
+    match Rng.xoshiro_state t.rng with
+    | Some xs -> fill_fa_xoshiro xs ~sigma dst ~pos ~len
+    | None ->
+      for i = pos to pos + len - 1 do
+        FA.unsafe_set dst i (sigma *. draw t)
+      done)
+  | Box_muller | Polar ->
     for i = pos to pos + len - 1 do
       FA.unsafe_set dst i (sigma *. draw t)
     done

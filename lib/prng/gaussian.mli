@@ -23,9 +23,10 @@ val draw_scaled : t -> mu:float -> sigma:float -> float
 val fill : t -> float array -> unit
 (** Overwrite an array with N(0,1) deviates. *)
 
-val fill_fa : t -> ?sigma:float -> Float.Array.t -> pos:int -> len:int -> unit
-(** [fill_fa t ?sigma dst ~pos ~len] overwrites [dst.(pos ..
-    pos+len-1)] with [sigma *. draw t] samples ([sigma] defaults to 1),
+val fill_fa : t -> sigma:float -> Float.Array.t -> pos:int -> len:int -> unit
+(** [fill_fa t ~sigma dst ~pos ~len] overwrites [dst.(pos ..
+    pos+len-1)] with [sigma *. draw t] samples ([sigma] is a required
+    label so hot callers never build a [Some] block),
     draw-for-draw identical to calling {!draw} in a loop — same uniform
     consumption, same values, any partition of a stream into fills.
     For the default ziggurat-on-xoshiro sampler the whole loop runs on

@@ -7,7 +7,10 @@ type state =
 
 type t = { state : state }
 
-let create ?(backend = Xoshiro) ~seed () =
+(* The option-free core; [create]'s [?backend] carries no default
+   value, because a defaulted optional splits the currying chain and
+   allocates the inner closure per call (R7). *)
+let make backend seed =
   let state =
     match backend with
     | Xoshiro -> S_xoshiro (Xoshiro256.create ~seed)
@@ -15,6 +18,9 @@ let create ?(backend = Xoshiro) ~seed () =
     | Splitmix -> S_splitmix (Splitmix64.create seed)
   in
   { state }
+
+let create ?backend ~seed () =
+  make (match backend with None -> Xoshiro | Some b -> b) seed
 
 let backend_name t =
   match t.state with
@@ -63,11 +69,9 @@ let backend t =
 let xoshiro_state t =
   match t.state with S_xoshiro s -> Some s | S_pcg _ | S_splitmix _ -> None
 
-let split t =
-  let seed = bits64 t in
-  create ~backend:(backend t) ~seed ()
+let split t = make (backend t) (bits64 t)
 
-let derive_seed root index =
+let[@inline] derive_seed root index =
   if index < 0 then invalid_arg "Rng.derive_seed: negative index";
   (* Two SplitMix64 outputs of a state perturbed by the stream index:
      a stateless, well-scrambled child seed, so chunk [index] of a
@@ -81,8 +85,7 @@ let derive_seed root index =
   let _ = Splitmix64.next s in
   Splitmix64.next s
 
-let child ?(backend = Xoshiro) ~root ~index () =
-  create ~backend ~seed:(derive_seed root index) ()
+let child ~backend ~root ~index () = make backend (derive_seed root index)
 
 let fill_floats t a =
   for i = 0 to Array.length a - 1 do

@@ -57,7 +57,7 @@ val derive_seed : int64 -> int -> int64
     regardless of which domain (or how many domains) runs it.
     @raise Invalid_argument on negative [index]. *)
 
-val child : ?backend:backend -> root:int64 -> index:int -> unit -> t
+val child : backend:backend -> root:int64 -> index:int -> unit -> t
 (** [child ~root ~index ()] is [create ~seed:(derive_seed root index)]:
     the generator for substream [index] of [root]. *)
 

@@ -42,48 +42,56 @@ let apt_cutoff ?(alpha_exp = 30) ?(window = 1024) ~h () =
    with Exit -> ());
   !cutoff
 
-type rct = { cutoff : int; mutable current : bool option; mutable count : int }
+(* [current]/[reference] below use an int encoding (-1 = none,
+   0 = false, 1 = true) rather than [bool option]: the feed path runs
+   once per raw bit, and a [Some] store there is a heap block per
+   state transition (R7). *)
+let[@inline] flag_of_bool b = if b then 1 else 0
+
+type rct = { cutoff : int; mutable current : int; mutable count : int }
 
 let rct_create ~cutoff =
   if cutoff < 2 then invalid_arg "Health.rct_create: cutoff < 2";
-  { cutoff; current = None; count = 0 }
+  { cutoff; current = -1; count = 0 }
 
 let rct_feed t sample =
-  (match t.current with
-  | Some v when v = sample -> t.count <- t.count + 1
-  | _ ->
-    t.current <- Some sample;
-    t.count <- 1);
+  let s = flag_of_bool sample in
+  if t.current = s then t.count <- t.count + 1
+  else begin
+    t.current <- s;
+    t.count <- 1
+  end;
   t.count >= t.cutoff
 
 type apt = {
   a_cutoff : int;
   window : int;
-  mutable reference : bool option;
+  mutable reference : int;  (* -1 = awaiting a reference bit *)
   mutable seen : int;
   mutable matches : int;
 }
 
 let apt_create ~cutoff ~window =
   if cutoff < 2 || cutoff > window then invalid_arg "Health.apt_create: bad cutoff";
-  { a_cutoff = cutoff; window; reference = None; seen = 0; matches = 0 }
+  { a_cutoff = cutoff; window; reference = -1; seen = 0; matches = 0 }
 
 let apt_feed t sample =
-  match t.reference with
-  | None ->
-    t.reference <- Some sample;
+  if t.reference < 0 then begin
+    t.reference <- flag_of_bool sample;
     t.seen <- 1;
     t.matches <- 1;
     false
-  | Some r ->
+  end
+  else begin
     t.seen <- t.seen + 1;
-    if sample = r then t.matches <- t.matches + 1;
+    if flag_of_bool sample = t.reference then t.matches <- t.matches + 1;
     if t.seen >= t.window then begin
       let alarm = t.matches >= t.a_cutoff in
-      t.reference <- None;
+      t.reference <- -1;
       alarm
     end
     else false
+  end
 
 module Tm = Ptrng_telemetry.Registry
 
@@ -129,7 +137,11 @@ let monitor_of_entropy ?alpha_exp ?(window = 1024) ~h () =
   let cutoff_apt = apt_cutoff ?alpha_exp ~window ~h () in
   monitor_create ~cutoff_rct ~cutoff_apt ~window
 
-let monitor_feed t sample =
+(* Bit 0 = RCT alarm, bit 1 = APT alarm.  The int result is the
+   per-bit spelling: live monitors feed every raw bit through here,
+   and the [alarm] record of [monitor_feed] would be a fresh heap
+   block per bit (R7). *)
+let monitor_feed_flags t sample =
   let rct_alarm = rct_feed t.m_rct sample in
   let apt_alarm = apt_feed t.m_apt sample in
   t.m_samples <- t.m_samples + 1;
@@ -140,7 +152,11 @@ let monitor_feed t sample =
     if rct_alarm then Tm.Counter.incr rct_alarms_total;
     if apt_alarm then Tm.Counter.incr apt_alarms_total
   end;
-  { rct_alarm; apt_alarm }
+  (if rct_alarm then 1 else 0) lor (if apt_alarm then 2 else 0)
+
+let monitor_feed t sample =
+  let flags = monitor_feed_flags t sample in
+  { rct_alarm = flags land 1 <> 0; apt_alarm = flags land 2 <> 0 }
 
 let monitor_samples t = t.m_samples
 let monitor_alarms t = (t.m_rct_alarms, t.m_apt_alarms)

@@ -62,7 +62,14 @@ val monitor_of_entropy :
     1024), as SP 800-90B prescribes. *)
 
 val monitor_feed : monitor -> bool -> alarm
-(** Feed one sample through both tests and the telemetry counters. *)
+(** Feed one sample through both tests and the telemetry counters.
+    Allocates the {!alarm} record; per-bit hot loops should use
+    {!monitor_feed_flags}. *)
+
+val monitor_feed_flags : monitor -> bool -> int
+(** As {!monitor_feed}, but the verdict is an int bitmask — bit 0 set
+    on an RCT alarm, bit 1 on an APT alarm — so the per-bit feed path
+    ({!Ptrng_monitor}) stays allocation-free. *)
 
 val monitor_samples : monitor -> int
 (** Samples fed so far. *)

@@ -59,9 +59,16 @@ module Counter = struct
     | C c -> c
     | _ -> invalid_arg (Printf.sprintf "Registry: %s is not a counter" name)
 
-  let incr ?(by = 1) c =
-    if by < 0 then invalid_arg "Counter.incr: negative increment";
-    if !on then ignore (Atomic.fetch_and_add c.c_value by)
+  (* [add] is the hot-path spelling: no option to build at the call
+     site.  [incr ?by] keeps no default value, because a default
+     optional argument splits the currying chain — [fun ?by ->
+     let by = ... in fun c -> ...] — and the inner lambda is a fresh
+     closure on every call (R7 found exactly that here). *)
+  let add c n =
+    if n < 0 then invalid_arg "Counter.add: negative increment";
+    if !on then ignore (Atomic.fetch_and_add c.c_value n)
+
+  let incr ?by c = add c (match by with None -> 1 | Some n -> n)
 
   let value c = Atomic.get c.c_value
 end
@@ -95,8 +102,17 @@ module Hist = struct
     | H h -> h
     | _ -> invalid_arg (Printf.sprintf "Registry: %s is not a histogram" name)
 
+  (* Lock by hand: [Mutex.protect] would close over [h] and [value]
+     per call, and observe sits on the per-block synthesis path. *)
   let observe h value =
-    if !on then Mutex.protect h.h_mu (fun () -> Histogram.observe h.h_hist value)
+    if !on then begin
+      Mutex.lock h.h_mu;
+      (try Histogram.observe h.h_hist value
+       with e ->
+         Mutex.unlock h.h_mu;
+         raise e);
+      Mutex.unlock h.h_mu
+    end
 
   let time h f =
     if !on then begin

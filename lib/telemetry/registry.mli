@@ -40,6 +40,11 @@ module Counter : sig
   (** Register (or look up) the counter [name].  Idempotent: the same
       name always yields the same handle. *)
 
+  val add : t -> int -> unit
+  (** [add c n] adds [n].  No-op unless telemetry is enabled; the
+      allocation-free spelling for hot callers (no option at the call
+      site).  @raise Invalid_argument on negative [n]. *)
+
   val incr : ?by:int -> t -> unit
   (** No-op unless telemetry is enabled.  [by] defaults to 1.
       @raise Invalid_argument on negative [by]. *)

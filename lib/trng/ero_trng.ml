@@ -31,7 +31,7 @@ let generate_raw rng cfg ~bits =
      cycles, with margin for the frequency mismatch. *)
   let cycles = (bits + 2) * cfg.divisor in
   let n = cycles + (cycles / 64) + 16 in
-  Tm.Counter.incr ~by:(2 * n) periods_simulated_total;
+  Tm.Counter.add periods_simulated_total (2 * n);
   let p1, p2 = Ptrng_osc.Pair.simulate rng cfg.pair ~n in
   let osc1_edges = Ptrng_osc.Oscillator.edges_of_periods p1 in
   let osc2_edges = Ptrng_osc.Oscillator.edges_of_periods p2 in
@@ -47,5 +47,5 @@ let generate rng cfg ~bits =
         if cfg.xor_factor = 1 then raw
         else Post_process.xor_decimate ~k:cfg.xor_factor raw
       in
-      Tm.Counter.incr ~by:(Bitstream.length out) bits_total;
+      Tm.Counter.add bits_total (Bitstream.length out);
       out)

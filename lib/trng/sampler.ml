@@ -40,5 +40,5 @@ let sample ~osc1_edges ~osc2_edges ~divisor =
      done
    with Exit -> ());
   let out = Array.of_list (List.rev !bits) in
-  Tm.Counter.incr ~by:(Array.length out) samples_total;
+  Tm.Counter.add samples_total (Array.length out);
   out
